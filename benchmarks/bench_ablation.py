@@ -1,0 +1,143 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These quantify the sensitivity of the headline results to the model
+constants the paper fixes (fab yield, PUE), and make the Sec. 6
+discussion points executable (FLOPS/W is not a carbon ordering;
+constant-intensity accounting error; slack-window sensitivity of
+temporal scheduling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import format_table
+from repro.core.config import ModelConfig, use_config
+from repro.core.operational import operational_carbon, operational_carbon_trace
+from repro.cluster.workload_gen import WorkloadParams, generate_workload
+from repro.hardware.catalog import GPU_A100, GPU_V100
+from repro.hardware.node import a100_node, v100_node
+from repro.intensity.api import CarbonIntensityService
+from repro.intensity.generator import generate_trace
+from repro.power.tracker import CarbonTracker
+from repro.scheduler.evaluation import evaluate_policy
+from repro.scheduler.policies import CarbonObliviousPolicy, TemporalShiftingPolicy
+
+
+def test_fab_yield_sensitivity(benchmark):
+    """Eq. 3: embodied carbon scales as 1/yield — how much headroom does
+    the paper's fixed 0.875 hide?"""
+
+    def sweep():
+        rows = []
+        for fab_yield in (0.6, 0.7, 0.8, 0.875, 0.95):
+            with use_config(ModelConfig(fab_yield=fab_yield)):
+                rows.append((fab_yield, GPU_A100.embodied().total_g / 1000.0))
+        return rows
+
+    rows = benchmark(sweep)
+    baseline = dict((y, v) for y, v in rows)[0.875]
+    assert dict(rows)[0.6] > baseline  # worse yield -> more carbon
+    print("\nAblation: fab yield vs A100 embodied carbon")
+    print(format_table(["Yield", "Embodied (kg)"], [(y, f"{v:.2f}") for y, v in rows]))
+
+
+def test_pue_sensitivity(benchmark):
+    """Eq. 6: operational carbon is linear in PUE."""
+
+    def sweep():
+        return [
+            (pue, operational_carbon(1000.0, 200.0, pue=pue).grams / 1000.0)
+            for pue in (1.0, 1.1, 1.2, 1.4, 1.6)
+        ]
+
+    rows = benchmark(sweep)
+    values = dict(rows)
+    assert values[1.6] == pytest.approx(1.6 * values[1.0], rel=1e-9)
+    print("\nAblation: PUE vs operational carbon of 1 MWh IC energy")
+    print(format_table(["PUE", "Carbon (kg)"], [(p, f"{v:.1f}") for p, v in rows]))
+
+
+def test_flops_per_watt_is_not_a_carbon_ordering(benchmark):
+    """Sec. 6: 'operation of system A (20 GFLOPS/W) may be greener than B
+    (50 GFLOPS/W) if A uses hydropower while B uses gas'."""
+
+    def compute():
+        v100_eff = GPU_V100.fp64_tflops * 1000.0 / GPU_V100.tdp_w  # GFLOPS/W
+        a100_eff = GPU_A100.fp64_tflops * 1000.0 / GPU_A100.tdp_w
+        a_on_hydro = CarbonTracker(v100_node(), 20.0).track_run(
+            1000.0, gpu_utilization=0.9, cpu_utilization=0.5
+        )
+        b_on_gas = CarbonTracker(a100_node(), 400.0).track_run(
+            1000.0, gpu_utilization=0.9, cpu_utilization=0.5
+        )
+        return v100_eff, a100_eff, a_on_hydro.carbon.grams, b_on_gas.carbon.grams
+
+    v100_eff, a100_eff, hydro_g, gas_g = benchmark(compute)
+    assert a100_eff > v100_eff          # B is the more "efficient" system
+    assert hydro_g < gas_g              # yet A on hydro emits less
+    print(
+        f"\nAblation: V100 node ({v100_eff:.1f} GFLOPS/W) on hydro emits "
+        f"{hydro_g/1000:.1f} kg vs A100 node ({a100_eff:.1f} GFLOPS/W) on gas "
+        f"{gas_g/1000:.1f} kg over 1000 h"
+    )
+
+
+def test_constant_vs_trace_accounting_error(benchmark):
+    """How wrong is annual-average-intensity accounting for a workload
+    that only runs at night?  Quantifies the value of hourly accounting
+    (the paper's temporal-variation argument)."""
+
+    def compute():
+        trace = generate_trace("ESO")
+        hours = np.arange(len(trace))
+        night = ((hours % 24) < 6).astype(float) * 1000.0  # 1 kW, 00:00-06:00
+        exact = operational_carbon_trace(night, trace.values, pue=1.0).grams
+        approx = operational_carbon(float(night.sum()) / 1000.0, trace.mean(), pue=1.0).grams
+        return exact, approx
+
+    exact, approx = benchmark(compute)
+    error = abs(approx - exact) / exact
+    assert error > 0.02  # night workload is mis-billed by constant accounting
+    print(
+        f"\nAblation: constant-intensity accounting error for a night-only "
+        f"workload in ESO: {error:.1%} (exact {exact/1000:.1f} kg vs "
+        f"annual-average {approx/1000:.1f} kg)"
+    )
+
+
+def test_slack_window_sensitivity(benchmark):
+    """Temporal-shifting savings as a function of user-tolerated slack."""
+
+    def sweep():
+        service = CarbonIntensityService(forecast_error=0.0)
+        rows = []
+        for slack_fraction in (0.5, 1.0, 2.0, 4.0):
+            params = WorkloadParams(
+                horizon_h=24 * 14,
+                total_gpus=32,
+                home_region="ESO",
+                slack_fraction=slack_fraction,
+            )
+            jobs = generate_workload(params, seed=13)
+            base = evaluate_policy(
+                jobs, CarbonObliviousPolicy(service, "ESO"), service, v100_node()
+            )
+            shifted = evaluate_policy(
+                jobs, TemporalShiftingPolicy(service, "ESO"), service, v100_node()
+            )
+            savings = 1.0 - shifted.total_carbon.grams / base.total_carbon.grams
+            rows.append((slack_fraction, savings))
+        return rows
+
+    rows = benchmark(sweep)
+    savings = [s for _f, s in rows]
+    assert savings == sorted(savings)  # more slack, more savings
+    print("\nAblation: slack window vs temporal-shifting savings (ESO)")
+    print(
+        format_table(
+            ["Slack (x duration)", "Savings"],
+            [(f, f"{s:+.1%}") for f, s in rows],
+        )
+    )

@@ -1,0 +1,89 @@
+"""The paper's benchmarking campaign as a harness: every Table 4 model
+on every Table 5 node generation, with energy and carbon per run
+(Sec. 2.2's operational characterization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.render import format_table
+from repro.workloads.energy import model_card_table
+from repro.workloads.models import ALL_MODELS, Suite
+from repro.workloads.performance import GENERATIONS
+from repro.workloads.runner import simulate_suite
+
+
+def test_full_characterization_campaign(benchmark):
+    """All 15 models x 3 generations, one epoch each (45 tracked runs)."""
+
+    def campaign():
+        results = {}
+        for generation in GENERATIONS:
+            for suite in Suite:
+                for result in simulate_suite(suite, generation, intensity=200.0):
+                    results[(result.model_name, generation)] = result
+        return results
+
+    results = benchmark(campaign)
+    assert len(results) == len(ALL_MODELS) * len(GENERATIONS)
+    # Every model gets faster and cleaner with each generation.
+    for model in ALL_MODELS:
+        times = [results[(model.name, gen)].duration_h for gen in GENERATIONS]
+        carbons = [results[(model.name, gen)].carbon.grams for gen in GENERATIONS]
+        assert times == sorted(times, reverse=True), model.name
+        assert carbons == sorted(carbons, reverse=True), model.name
+
+    rows = []
+    for model in ALL_MODELS:
+        p100 = results[(model.name, "P100")]
+        a100 = results[(model.name, "A100")]
+        rows.append(
+            (
+                model.name,
+                model.suite.value,
+                f"{p100.duration_h:.2f} h",
+                f"{a100.duration_h:.2f} h",
+                f"{p100.carbon.grams / 1000:.2f} kg",
+                f"{a100.carbon.grams / 1000:.2f} kg",
+                f"{1 - a100.carbon.grams / p100.carbon.grams:+.0%}",
+            )
+        )
+    print("\nPer-epoch training characterization (200 gCO2/kWh):")
+    print(
+        format_table(
+            ["Model", "Suite", "P100 time", "A100 time", "P100 carbon",
+             "A100 carbon", "Carbon saved"],
+            rows,
+        )
+    )
+
+
+def test_model_cards_per_region(benchmark):
+    """Footprint cards for one suite across three grids."""
+    from repro.intensity.generator import generate_trace
+
+    def cards():
+        return {
+            region: model_card_table(
+                ["BERT", "RoBERTa", "BART"], "A100",
+                generate_trace(region), epochs=10,
+            )
+            for region in ("ESO", "MISO", "TK")
+        }
+
+    by_region = benchmark(cards)
+    # Same energy everywhere; carbon ordered by grid intensity.
+    bert = {region: cards[0] for region, cards in by_region.items()}
+    assert bert["ESO"].energy_kwh == pytest.approx(bert["TK"].energy_kwh)
+    assert (
+        bert["ESO"].operational_g
+        < bert["MISO"].operational_g
+    )
+    rows = [
+        (region, card.model_name, f"{card.operational_g/1000:.2f} kg",
+         f"{card.mean_intensity_g_per_kwh:.0f}")
+        for region, region_cards in by_region.items()
+        for card in region_cards
+    ]
+    print("\nNLP model cards by region (10 epochs on A100):")
+    print(format_table(["Region", "Model", "Operational", "gCO2/kWh"], rows))

@@ -1,0 +1,82 @@
+"""Carbon-aware scheduler benchmarks (the paper's RQ5/RQ6 implication).
+
+Not a paper figure — the paper *calls for* carbon-intensity-aware
+schedulers; these benches quantify what the proposed policies deliver on
+the calibrated regional traces, and how expensive the policy decisions
+are.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.render import format_table
+from repro.cluster.workload_gen import WorkloadParams, generate_workload
+from repro.hardware.node import v100_node
+from repro.intensity.api import CarbonIntensityService
+from repro.scheduler.evaluation import compare_policies
+from repro.scheduler.policies import (
+    CarbonObliviousPolicy,
+    GeographicPolicy,
+    TemporalGeographicPolicy,
+    TemporalShiftingPolicy,
+)
+
+
+@pytest.fixture(scope="module")
+def service():
+    return CarbonIntensityService(forecast_error=0.03)
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    params = WorkloadParams(
+        horizon_h=24 * 28, total_gpus=64, home_region="ESO", slack_fraction=3.0
+    )
+    return generate_workload(params, seed=17)
+
+
+def _policies(service):
+    regions = ["ESO", "CISO", "ERCOT"]
+    return [
+        CarbonObliviousPolicy(service, "ESO"),
+        TemporalShiftingPolicy(service, "ESO"),
+        GeographicPolicy(service, "ESO", regions=regions),
+        TemporalGeographicPolicy(service, "ESO", regions=regions),
+    ]
+
+
+def test_policy_comparison(benchmark, service, jobs):
+    results = benchmark(
+        compare_policies, jobs, _policies(service), service, v100_node()
+    )
+    base = results["carbon-oblivious"].total_carbon.grams
+    rows = []
+    for name, evaluation in results.items():
+        savings = 1.0 - evaluation.total_carbon.grams / base
+        rows.append(
+            (
+                name,
+                f"{evaluation.total_carbon.grams / 1000:.1f} kg",
+                f"{savings:+.1%}",
+                f"{evaluation.mean_delay_h():.1f} h",
+                evaluation.migration_count(),
+            )
+        )
+    # Carbon-aware policies beat the oblivious baseline.
+    assert results["temporal-shifting"].total_carbon.grams < base
+    assert results["temporal+geographic"].total_carbon.grams < base
+    print("\nCarbon-aware scheduling on 2021 traces (home: ESO)")
+    print(format_table(["Policy", "Carbon", "Savings", "Mean delay", "Migrations"], rows))
+
+
+def test_temporal_policy_decision_latency(benchmark, service, jobs):
+    """Per-job decision cost of the temporal policy (scheduler hot path)."""
+    policy = TemporalShiftingPolicy(service, "ESO")
+    sample = jobs[: min(len(jobs), 50)]
+
+    def place_all():
+        return [policy.place(job) for job in sample]
+
+    placements = benchmark(place_all)
+    assert len(placements) == len(sample)

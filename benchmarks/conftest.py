@@ -1,0 +1,11 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one paper table or figure (see DESIGN.md's
+per-experiment index), asserts its shape criteria, and prints the rows.
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+printed artifacts alongside the timing table).
+"""
+
+from __future__ import annotations
+
+import pytest

@@ -1,0 +1,108 @@
+"""Complete carbon audit of a leadership HPC center.
+
+The paper's conclusion asks practitioners to "gain a better understanding
+of how sustainable the current system is".  This example produces the
+full account for Perlmutter-class and Frontier-class centers:
+
+* initial build per component class, *including* the interconnect the
+  paper could not model (with its uncertainty band),
+* shipping / installation / end-of-life phases,
+* expected component replacements over the service life (the RQ4
+  DRAM-failure warning),
+* projected operational carbon on the center's actual regional grid,
+
+and shows how the picture changes when the same center runs on
+hydropower.
+
+Run:  python examples/full_center_audit.py
+"""
+
+from repro.analysis.audit import CenterAuditor
+from repro.analysis.render import format_table
+from repro.core import format_co2
+from repro.core.lifecycle import LifecyclePhases, TransportMode
+from repro.hardware import estimate_fat_tree_interconnect, frontier, perlmutter
+from repro.intensity import generate_all_traces
+
+
+def main() -> None:
+    traces = generate_all_traces()
+
+    shipments = {
+        # Domestic road freight for the US systems.
+        "Perlmutter": LifecyclePhases(
+            mass_kg=250_000.0,
+            transport_km={TransportMode.ROAD: 1_500.0},
+            installation_g=5e6,
+        ),
+        "Frontier": LifecyclePhases(
+            mass_kg=450_000.0,
+            transport_km={TransportMode.ROAD: 1_000.0},
+            installation_g=10e6,
+        ),
+    }
+    centers = [
+        (perlmutter(), 1536 + 3072, traces["CISO"], "CISO"),
+        (frontier(), 9408, traces["MISO"], "MISO"),
+    ]
+
+    for system, n_nodes, trace, grid in centers:
+        auditor = CenterAuditor(
+            intensity=trace,
+            n_nodes=n_nodes,
+            nics_per_node=4 if system.name == "Frontier" else 1,
+            lifecycle=shipments[system.name],
+        )
+        audit = auditor.audit(system, service_years=5.0)
+        print(f"\n=== {system.name} on the {grid} grid ===")
+        for line in audit.summary_lines():
+            print(line)
+
+        fabric = estimate_fat_tree_interconnect(
+            n_nodes, nics_per_node=4 if system.name == "Frontier" else 1
+        )
+        print(
+            f"  interconnect estimate: {fabric.nics} NICs + {fabric.switches} "
+            f"switches = {format_co2(fabric.mid_g)} "
+            f"[{format_co2(fabric.low_g)} .. {format_co2(fabric.high_g)}]"
+        )
+
+    # --- the same center on renewables -----------------------------------------
+    print("\n=== Perlmutter-class center: grid sensitivity (5-year account) ===")
+    rows = []
+    for label, intensity in (
+        ("MISO (~510 g/kWh)", traces["MISO"]),
+        ("CISO (~240 g/kWh)", traces["CISO"]),
+        ("ESO (~180 g/kWh)", traces["ESO"]),
+        ("Hydro PPA (20 g/kWh)", 20.0),
+    ):
+        auditor = CenterAuditor(
+            intensity=intensity, n_nodes=4608, lifecycle=shipments["Perlmutter"]
+        )
+        audit = auditor.audit(perlmutter(), service_years=5.0)
+        rows.append(
+            (
+                label,
+                format_co2(audit.operational_g),
+                format_co2(audit.embodied_total_g),
+                f"{audit.embodied_total_g / audit.total_g:.1%}",
+            )
+        )
+    print(
+        format_table(
+            ["Grid", "Operational (5y)", "Embodied (build+repl+logistics)",
+             "Embodied share"],
+            rows,
+        )
+    )
+    print(
+        "\nTakeaway: on today's fossil-heavy grids the operational side "
+        "dominates, but on renewables the embodied share grows by an order "
+        "of magnitude (to about a quarter of the 5-year account) — the "
+        "paper's case for treating manufacturing carbon as a first-class "
+        "procurement metric."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Location-aware "greenness" ranking (paper RQ5 implication).
+
+The paper argues the Green500's FLOPS/W metric misses two factors: the
+carbon intensity of the energy actually feeding the machine, and the
+embodied carbon of its hardware.  This example ranks three hypothetical
+deployments of the *same* Table 5 A100 node fleet — differing only in
+region — plus a less efficient V100 fleet on a clean grid, under three
+metrics:
+
+1. classic efficiency (GFLOPS/W),
+2. operational carbon per year,
+3. total (embodied + operational) carbon over a 5-year life.
+
+Run:  python examples/green500_reranking.py
+"""
+
+from repro.analysis.render import format_table
+from repro.core import format_co2
+from repro.core.units import HOURS_PER_YEAR
+from repro.hardware import a100_node, v100_node
+from repro.intensity import generate_all_traces
+from repro.power import NodePowerModel
+
+FLEET_NODES = 200
+USAGE = 0.4
+YEARS = 5.0
+
+
+def fleet_metrics(name, node, intensity_trace):
+    power = NodePowerModel(node)
+    gpu = node.gpu_spec()
+    peak_tflops = node.gpu_count * gpu.fp64_tflops
+    busy_w = power.busy_power_w()
+    gflops_per_w = peak_tflops * 1000.0 / busy_w
+
+    avg_node_w = USAGE * busy_w + (1.0 - USAGE) * power.power_w(0.0, 0.0)
+    fleet_kwh_per_year = FLEET_NODES * avg_node_w / 1000.0 * HOURS_PER_YEAR
+    mean_intensity = (
+        intensity_trace if isinstance(intensity_trace, float)
+        else intensity_trace.mean()
+    )
+    operational_per_year = fleet_kwh_per_year * mean_intensity * 1.2  # PUE
+    embodied = FLEET_NODES * node.embodied().total_g
+    total_5y = embodied + YEARS * operational_per_year
+    return {
+        "name": name,
+        "gflops_per_w": gflops_per_w,
+        "op_per_year": operational_per_year,
+        "embodied": embodied,
+        "total_5y": total_5y,
+    }
+
+
+def main() -> None:
+    traces = generate_all_traces()
+    fleets = [
+        fleet_metrics("A100 fleet @ MISO", a100_node(), traces["MISO"]),
+        fleet_metrics("A100 fleet @ ESO", a100_node(), traces["ESO"]),
+        fleet_metrics("A100 fleet @ hydro", a100_node(), 20.0),
+        fleet_metrics("V100 fleet @ hydro", v100_node(), 20.0),
+    ]
+
+    print(f"Fleets of {FLEET_NODES} nodes, {USAGE:.0%} duty cycle, PUE 1.2\n")
+    for metric, key, reverse in (
+        ("GFLOPS/W (Green500-style)", "gflops_per_w", True),
+        ("operational carbon / year", "op_per_year", False),
+        ("total 5-year carbon (Eq. 1)", "total_5y", False),
+    ):
+        ranked = sorted(fleets, key=lambda f: f[key], reverse=reverse)
+        rows = []
+        for rank, fleet in enumerate(ranked, start=1):
+            if key == "gflops_per_w":
+                value = f"{fleet[key]:.1f}"
+            else:
+                value = format_co2(fleet[key])
+            rows.append((rank, fleet["name"], value))
+        print(f"Ranking by {metric}:")
+        print(format_table(["#", "Fleet", metric], rows))
+        print()
+
+    print(
+        "The V100 fleet loses the efficiency ranking but its hydro grid "
+        "makes it greener *operationally* than the most efficient fleet on "
+        "a fossil grid — and once embodied carbon is included, even the "
+        "ordering among identical A100 fleets is set entirely by location. "
+        "Greenness rankings must account for energy mix and embodied carbon "
+        "(paper Insight 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

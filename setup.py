@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The execution environment is offline and has no ``wheel`` package, so
+PEP 660 editable installs (which need ``bdist_wheel``) are unavailable;
+``pip install -e .`` falls back to ``setup.py develop`` through this
+shim.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

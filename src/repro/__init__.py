@@ -1,0 +1,57 @@
+"""repro — carbon footprint estimation for HPC systems.
+
+A full reproduction of "Toward Sustainable HPC: Carbon Footprint
+Estimation and Environmental Implications of HPC Systems" (SC'23):
+embodied-carbon modeling of HPC components and systems, regional
+carbon-intensity analysis, operational-carbon characterization of deep
+learning workloads, carbon-aware scheduling, and upgrade decision
+analysis.
+
+Quickstart::
+
+    from repro.hardware import GPU_A100, frontier
+    print(GPU_A100.embodied().total)          # embodied carbon of one A100
+    print(frontier().embodied_shares())       # Fig. 5 ring chart
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+per-figure/table regeneration harness.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    CarbonIntensity,
+    CarbonLedger,
+    CarbonMass,
+    Duration,
+    Energy,
+    FootprintReport,
+    ModelConfig,
+    Power,
+    ReproError,
+    default_config,
+    get_config,
+    operational_carbon,
+    operational_carbon_trace,
+    set_config,
+    use_config,
+)
+
+__all__ = [
+    "__version__",
+    "CarbonMass",
+    "Energy",
+    "Power",
+    "Duration",
+    "CarbonIntensity",
+    "CarbonLedger",
+    "FootprintReport",
+    "ModelConfig",
+    "default_config",
+    "get_config",
+    "set_config",
+    "use_config",
+    "operational_carbon",
+    "operational_carbon_trace",
+    "ReproError",
+]

@@ -1,0 +1,198 @@
+"""Whole-center carbon audit.
+
+Combines every model in the library into the deliverable the paper's
+conclusion asks HPC practitioners to produce: a complete carbon account
+of a center — initial build (including the interconnect the paper could
+not model), logistics and end-of-life phases, expected component
+replacements, and projected operational carbon on the center's actual
+grid — over a chosen service life.
+
+:class:`CenterAuditor` is configured once with the operating context and
+then audits any :class:`~repro.hardware.systems.SystemSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.config import ModelConfig, get_config
+from repro.core.errors import ExperimentError
+from repro.core.lifecycle import LifecyclePhases, assess_lifecycle
+from repro.core.model import CarbonLedger, FootprintReport
+from repro.core.units import HOURS_PER_YEAR, format_co2
+from repro.hardware.network import estimate_fat_tree_interconnect
+from repro.hardware.parts import ComponentClass, ProcessorSpec
+from repro.hardware.replacement import ReplacementModel
+from repro.hardware.systems import SystemSpec
+from repro.intensity.trace import IntensityTrace
+from repro.power.devices import power_model_for
+
+__all__ = ["CenterAudit", "CenterAuditor"]
+
+
+@dataclass(frozen=True)
+class CenterAudit:
+    """The complete audit result for one system."""
+
+    system_name: str
+    service_years: float
+    build_g: Dict[str, float]          # per component class + "Network"
+    logistics_g: float                 # transport + installation + EOL
+    replacement_g: float
+    operational_g: float
+
+    @property
+    def embodied_total_g(self) -> float:
+        return sum(self.build_g.values()) + self.logistics_g + self.replacement_g
+
+    @property
+    def total_g(self) -> float:
+        return self.embodied_total_g + self.operational_g
+
+    def report(self) -> FootprintReport:
+        return FootprintReport(
+            embodied_g=self.embodied_total_g, operational_g=self.operational_g
+        )
+
+    def shares(self) -> Dict[str, float]:
+        """Every line item as a fraction of the grand total."""
+        items = dict(self.build_g)
+        items["Logistics/EOL"] = self.logistics_g
+        items["Replacements"] = self.replacement_g
+        items["Operation"] = self.operational_g
+        total = self.total_g
+        if total == 0.0:
+            return {k: 0.0 for k in items}
+        return {k: v / total for k, v in items.items()}
+
+    def summary_lines(self) -> list[str]:
+        lines = [f"Carbon audit — {self.system_name}, {self.service_years:.0f} years"]
+        for label, share in self.shares().items():
+            value = dict(
+                self.build_g,
+                **{
+                    "Logistics/EOL": self.logistics_g,
+                    "Replacements": self.replacement_g,
+                    "Operation": self.operational_g,
+                },
+            )[label]
+            lines.append(f"  {label:14s} {format_co2(value):>12s}  ({share:5.1%})")
+        lines.append(f"  {'TOTAL':14s} {format_co2(self.total_g):>12s}")
+        return lines
+
+
+@dataclass
+class CenterAuditor:
+    """Audit configuration: grid, duty cycle, logistics, reliability.
+
+    Parameters
+    ----------
+    intensity:
+        The center's grid (constant gCO2/kWh or hourly trace).
+    gpu_usage:
+        GPU duty cycle (paper medium: 0.40).
+    n_nodes:
+        Node count for fabric sizing (the interconnect estimate).
+    nics_per_node:
+        Fabric endpoints per node.
+    lifecycle:
+        Shipment/installation/EOL phases applied to the *whole* build
+        (mass covers all racks).  ``None`` skips the phases.
+    replacement:
+        Component replacement model; ``None`` skips replacements.
+    pue:
+        Overrides the configured PUE.
+    """
+
+    intensity: Union[float, IntensityTrace]
+    gpu_usage: float = 0.40
+    n_nodes: int = 0
+    nics_per_node: int = 1
+    lifecycle: Optional[LifecyclePhases] = None
+    replacement: Optional[ReplacementModel] = field(
+        default_factory=ReplacementModel
+    )
+    pue: Optional[float] = None
+    config: Optional[ModelConfig] = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.gpu_usage <= 1.0):
+            raise ExperimentError("gpu_usage must be in (0, 1]")
+        if self.n_nodes < 0:
+            raise ExperimentError("n_nodes must be non-negative")
+        if isinstance(self.intensity, (int, float)) and float(self.intensity) < 0.0:
+            raise ExperimentError("carbon intensity must be non-negative")
+
+    # --- operational side -------------------------------------------------
+    def _mean_intensity(self) -> float:
+        if isinstance(self.intensity, IntensityTrace):
+            return self.intensity.mean()
+        return float(self.intensity)
+
+    def _system_average_power_w(self, system: SystemSpec) -> float:
+        """Duty-cycled average IT power of the whole inventory.
+
+        Processors follow the GPU duty cycle (CPUs busy when GPUs are);
+        memory/storage draw active power whenever the center is up.
+        """
+        total = 0.0
+        for part, count in system.components.items():
+            model = power_model_for(part)
+            if isinstance(part, ProcessorSpec):
+                avg = self.gpu_usage * model.busy_w + (1.0 - self.gpu_usage) * model.idle_w
+            else:
+                avg = model.max_w
+            total += count * avg
+        return total
+
+    # --- the audit ---------------------------------------------------------
+    def audit(self, system: SystemSpec, *, service_years: float = 5.0) -> CenterAudit:
+        if service_years <= 0.0:
+            raise ExperimentError("service life must be positive")
+        cfg = self.config if self.config is not None else get_config()
+        pue = cfg.pue if self.pue is None else float(self.pue)
+
+        build: Dict[str, float] = {
+            cls.value: breakdown.total_g
+            for cls, breakdown in system.embodied_by_class(self.config).items()
+        }
+        if self.n_nodes > 0:
+            fabric = estimate_fat_tree_interconnect(
+                self.n_nodes, nics_per_node=self.nics_per_node, config=self.config
+            )
+            build["Network"] = fabric.mid_g
+
+        logistics = 0.0
+        if self.lifecycle is not None:
+            production = system.embodied_total(self.config)
+            assessment = assess_lifecycle(production, self.lifecycle)
+            logistics = (
+                assessment.transport_g
+                + assessment.end_of_life_g
+                + assessment.installation_g
+            )
+
+        replacements = 0.0
+        if self.replacement is not None:
+            replacements = sum(
+                b.total_g
+                for b in self.replacement.replacement_carbon(
+                    system, service_years, self.config
+                ).values()
+            )
+
+        avg_power_w = self._system_average_power_w(system)
+        energy_kwh = avg_power_w / 1000.0 * service_years * HOURS_PER_YEAR
+        operational = energy_kwh * self._mean_intensity() * pue
+
+        return CenterAudit(
+            system_name=system.name,
+            service_years=service_years,
+            build_g=build,
+            logistics_g=logistics,
+            replacement_g=replacements,
+            operational_g=operational,
+        )

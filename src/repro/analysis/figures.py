@@ -1,0 +1,270 @@
+"""One function per paper figure, returning structured results.
+
+Every ``figureN()`` regenerates the data behind the corresponding figure
+of the paper and returns a small result object with the plotted series;
+the benchmark harness times these functions and prints their rows, and
+the integration tests assert the paper's shape criteria on them
+(DESIGN.md section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import ExperimentError
+from repro.hardware.catalog import (
+    TABLE1_CPUS,
+    TABLE1_GPUS,
+    TABLE1_MEMORY_STORAGE,
+    TABLE1_PROCESSORS,
+)
+from repro.hardware.node import PROCESSOR_CLASSES, v100_node
+from repro.hardware.parts import (
+    ComponentClass,
+    MemorySpec,
+    ProcessorSpec,
+    StorageSpec,
+)
+from repro.hardware.systems import studied_systems
+from repro.intensity.analysis import WinnerCounts, hourly_winner_counts
+from repro.intensity.generator import DEFAULT_SEED, generate_all_traces
+from repro.intensity.stats import RegionStats, annual_summary
+from repro.upgrade.amortization import SavingsGrid, sweep_intensities, sweep_usages
+from repro.upgrade.scenario import INTENSITY_LEVELS, USAGE_LEVELS
+from repro.workloads.models import Suite
+from repro.workloads.performance import upgrade_options
+from repro.workloads.scaling import scaled_performance
+
+__all__ = [
+    "ProcessorEmbodiedRow",
+    "DeviceEmbodiedRow",
+    "BreakdownRow",
+    "ScalingPoint",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — processor embodied carbon, absolute and per TFLOPS
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorEmbodiedRow:
+    name: str
+    kind: str
+    embodied_kg: float
+    embodied_per_tflop_kg: float
+
+
+def figure1(precision: str = "fp64") -> List[ProcessorEmbodiedRow]:
+    """Fig. 1: embodied carbon of the Table 1 GPUs/CPUs, absolute and
+    normalized to peak floating-point throughput."""
+    rows: List[ProcessorEmbodiedRow] = []
+    for part in TABLE1_PROCESSORS:
+        breakdown = part.embodied()
+        rows.append(
+            ProcessorEmbodiedRow(
+                name=part.name,
+                kind=part.kind.value,
+                embodied_kg=breakdown.total_g / 1000.0,
+                embodied_per_tflop_kg=part.embodied_per_tflop(precision) / 1000.0,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — memory/storage embodied carbon, absolute and per bandwidth
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceEmbodiedRow:
+    name: str
+    kind: str
+    embodied_kg: float
+    embodied_per_bandwidth_kg: float
+
+
+def figure2() -> List[DeviceEmbodiedRow]:
+    """Fig. 2: DRAM/SSD/HDD embodied carbon and per-GB/s normalization."""
+    rows: List[DeviceEmbodiedRow] = []
+    for part in TABLE1_MEMORY_STORAGE:
+        breakdown = part.embodied()
+        rows.append(
+            DeviceEmbodiedRow(
+                name=part.name,
+                kind=part.component_class.value,
+                embodied_kg=breakdown.total_g / 1000.0,
+                embodied_per_bandwidth_kg=part.embodied_per_bandwidth() / 1000.0,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — manufacturing vs packaging split per device class
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BreakdownRow:
+    component_class: str
+    manufacturing_share: float
+    packaging_share: float
+
+
+def figure3() -> List[BreakdownRow]:
+    """Fig. 3: manufacturing/packaging ring charts per device class.
+
+    Class-level shares aggregate the Table 1 parts of each class (sum of
+    manufacturing over sum of total), matching the paper's one-ring-per-
+    class presentation.
+    """
+    groups: Dict[ComponentClass, List] = {}
+    for part in TABLE1_GPUS + TABLE1_CPUS + TABLE1_MEMORY_STORAGE:
+        groups.setdefault(part.component_class, []).append(part)
+    rows: List[BreakdownRow] = []
+    for cls in (
+        ComponentClass.GPU,
+        ComponentClass.CPU,
+        ComponentClass.DRAM,
+        ComponentClass.SSD,
+        ComponentClass.HDD,
+    ):
+        parts = groups.get(cls, [])
+        if not parts:
+            raise ExperimentError(f"no Table 1 parts in class {cls}")
+        manufacturing = sum(p.embodied().manufacturing_g for p in parts)
+        total = sum(p.embodied().total_g for p in parts)
+        rows.append(
+            BreakdownRow(
+                component_class=cls.value,
+                manufacturing_share=manufacturing / total,
+                packaging_share=1.0 - manufacturing / total,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — embodied carbon and performance vs GPU count
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingPoint:
+    suite: str
+    n_gpus: int
+    embodied_relative: float
+    performance_relative: float
+
+    @property
+    def performance_to_embodied(self) -> float:
+        return self.performance_relative / self.embodied_relative
+
+
+def figure4(gpu_counts: Tuple[int, ...] = (1, 2, 4)) -> List[ScalingPoint]:
+    """Fig. 4: V100-node embodied carbon vs performance at 1/2/4 GPUs.
+
+    Node embodied carbon covers the processors (2 CPUs + N GPUs), the
+    paper's Fig. 4 scope; both series are normalized to the 1-GPU node.
+    """
+    if not gpu_counts or min(gpu_counts) < 1:
+        raise ExperimentError("GPU counts must be positive")
+    node = v100_node()
+    base = node.with_gpu_count(gpu_counts[0]).embodied(classes=PROCESSOR_CLASSES)
+    points: List[ScalingPoint] = []
+    for suite in Suite:
+        base_perf = scaled_performance(suite, gpu_counts[0])
+        for n in gpu_counts:
+            embodied = node.with_gpu_count(n).embodied(classes=PROCESSOR_CLASSES)
+            points.append(
+                ScalingPoint(
+                    suite=suite.value,
+                    n_gpus=n,
+                    embodied_relative=embodied.total_g / base.total_g,
+                    performance_relative=scaled_performance(suite, n) / base_perf,
+                )
+            )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — per-system component breakdown
+# ---------------------------------------------------------------------------
+
+
+def figure5() -> Dict[str, Dict[str, float]]:
+    """Fig. 5: embodied-carbon share per component class for Frontier,
+    LUMI and Perlmutter."""
+    return {
+        system.name: {
+            cls.value: share for cls, share in system.embodied_shares().items()
+        }
+        for system in studied_systems()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — regional annual statistics
+# ---------------------------------------------------------------------------
+
+
+def figure6(*, seed: int = DEFAULT_SEED) -> Dict[str, RegionStats]:
+    """Fig. 6: annual carbon-intensity box statistics and CoV per region."""
+    return annual_summary(generate_all_traces(seed=seed))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — hourly winner counts among the greenest regions
+# ---------------------------------------------------------------------------
+
+
+def figure7(
+    regions: Tuple[str, ...] = ("ESO", "CISO", "ERCOT"), *, seed: int = DEFAULT_SEED
+) -> WinnerCounts:
+    """Fig. 7: per-JST-hour counts of days each region is cleanest."""
+    traces = generate_all_traces(regions=regions, seed=seed)
+    return hourly_winner_counts(traces)
+
+
+# ---------------------------------------------------------------------------
+# Figs. 8-9 — upgrade savings sweeps
+# ---------------------------------------------------------------------------
+
+
+def figure8(
+    *, usage: float = 0.40, times_years: Optional[np.ndarray] = None
+) -> Dict[Tuple[str, str], SavingsGrid]:
+    """Fig. 8: savings curves per upgrade row x intensity column."""
+    return {
+        (old, new): sweep_intensities(
+            old, new, INTENSITY_LEVELS, usage=usage, times_years=times_years
+        )
+        for old, new in upgrade_options()
+    }
+
+
+def figure9(
+    *, intensity: float = 200.0, times_years: Optional[np.ndarray] = None
+) -> Dict[Tuple[str, str], SavingsGrid]:
+    """Fig. 9: savings curves per upgrade row x usage level."""
+    return {
+        (old, new): sweep_usages(
+            old, new, USAGE_LEVELS, intensity=intensity, times_years=times_years
+        )
+        for old, new in upgrade_options()
+    }

@@ -1,0 +1,121 @@
+"""Carbon-aware system rankings (paper RQ5 / Green500 implication).
+
+The paper argues greenness rankings should account for the energy mix
+feeding each machine and its embodied carbon, not only FLOPS/W.  This
+module ranks arbitrary deployments (a node fleet in a region) under
+three metrics:
+
+1. ``efficiency`` — peak FP64 GFLOPS per busy watt (Green500-style),
+2. ``operational`` — projected operational carbon per year on the
+   deployment's actual grid,
+3. ``total`` — embodied + operational over a service life (Eq. 1).
+
+:func:`rank_deployments` returns the ordering per metric so inversions
+(a less efficient machine on a cleaner grid beating a more efficient one
+on fossil energy) become directly testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+from repro.core.errors import ExperimentError
+from repro.core.units import HOURS_PER_YEAR
+from repro.hardware.node import NodeSpec
+from repro.intensity.trace import IntensityTrace
+from repro.power.node import NodePowerModel
+
+__all__ = ["Deployment", "DeploymentMetrics", "evaluate_deployment", "rank_deployments"]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A homogeneous fleet of nodes on one grid."""
+
+    name: str
+    node: NodeSpec
+    n_nodes: int
+    intensity: Union[float, IntensityTrace]
+    usage: float = 0.40
+    pue: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ExperimentError(f"{self.name}: fleet must have >= 1 node")
+        if not (0.0 < self.usage <= 1.0):
+            raise ExperimentError(f"{self.name}: usage must be in (0, 1]")
+        if self.pue < 1.0:
+            raise ExperimentError(f"{self.name}: PUE must be >= 1.0")
+        if isinstance(self.intensity, (int, float)) and float(self.intensity) < 0.0:
+            raise ExperimentError(f"{self.name}: intensity must be non-negative")
+
+    def mean_intensity(self) -> float:
+        if isinstance(self.intensity, IntensityTrace):
+            return self.intensity.mean()
+        return float(self.intensity)
+
+
+@dataclass(frozen=True)
+class DeploymentMetrics:
+    """The three ranking metrics for one deployment."""
+
+    name: str
+    gflops_per_w: float
+    operational_g_per_year: float
+    total_g_over_life: float
+
+
+def evaluate_deployment(
+    deployment: Deployment, *, service_years: float = 5.0
+) -> DeploymentMetrics:
+    """Compute all three metrics for one deployment."""
+    if service_years <= 0.0:
+        raise ExperimentError("service life must be positive")
+    node = deployment.node
+    power = NodePowerModel(node)
+    gpu = node.gpu_spec()
+    peak_gflops = node.gpu_count * gpu.fp64_tflops * 1000.0
+    busy_w = power.busy_power_w()
+    efficiency = peak_gflops / busy_w
+
+    avg_node_w = deployment.usage * busy_w + (1.0 - deployment.usage) * power.power_w(
+        0.0, 0.0
+    )
+    fleet_kwh_per_year = (
+        deployment.n_nodes * avg_node_w / 1000.0 * HOURS_PER_YEAR
+    )
+    operational_per_year = (
+        fleet_kwh_per_year * deployment.mean_intensity() * deployment.pue
+    )
+    embodied = deployment.n_nodes * node.embodied().total_g
+    total = embodied + service_years * operational_per_year
+    return DeploymentMetrics(
+        name=deployment.name,
+        gflops_per_w=efficiency,
+        operational_g_per_year=operational_per_year,
+        total_g_over_life=total,
+    )
+
+
+def rank_deployments(
+    deployments: Sequence[Deployment], *, service_years: float = 5.0
+) -> Dict[str, List[DeploymentMetrics]]:
+    """Orderings under every metric (best first).
+
+    ``efficiency`` ranks descending (more GFLOPS/W is better);
+    ``operational`` and ``total`` rank ascending (less carbon is better).
+    """
+    if not deployments:
+        raise ExperimentError("no deployments to rank")
+    names = [d.name for d in deployments]
+    if len(set(names)) != len(names):
+        raise ExperimentError("deployment names must be unique")
+    metrics = [
+        evaluate_deployment(d, service_years=service_years) for d in deployments
+    ]
+    return {
+        "efficiency": sorted(metrics, key=lambda m: -m.gflops_per_w),
+        "operational": sorted(metrics, key=lambda m: m.operational_g_per_year),
+        "total": sorted(metrics, key=lambda m: m.total_g_over_life),
+    }

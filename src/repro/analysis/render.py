@@ -1,0 +1,120 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents its results as bar charts, ring charts, box plots and
+line plots; in a terminal-first reproduction those become aligned text:
+horizontal bars, share tables, five-number summaries, and sparkline-
+style series.  All renderers take the structured results from
+:mod:`repro.analysis.figures` / :mod:`repro.analysis.tables` and return
+strings, so the CLI, the benchmarks and EXPERIMENTS.md share one
+formatting path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ExperimentError
+
+__all__ = [
+    "format_table",
+    "bar_chart",
+    "share_table",
+    "box_summary",
+    "sparkline",
+    "series_panel",
+]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]], *, width: int = 40, unit: str = ""
+) -> str:
+    """Horizontal bar chart; bars scaled to the max value."""
+    if not items:
+        raise ExperimentError("bar chart needs at least one item")
+    max_value = max(value for _label, value in items)
+    if max_value <= 0.0:
+        max_value = 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = []
+    for label, value in items:
+        bar = "#" * max(int(round(width * value / max_value)), 0)
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:,.2f}{unit}")
+    return "\n".join(lines)
+
+
+def share_table(shares: Mapping[str, float]) -> str:
+    """Render fractional shares as a percentage table (ring-chart text)."""
+    if not shares:
+        raise ExperimentError("no shares to render")
+    label_width = max(len(label) for label in shares)
+    lines = []
+    for label, share in shares.items():
+        blocks = "#" * int(round(share * 50))
+        lines.append(f"{label.ljust(label_width)}  {share * 100:5.1f}%  {blocks}")
+    return "\n".join(lines)
+
+
+def box_summary(
+    label: str, stats: Tuple[float, float, float, float, float]
+) -> str:
+    """One-line five-number summary (min, Q1, median, Q3, max)."""
+    minimum, q1, median, q3, maximum = stats
+    return (
+        f"{label}: min {minimum:,.0f} | Q1 {q1:,.0f} | "
+        f"med {median:,.0f} | Q3 {q3:,.0f} | max {maximum:,.0f}"
+    )
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a series (for savings curves and profiles)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ExperimentError("sparkline needs at least one value")
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return _SPARK_CHARS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo)
+    idx = np.minimum((scaled * len(_SPARK_CHARS)).astype(int), len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def series_panel(
+    series: Mapping[str, Sequence[float]], *, value_format: str = "{:+.1%}"
+) -> str:
+    """Sparkline panel: one labeled line per series with first/last values."""
+    if not series:
+        raise ExperimentError("no series to render")
+    label_width = max(len(label) for label in series)
+    lines = []
+    for label, values in series.items():
+        arr = list(values)
+        first = value_format.format(arr[0])
+        last = value_format.format(arr[-1])
+        lines.append(
+            f"{label.ljust(label_width)}  {sparkline(arr)}  {first} -> {last}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""One-at-a-time sensitivity analysis of the model constants.
+
+The paper's Sec. 6 acknowledges its fixed constants (fab yield, PUE,
+EPC factors, per-IC packaging) as threats to validity.  This module
+quantifies them: perturb each constant over a plausible range, recompute
+a headline output, and rank the constants by the output swing they
+induce (a tornado chart, in data form).
+
+Built-in headline outputs:
+
+* ``a100_embodied`` — embodied carbon of one A100 (Fig. 1 level),
+* ``frontier_gpu_share`` — Frontier's GPU share of embodied carbon
+  (Fig. 5 shape),
+* ``upgrade_breakeven`` — V100->A100 NLP breakeven years at
+  200 gCO2/kWh (Fig. 8 crossover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.core.config import ModelConfig, default_config, use_config
+from repro.core.errors import ExperimentError
+from repro.hardware.catalog import GPU_A100
+from repro.hardware.parts import ComponentClass
+from repro.hardware.systems import frontier
+from repro.upgrade.scenario import UpgradeScenario
+from repro.workloads.models import Suite
+
+__all__ = [
+    "SensitivityResult",
+    "PARAMETER_RANGES",
+    "HEADLINE_OUTPUTS",
+    "sweep_parameter",
+    "tornado",
+]
+
+#: Plausible (low, baseline, high) per configurable constant.
+PARAMETER_RANGES: Dict[str, Tuple[float, float, float]] = {
+    "fab_yield": (0.60, 0.875, 0.95),
+    "packaging_gco2_per_ic": (100.0, 150.0, 250.0),
+    "pue": (1.05, 1.2, 1.6),
+}
+
+
+def _output_a100_embodied() -> float:
+    return GPU_A100.embodied().total_g / 1000.0
+
+
+def _output_frontier_gpu_share() -> float:
+    shares = frontier().embodied_shares()
+    return shares[ComponentClass.GPU]
+
+
+def _output_upgrade_breakeven() -> float:
+    scenario = UpgradeScenario.from_generations(
+        "V100", "A100", Suite.NLP, usage=0.40, intensity=200.0
+    )
+    breakeven = scenario.breakeven_years(horizon_years=100.0)
+    if breakeven is None:
+        raise ExperimentError("scenario unexpectedly never breaks even")
+    return breakeven
+
+
+HEADLINE_OUTPUTS: Dict[str, Callable[[], float]] = {
+    "a100_embodied": _output_a100_embodied,
+    "frontier_gpu_share": _output_frontier_gpu_share,
+    "upgrade_breakeven": _output_upgrade_breakeven,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SensitivityResult:
+    """Output values at the low/baseline/high setting of one parameter."""
+
+    parameter: str
+    output: str
+    low_setting: float
+    high_setting: float
+    at_low: float
+    baseline: float
+    at_high: float
+
+    @property
+    def swing(self) -> float:
+        """Peak-to-peak output change across the parameter range."""
+        return max(self.at_low, self.baseline, self.at_high) - min(
+            self.at_low, self.baseline, self.at_high
+        )
+
+    @property
+    def relative_swing(self) -> float:
+        """Swing as a fraction of the baseline output."""
+        if self.baseline == 0.0:
+            return 0.0
+        return self.swing / abs(self.baseline)
+
+
+def sweep_parameter(
+    parameter: str,
+    output: str,
+    *,
+    ranges: Mapping[str, Tuple[float, float, float]] = PARAMETER_RANGES,
+    outputs: Mapping[str, Callable[[], float]] = HEADLINE_OUTPUTS,
+) -> SensitivityResult:
+    """Evaluate one headline output at a parameter's low/base/high."""
+    if parameter not in ranges:
+        raise ExperimentError(
+            f"unknown parameter {parameter!r}; known: {sorted(ranges)}"
+        )
+    if output not in outputs:
+        raise ExperimentError(
+            f"unknown output {output!r}; known: {sorted(outputs)}"
+        )
+    low, base, high = ranges[parameter]
+    fn = outputs[output]
+
+    def evaluate(value: float) -> float:
+        config = default_config().with_overrides(**{parameter: value})
+        with use_config(config):
+            return fn()
+
+    return SensitivityResult(
+        parameter=parameter,
+        output=output,
+        low_setting=low,
+        high_setting=high,
+        at_low=evaluate(low),
+        baseline=evaluate(base),
+        at_high=evaluate(high),
+    )
+
+
+def tornado(
+    output: str,
+    *,
+    ranges: Mapping[str, Tuple[float, float, float]] = PARAMETER_RANGES,
+    outputs: Mapping[str, Callable[[], float]] = HEADLINE_OUTPUTS,
+) -> List[SensitivityResult]:
+    """Sensitivity of one output to every parameter, largest swing first."""
+    results = [
+        sweep_parameter(parameter, output, ranges=ranges, outputs=outputs)
+        for parameter in ranges
+    ]
+    return sorted(results, key=lambda r: -r.swing)

@@ -1,0 +1,114 @@
+"""One function per paper table, returning printable rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.hardware.catalog import TABLE1_PARTS
+from repro.hardware.node import node_generations
+from repro.hardware.parts import MemorySpec, ProcessorSpec, StorageSpec
+from repro.hardware.systems import studied_systems
+from repro.intensity.regions import REGIONS
+from repro.workloads.performance import (
+    average_time_reduction,
+    suite_time_reduction,
+    upgrade_options,
+)
+from repro.workloads.models import Suite
+from repro.workloads.suites import table4_rows
+
+__all__ = ["table1", "table2", "table3", "table4", "table5", "table6", "Table6Row"]
+
+
+def table1() -> List[Tuple[str, str, str, str]]:
+    """Table 1 rows: (type, component, part name, release date)."""
+    rows: List[Tuple[str, str, str, str]] = []
+    for part in TABLE1_PARTS:
+        if isinstance(part, ProcessorSpec):
+            type_label = part.kind.value
+        elif isinstance(part, MemorySpec):
+            type_label = "DRAM"
+        elif isinstance(part, StorageSpec):
+            type_label = part.kind.value
+        else:  # pragma: no cover - exhaustive over PartSpec
+            raise TypeError(type(part))
+        rows.append((type_label, part.name, part.part_name, part.release))
+    return rows
+
+
+def table2() -> List[Tuple[str, str, str, int, int]]:
+    """Table 2 rows: (system, location, CPU & GPU, cores, year)."""
+    rows: List[Tuple[str, str, str, int, int]] = []
+    for system in studied_systems():
+        processors = sorted(
+            {
+                part.name
+                for part in system.components
+                if isinstance(part, ProcessorSpec)
+            }
+        )
+        rows.append(
+            (
+                system.name,
+                system.location,
+                ", ".join(processors),
+                system.cores,
+                system.year,
+            )
+        )
+    return rows
+
+
+def table3() -> List[Tuple[str, str, str]]:
+    """Table 3 rows: (operator name, country, region)."""
+    return [
+        (spec.operator_name, spec.country, spec.region)
+        for spec in REGIONS.values()
+    ]
+
+
+def table4() -> List[Tuple[str, str]]:
+    """Table 4 rows: (benchmark, models)."""
+    return table4_rows()
+
+
+def table5() -> List[Tuple[str, str, str]]:
+    """Table 5 rows: (name, GPU config, CPU config)."""
+    rows: List[Tuple[str, str, str]] = []
+    for name, node in node_generations().items():
+        gpu_desc = ", ".join(
+            f"{count} x {spec.part_name}" for spec, count in node.gpus()
+        )
+        cpu_desc = ", ".join(
+            f"{count} x {spec.part_name}" for spec, count in node.cpus()
+        )
+        rows.append((name, gpu_desc, cpu_desc))
+    return rows
+
+
+@dataclass(frozen=True, slots=True)
+class Table6Row:
+    """One Table 6 row: upgrade option and per-suite improvements."""
+
+    upgrade: str
+    nlp_improvement: float
+    vision_improvement: float
+    candle_improvement: float
+    average_improvement: float
+
+
+def table6() -> List[Table6Row]:
+    """Table 6: performance improvement from node upgrades (fractions)."""
+    rows: List[Table6Row] = []
+    for old, new in upgrade_options():
+        rows.append(
+            Table6Row(
+                upgrade=f"{old} to {new}",
+                nlp_improvement=suite_time_reduction(Suite.NLP, old, new),
+                vision_improvement=suite_time_reduction(Suite.VISION, old, new),
+                candle_improvement=suite_time_reduction(Suite.CANDLE, old, new),
+                average_improvement=average_time_reduction(old, new),
+            )
+        )
+    return rows

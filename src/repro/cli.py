@@ -1,0 +1,367 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage::
+
+    repro-hpc list                 # every experiment id
+    repro-hpc fig1                 # print one figure's rows
+    repro-hpc table6
+    repro-hpc checks               # paper-vs-measured shape checks
+    repro-hpc report [-o FILE]     # full EXPERIMENTS.md content
+
+``python -m repro ...`` is equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis import figures, tables
+from repro.analysis.render import format_table, series_panel, share_table
+from repro.analysis.report import generate_report, run_all_checks
+from repro.workloads.models import Suite
+
+__all__ = ["main"]
+
+
+def _print_fig1() -> None:
+    rows = [
+        (r.name, r.kind, f"{r.embodied_kg:.2f}", f"{r.embodied_per_tflop_kg:.2f}")
+        for r in figures.figure1()
+    ]
+    print(format_table(["Part", "Kind", "kgCO2", "kgCO2/TFLOPS"], rows))
+
+
+def _print_fig2() -> None:
+    rows = [
+        (r.name, f"{r.embodied_kg:.2f}", f"{r.embodied_per_bandwidth_kg:.2f}")
+        for r in figures.figure2()
+    ]
+    print(format_table(["Device", "kgCO2", "kgCO2 per GB/s"], rows))
+
+
+def _print_fig3() -> None:
+    rows = [
+        (r.component_class, f"{r.manufacturing_share:.1%}", f"{r.packaging_share:.1%}")
+        for r in figures.figure3()
+    ]
+    print(format_table(["Class", "Manufacturing", "Packaging"], rows))
+
+
+def _print_fig4() -> None:
+    rows = [
+        (
+            p.suite,
+            p.n_gpus,
+            f"{p.embodied_relative:.3f}",
+            f"{p.performance_relative:.3f}",
+            f"{p.performance_to_embodied:.3f}",
+        )
+        for p in figures.figure4()
+    ]
+    print(
+        format_table(
+            ["Suite", "GPUs", "Embodied", "Performance", "Perf/Embodied"], rows
+        )
+    )
+
+
+def _print_fig5() -> None:
+    for system, shares in figures.figure5().items():
+        print(f"{system}:")
+        print(share_table(shares))
+        print()
+
+
+def _print_fig6() -> None:
+    rows = [
+        (
+            s.region_code,
+            f"{s.median:.0f}",
+            f"{s.cov_percent:.1f}%",
+            f"({s.minimum:.0f}, {s.q1:.0f}, {s.median:.0f}, {s.q3:.0f}, {s.maximum:.0f})",
+        )
+        for s in figures.figure6().values()
+    ]
+    print(format_table(["Region", "Median", "CoV", "Box"], rows))
+
+
+def _print_fig7() -> None:
+    wc = figures.figure7()
+    rows = [
+        (code, " ".join(f"{int(v):3d}" for v in counts))
+        for code, counts in wc.counts.items()
+    ]
+    print(format_table(["Region", "Days cleanest per JST hour (0-23)"], rows))
+
+
+def _print_fig8() -> None:
+    times = np.linspace(0.25, 5.0, 20)
+    for (old, new), grid in figures.figure8(times_years=times).items():
+        print(f"{old} -> {new} (savings, 0.25-5 yr):")
+        series = {
+            f"{label.split()[0]:6s} {suite.value}": grid.curve(label, suite)
+            for label in (
+                "High Carbon Intensity",
+                "Medium Carbon Intensity",
+                "Low Carbon Intensity",
+            )
+            for suite in Suite
+        }
+        print(series_panel(series))
+        print()
+
+
+def _print_fig9() -> None:
+    times = np.linspace(0.25, 5.0, 20)
+    for (old, new), grid in figures.figure9(times_years=times).items():
+        print(f"{old} -> {new} (savings, 0.25-5 yr):")
+        series = {
+            f"{label:12s} {suite.value}": grid.curve(label, suite)
+            for label in ("High Usage", "Medium Usage", "Low Usage")
+            for suite in Suite
+        }
+        print(series_panel(series))
+        print()
+
+
+def _print_table(headers: Sequence[str], rows) -> Callable[[], None]:
+    def printer() -> None:
+        print(format_table(headers, rows()))
+
+    return printer
+
+
+def _print_table6() -> None:
+    rows = [
+        (
+            r.upgrade,
+            f"{r.nlp_improvement:.1%}",
+            f"{r.vision_improvement:.1%}",
+            f"{r.candle_improvement:.1%}",
+            f"{r.average_improvement:.1%}",
+        )
+        for r in tables.table6()
+    ]
+    print(format_table(["Upgrade", "NLP", "Vision", "CANDLE", "Average"], rows))
+
+
+def _print_checks() -> None:
+    checks = run_all_checks()
+    rows = [
+        (c.experiment, c.description, c.paper, c.measured, "yes" if c.ok else "NO")
+        for c in checks
+    ]
+    print(format_table(["Experiment", "Criterion", "Paper", "Measured", "OK"], rows))
+    n_ok = sum(1 for c in checks if c.ok)
+    print(f"\n{n_ok}/{len(checks)} checks pass")
+
+
+_EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "fig1": _print_fig1,
+    "fig2": _print_fig2,
+    "fig3": _print_fig3,
+    "fig4": _print_fig4,
+    "fig5": _print_fig5,
+    "fig6": _print_fig6,
+    "fig7": _print_fig7,
+    "fig8": _print_fig8,
+    "fig9": _print_fig9,
+    "table1": _print_table(["Type", "Component", "Part Name", "Release"], tables.table1),
+    "table2": _print_table(
+        ["System", "Location", "CPU & GPU", "Cores", "Year"], tables.table2
+    ),
+    "table3": _print_table(["Operator", "Country", "Region"], tables.table3),
+    "table4": _print_table(["Benchmark", "Models"], tables.table4),
+    "table5": _print_table(["Name", "GPU", "CPU"], tables.table5),
+    "table6": _print_table6,
+    "checks": _print_checks,
+    "insights": None,  # replaced below (needs lazy import)
+}
+
+
+def _print_insights() -> None:
+    from repro.analysis.insights import check_all_insights
+
+    results = check_all_insights()
+    rows = [
+        (r.number, r.title, "yes" if r.holds else "NO", r.evidence)
+        for r in results
+    ]
+    print(format_table(["#", "Takeaway", "Holds", "Evidence"], rows))
+    n_ok = sum(1 for r in results if r.holds)
+    print(f"\n{n_ok}/{len(results)} observations/insights hold")
+
+
+_EXPERIMENTS["insights"] = _print_insights
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `repro-hpc list | head`).
+        return 0
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-hpc",
+        description="Regenerate the SC'23 HPC carbon-footprint experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list experiment ids")
+    report_parser = subparsers.add_parser(
+        "report", help="print the full EXPERIMENTS.md content"
+    )
+    report_parser.add_argument(
+        "-o", "--output", default=None, help="write the report to a file"
+    )
+    export_parser = subparsers.add_parser(
+        "export", help="write every experiment's data to files"
+    )
+    export_parser.add_argument(
+        "-d", "--directory", default="export", help="target directory"
+    )
+    export_parser.add_argument(
+        "-f", "--format", choices=("csv", "json"), default="csv"
+    )
+    audit_parser = subparsers.add_parser(
+        "audit", help="whole-center carbon audit of a studied system"
+    )
+    audit_parser.add_argument(
+        "--system", choices=("Frontier", "LUMI", "Perlmutter"), default="Perlmutter"
+    )
+    audit_parser.add_argument("--region", default="CISO", help="Table 3 region code")
+    audit_parser.add_argument("--years", type=float, default=5.0)
+    advise_parser = subparsers.add_parser(
+        "advise", help="carbon-aware upgrade recommendation"
+    )
+    advise_parser.add_argument("--old", choices=("P100", "V100"), default="P100")
+    advise_parser.add_argument("--new", choices=("V100", "A100"), default="A100")
+    advise_parser.add_argument(
+        "--suite", choices=("NLP", "Vision", "CANDLE"), default="NLP"
+    )
+    advise_parser.add_argument(
+        "--intensity", type=float, default=None,
+        help="constant gCO2/kWh (default: use --region's 2021 trace)",
+    )
+    advise_parser.add_argument("--region", default="CISO")
+    advise_parser.add_argument("--usage", type=float, default=0.40)
+    advise_parser.add_argument("--lifetime", type=float, default=5.0)
+    models_parser = subparsers.add_parser(
+        "models", help="training footprint cards for a benchmark suite"
+    )
+    models_parser.add_argument(
+        "--suite", choices=("NLP", "Vision", "CANDLE"), default="NLP"
+    )
+    models_parser.add_argument(
+        "--node", choices=("P100", "V100", "A100"), default="A100"
+    )
+    models_parser.add_argument("--region", default="ESO")
+    models_parser.add_argument("--epochs", type=int, default=10)
+    for name in _EXPERIMENTS:
+        subparsers.add_parser(name, help=f"print {name}")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in list(_EXPERIMENTS) + ["report", "export", "audit", "advise", "models"]:
+            print(name)
+        return 0
+    if args.command == "export":
+        from repro.analysis.export import export_all
+
+        written = export_all(args.directory, fmt=args.format)
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+    if args.command == "audit":
+        from repro.analysis.audit import CenterAuditor
+        from repro.hardware.systems import get_system
+        from repro.intensity.generator import generate_trace
+
+        system = get_system(args.system)
+        node_counts = {"Frontier": 9408, "LUMI": 5026, "Perlmutter": 4608}
+        auditor = CenterAuditor(
+            intensity=generate_trace(args.region),
+            n_nodes=node_counts[args.system],
+        )
+        audit = auditor.audit(system, service_years=args.years)
+        for line in audit.summary_lines():
+            print(line)
+        return 0
+    if args.command == "advise":
+        from repro.intensity.generator import generate_trace
+        from repro.upgrade.advisor import UpgradeAdvisor
+
+        intensity = (
+            args.intensity if args.intensity is not None
+            else generate_trace(args.region)
+        )
+        advisor = UpgradeAdvisor(intensity, usage=args.usage)
+        decision = advisor.evaluate(
+            args.old, args.new, args.suite, lifetime_years=args.lifetime
+        )
+        print(f"Upgrade {decision.old} -> {decision.new} ({decision.suite.value}):")
+        print(f"  performance gain : {decision.performance_gain:.1%}")
+        breakeven = (
+            "never" if decision.breakeven_years is None
+            else f"{decision.breakeven_years:.2f} years"
+        )
+        print(f"  carbon breakeven : {breakeven}")
+        print(f"  savings at EOL   : {decision.savings_at_lifetime:+.1%}")
+        print(f"  verdict          : {decision.verdict.value}")
+        print(f"  rationale        : {decision.rationale}")
+        return 0
+    if args.command == "models":
+        from repro.intensity.generator import generate_trace
+        from repro.workloads.energy import model_card_table
+        from repro.workloads.suites import suite_models
+
+        cards = model_card_table(
+            [m.name for m in suite_models(args.suite)],
+            args.node,
+            generate_trace(args.region),
+            epochs=args.epochs,
+        )
+        rows = [
+            (
+                c.model_name,
+                f"{c.train_hours:.1f} h",
+                f"{c.energy_kwh:.1f} kWh",
+                f"{c.operational_g / 1000:.2f} kg",
+                f"{c.amortized_embodied_g / 1000:.3f} kg",
+                f"{c.kg_per_epoch:.3f} kg",
+            )
+            for c in cards
+        ]
+        print(
+            f"Training footprint — {args.suite} suite on {args.node} "
+            f"({args.region} grid, {args.epochs} epochs)"
+        )
+        print(
+            format_table(
+                ["Model", "Time", "Energy", "Operational", "Embodied (amort.)",
+                 "kg/epoch"],
+                rows,
+            )
+        )
+        return 0
+    if args.command == "report":
+        content = generate_report()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(content)
+            print(f"wrote {args.output}")
+        else:
+            print(content)
+        return 0
+    _EXPERIMENTS[args.command]()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

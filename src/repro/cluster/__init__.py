@@ -1,0 +1,34 @@
+"""Cluster simulation substrate: jobs, synthetic workloads, and a
+discrete-event simulator with energy/carbon accounting."""
+
+from repro.cluster.job import Job, Placement
+from repro.cluster.simulator import (
+    Cluster,
+    ScheduledJob,
+    SimulationResult,
+    simulate_cluster,
+)
+from repro.cluster.traceio import (
+    SCHEMA_VERSION,
+    jobs_from_json,
+    jobs_to_json,
+    load_jobs,
+    save_jobs,
+)
+from repro.cluster.workload_gen import WorkloadParams, generate_workload
+
+__all__ = [
+    "Job",
+    "Placement",
+    "WorkloadParams",
+    "generate_workload",
+    "Cluster",
+    "ScheduledJob",
+    "SimulationResult",
+    "simulate_cluster",
+    "SCHEMA_VERSION",
+    "jobs_to_json",
+    "jobs_from_json",
+    "save_jobs",
+    "load_jobs",
+]

@@ -1,0 +1,98 @@
+"""Job model for the cluster simulator and schedulers.
+
+A :class:`Job` is a GPU training request as it appears in the production
+traces the paper cites (MLaaS/HPCA'22/ATC'19 GPU-cluster studies): a
+submit time, a GPU count, a duration, and — for carbon-aware scheduling
+— a *slack window* within which the job owner tolerates a delayed start
+(the paper's RQ6 incentive-structure implication: users who allow their
+jobs to be shifted toward low-intensity hours are rewarded from their
+carbon budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.errors import SimulationError
+from repro.workloads.models import ModelSpec
+
+__all__ = ["Job", "Placement"]
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """One GPU training job.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier within a workload.
+    user:
+        Owning user (carbon budgets are per-user).
+    model:
+        The Table 4 benchmark model this job trains.
+    n_gpus:
+        GPUs requested (allocated on a single node).
+    duration_h:
+        Runtime on the *reference* node generation of the workload.
+    submit_h:
+        Submission time, hours from the simulation epoch.
+    slack_h:
+        Max tolerated start delay beyond ``submit_h`` (0 = rigid).
+    home_region:
+        The region whose HPC center the user submitted to.
+    """
+
+    job_id: int
+    user: str
+    model: ModelSpec
+    n_gpus: int
+    duration_h: float
+    submit_h: float
+    slack_h: float = 0.0
+    home_region: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise SimulationError(f"job {self.job_id}: n_gpus must be >= 1")
+        if self.duration_h <= 0.0:
+            raise SimulationError(f"job {self.job_id}: duration must be positive")
+        if self.submit_h < 0.0:
+            raise SimulationError(f"job {self.job_id}: submit time must be >= 0")
+        if self.slack_h < 0.0:
+            raise SimulationError(f"job {self.job_id}: slack must be >= 0")
+
+    @property
+    def gpu_hours(self) -> float:
+        return self.n_gpus * self.duration_h
+
+    @property
+    def latest_start_h(self) -> float:
+        return self.submit_h + self.slack_h
+
+    def with_slack(self, slack_h: float) -> "Job":
+        return replace(self, slack_h=slack_h)
+
+
+@dataclass(frozen=True, slots=True)
+class Placement:
+    """A scheduling decision for one job."""
+
+    job_id: int
+    region: str
+    start_h: float
+    duration_h: float
+    migrated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.start_h < 0.0:
+            raise SimulationError(f"placement for job {self.job_id}: negative start")
+        if self.duration_h <= 0.0:
+            raise SimulationError(
+                f"placement for job {self.job_id}: duration must be positive"
+            )
+
+    @property
+    def end_h(self) -> float:
+        return self.start_h + self.duration_h

@@ -1,0 +1,107 @@
+"""Workload trace serialization.
+
+Synthetic workloads stand in for the production traces the paper cites;
+to make experiments shareable and replayable across tools, jobs
+round-trip through a simple JSON schema (one object per job, model
+referenced by name).  The schema is versioned so future fields stay
+backward compatible.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Sequence, Union
+
+from repro.core.errors import SimulationError
+from repro.cluster.job import Job
+from repro.workloads.models import get_model
+
+__all__ = ["SCHEMA_VERSION", "jobs_to_json", "jobs_from_json", "save_jobs", "load_jobs"]
+
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def jobs_to_json(jobs: Sequence[Job]) -> str:
+    """Serialize jobs to a JSON document string."""
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "jobs": [
+            {
+                "job_id": job.job_id,
+                "user": job.user,
+                "model": job.model.name,
+                "n_gpus": job.n_gpus,
+                "duration_h": job.duration_h,
+                "submit_h": job.submit_h,
+                "slack_h": job.slack_h,
+                "home_region": job.home_region,
+            }
+            for job in jobs
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def jobs_from_json(document: str) -> List[Job]:
+    """Parse a JSON document back into jobs (validating every record)."""
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise SimulationError(f"invalid workload JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "jobs" not in payload:
+        raise SimulationError("workload JSON must be an object with a 'jobs' list")
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SimulationError(
+            f"unsupported workload schema version {version!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    records = payload["jobs"]
+    if not isinstance(records, list):
+        raise SimulationError("'jobs' must be a list")
+    jobs: List[Job] = []
+    seen_ids: set[int] = set()
+    for i, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise SimulationError(f"job record {i} is not an object")
+        missing = {
+            "job_id", "user", "model", "n_gpus", "duration_h", "submit_h"
+        } - set(record)
+        if missing:
+            raise SimulationError(f"job record {i} missing fields: {sorted(missing)}")
+        job_id = int(record["job_id"])
+        if job_id in seen_ids:
+            raise SimulationError(f"duplicate job_id {job_id}")
+        seen_ids.add(job_id)
+        jobs.append(
+            Job(
+                job_id=job_id,
+                user=str(record["user"]),
+                model=get_model(str(record["model"])),
+                n_gpus=int(record["n_gpus"]),
+                duration_h=float(record["duration_h"]),
+                submit_h=float(record["submit_h"]),
+                slack_h=float(record.get("slack_h", 0.0)),
+                home_region=record.get("home_region"),
+            )
+        )
+    return jobs
+
+
+def save_jobs(jobs: Sequence[Job], path: PathLike) -> pathlib.Path:
+    """Write jobs to a JSON file; returns the path."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(jobs_to_json(jobs), encoding="utf-8")
+    return target
+
+
+def load_jobs(path: PathLike) -> List[Job]:
+    """Read jobs from a JSON file."""
+    source = pathlib.Path(path)
+    if not source.exists():
+        raise SimulationError(f"workload file {source} does not exist")
+    return jobs_from_json(source.read_text(encoding="utf-8"))

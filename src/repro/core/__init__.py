@@ -1,0 +1,111 @@
+"""Core carbon-accounting primitives (paper Sec. 2, Eq. 1-6).
+
+This subpackage implements the paper's primary modeling contribution:
+
+* :mod:`repro.core.units` — typed physical quantities,
+* :mod:`repro.core.config` — model-wide constants (yield, per-IC
+  packaging, PUE),
+* :mod:`repro.core.embodied` — the embodied carbon model (Eq. 2-5),
+* :mod:`repro.core.operational` — the operational carbon model (Eq. 6),
+* :mod:`repro.core.model` — total-footprint accounting (Eq. 1).
+"""
+
+from repro.core.config import ModelConfig, default_config, get_config, set_config, use_config
+from repro.core.embodied import (
+    EmbodiedBreakdown,
+    combine_breakdowns,
+    manufacturing_carbon_capacity,
+    manufacturing_carbon_processor,
+    packaging_carbon_from_ic_count,
+    packaging_carbon_from_ratio,
+)
+from repro.core.errors import (
+    BudgetError,
+    CalibrationError,
+    CatalogError,
+    ConfigurationError,
+    ExperimentError,
+    PowerModelError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TraceError,
+    UnitError,
+    UpgradeAnalysisError,
+    WorkloadError,
+)
+from repro.core.lifecycle import (
+    TRANSPORT_G_PER_TONNE_KM,
+    LifecycleAssessment,
+    LifecyclePhases,
+    TransportMode,
+    assess_lifecycle,
+)
+from repro.core.model import CarbonLedger, FootprintReport
+from repro.core.operational import (
+    apply_pue,
+    energy_from_power_profile,
+    operational_carbon,
+    operational_carbon_trace,
+)
+from repro.core.units import (
+    CarbonIntensity,
+    CarbonMass,
+    Duration,
+    Energy,
+    Power,
+    format_co2,
+    format_energy,
+)
+
+__all__ = [
+    # units
+    "CarbonMass",
+    "Energy",
+    "Power",
+    "Duration",
+    "CarbonIntensity",
+    "format_co2",
+    "format_energy",
+    # config
+    "ModelConfig",
+    "default_config",
+    "get_config",
+    "set_config",
+    "use_config",
+    # embodied
+    "EmbodiedBreakdown",
+    "manufacturing_carbon_processor",
+    "manufacturing_carbon_capacity",
+    "packaging_carbon_from_ic_count",
+    "packaging_carbon_from_ratio",
+    "combine_breakdowns",
+    # operational
+    "apply_pue",
+    "operational_carbon",
+    "operational_carbon_trace",
+    "energy_from_power_profile",
+    # lifecycle
+    "TransportMode",
+    "TRANSPORT_G_PER_TONNE_KM",
+    "LifecyclePhases",
+    "LifecycleAssessment",
+    "assess_lifecycle",
+    # accounting
+    "FootprintReport",
+    "CarbonLedger",
+    # errors
+    "ReproError",
+    "UnitError",
+    "ConfigurationError",
+    "CatalogError",
+    "CalibrationError",
+    "TraceError",
+    "PowerModelError",
+    "WorkloadError",
+    "SimulationError",
+    "SchedulingError",
+    "BudgetError",
+    "UpgradeAnalysisError",
+    "ExperimentError",
+]

@@ -1,0 +1,222 @@
+"""Embodied carbon footprint model (paper Sec. 2.1, Eq. 2-5).
+
+Embodied carbon is split into *manufacturing* carbon (wafer fabrication,
+chemicals/gases, raw materials) and *packaging* carbon (assembly of dies
+into functional chips and boards)::
+
+    C_em = Manufacturing Carbon + Packaging Carbon            (Eq. 2)
+
+Processors (CPUs, GPUs) are modeled vendor-generically from die area and
+per-area fab emission factors::
+
+    M_proc = (FPA + GPA + MPA) * A_die / Yield                (Eq. 3)
+
+Memory and storage devices (DRAM, SSD, HDD) are modeled vendor-
+specifically from capacity and a per-GB emission factor taken from the
+vendor's sustainability report::
+
+    M_m/s = EPC * Capacity                                    (Eq. 4)
+
+Packaging for processor and memory components uses a per-IC-package
+overhead::
+
+    Packaging = 150 gCO2 * Number_of_ICs                      (Eq. 5)
+
+For storage components, where counting IC packages is not practical, the
+paper instead applies a packaging-to-manufacturing ratio compiled from
+the vendor website (Sec. 2.1); :func:`packaging_carbon_from_ratio`
+implements that path.
+
+All functions return grams of CO2 and are pure: they take every model
+constant explicitly (with :func:`repro.core.config.get_config` supplying
+defaults), which keeps ablations trivial and the hot sweep paths free of
+hidden state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.config import ModelConfig, get_config
+from repro.core.errors import ConfigurationError, UnitError
+from repro.core.units import CarbonMass
+
+__all__ = [
+    "EmbodiedBreakdown",
+    "manufacturing_carbon_processor",
+    "manufacturing_carbon_capacity",
+    "packaging_carbon_from_ic_count",
+    "packaging_carbon_from_ratio",
+    "combine_breakdowns",
+]
+
+_MM2_PER_CM2 = 100.0
+
+
+@dataclass(frozen=True, slots=True)
+class EmbodiedBreakdown:
+    """Embodied carbon of one device, split per Eq. 2.
+
+    Attributes are grams of CO2.  ``total_g`` is the Eq. 2 sum; the
+    ``*_share`` properties express the Fig. 3 ring-chart fractions.
+    """
+
+    manufacturing_g: float
+    packaging_g: float
+
+    def __post_init__(self) -> None:
+        if self.manufacturing_g < 0.0 or self.packaging_g < 0.0:
+            raise UnitError(
+                "embodied carbon components must be non-negative, got "
+                f"manufacturing={self.manufacturing_g!r}, "
+                f"packaging={self.packaging_g!r}"
+            )
+
+    @property
+    def total_g(self) -> float:
+        return self.manufacturing_g + self.packaging_g
+
+    @property
+    def total(self) -> CarbonMass:
+        return CarbonMass(self.total_g)
+
+    @property
+    def manufacturing_share(self) -> float:
+        """Manufacturing fraction of the embodied total, in [0, 1]."""
+        total = self.total_g
+        if total == 0.0:
+            return 0.0
+        return self.manufacturing_g / total
+
+    @property
+    def packaging_share(self) -> float:
+        """Packaging fraction of the embodied total, in [0, 1]."""
+        total = self.total_g
+        if total == 0.0:
+            return 0.0
+        return self.packaging_g / total
+
+    def scaled(self, count: float) -> "EmbodiedBreakdown":
+        """Embodied carbon of ``count`` identical devices."""
+        if count < 0:
+            raise UnitError(f"device count must be non-negative, got {count!r}")
+        return EmbodiedBreakdown(
+            manufacturing_g=self.manufacturing_g * count,
+            packaging_g=self.packaging_g * count,
+        )
+
+    def __add__(self, other: "EmbodiedBreakdown") -> "EmbodiedBreakdown":
+        if not isinstance(other, EmbodiedBreakdown):
+            return NotImplemented
+        return EmbodiedBreakdown(
+            manufacturing_g=self.manufacturing_g + other.manufacturing_g,
+            packaging_g=self.packaging_g + other.packaging_g,
+        )
+
+
+def manufacturing_carbon_processor(
+    die_area_mm2: float,
+    fpa_g_per_cm2: float,
+    gpa_g_per_cm2: float,
+    mpa_g_per_cm2: float,
+    *,
+    fab_yield: Optional[float] = None,
+    config: Optional[ModelConfig] = None,
+) -> float:
+    """Eq. 3: manufacturing carbon of a processor die, in gCO2.
+
+    Parameters
+    ----------
+    die_area_mm2:
+        Total die area of the part in mm^2 (summed over chiplets for
+        multi-die packages).
+    fpa_g_per_cm2, gpa_g_per_cm2, mpa_g_per_cm2:
+        Fab emissions, chemicals/gases emissions, and raw-material
+        emissions per cm^2 of wafer area.  These depend on fab location
+        and lithography and come from the process-node table in
+        :mod:`repro.hardware.fabdata`.
+    fab_yield:
+        Overrides the configured yield (default: the paper's 0.875).
+    """
+    if die_area_mm2 < 0.0:
+        raise UnitError(f"die area must be non-negative, got {die_area_mm2!r}")
+    for name, value in (
+        ("FPA", fpa_g_per_cm2),
+        ("GPA", gpa_g_per_cm2),
+        ("MPA", mpa_g_per_cm2),
+    ):
+        if value < 0.0:
+            raise UnitError(f"{name} must be non-negative, got {value!r}")
+    cfg = config if config is not None else get_config()
+    eff_yield = cfg.fab_yield if fab_yield is None else fab_yield
+    if not (0.0 < eff_yield <= 1.0):
+        raise ConfigurationError(f"fab yield must be in (0, 1], got {eff_yield!r}")
+    cpa = fpa_g_per_cm2 + gpa_g_per_cm2 + mpa_g_per_cm2
+    return cpa * (die_area_mm2 / _MM2_PER_CM2) / eff_yield
+
+
+def manufacturing_carbon_capacity(epc_g_per_gb: float, capacity_gb: float) -> float:
+    """Eq. 4: manufacturing carbon of a memory/storage device, in gCO2.
+
+    ``epc_g_per_gb`` is the vendor-specific emission-per-capacity factor
+    (the paper uses 65 for SK Hynix DRAM, 6.21 for Seagate SSD and 1.33
+    for Seagate HDD, all gCO2/GB).
+    """
+    if epc_g_per_gb < 0.0:
+        raise UnitError(f"EPC must be non-negative, got {epc_g_per_gb!r}")
+    if capacity_gb < 0.0:
+        raise UnitError(f"capacity must be non-negative, got {capacity_gb!r}")
+    return epc_g_per_gb * capacity_gb
+
+
+def packaging_carbon_from_ic_count(
+    ic_count: int,
+    *,
+    per_ic_g: Optional[float] = None,
+    config: Optional[ModelConfig] = None,
+) -> float:
+    """Eq. 5: packaging carbon from the number of IC packages, in gCO2.
+
+    Applicable to processor and memory components (the paper notes the
+    IC-count approach is non-trivial for storage; use
+    :func:`packaging_carbon_from_ratio` there).
+    """
+    if ic_count < 0:
+        raise UnitError(f"IC count must be non-negative, got {ic_count!r}")
+    cfg = config if config is not None else get_config()
+    per_ic = cfg.packaging_gco2_per_ic if per_ic_g is None else per_ic_g
+    if per_ic < 0.0:
+        raise UnitError(f"per-IC packaging carbon must be non-negative, got {per_ic!r}")
+    return per_ic * ic_count
+
+
+def packaging_carbon_from_ratio(
+    manufacturing_g: float, packaging_to_manufacturing_ratio: float
+) -> float:
+    """Storage packaging carbon via a packaging-to-manufacturing ratio.
+
+    The paper compiles this ratio from Seagate's product-sustainability
+    reports (about 2% of embodied carbon for both SSDs and HDDs, see
+    Fig. 3).
+    """
+    if manufacturing_g < 0.0:
+        raise UnitError(
+            f"manufacturing carbon must be non-negative, got {manufacturing_g!r}"
+        )
+    if packaging_to_manufacturing_ratio < 0.0:
+        raise UnitError(
+            "packaging-to-manufacturing ratio must be non-negative, got "
+            f"{packaging_to_manufacturing_ratio!r}"
+        )
+    return manufacturing_g * packaging_to_manufacturing_ratio
+
+
+def combine_breakdowns(
+    breakdowns: Mapping[str, EmbodiedBreakdown],
+) -> EmbodiedBreakdown:
+    """Sum a component-name -> breakdown mapping into one breakdown."""
+    total = EmbodiedBreakdown(0.0, 0.0)
+    for breakdown in breakdowns.values():
+        total = total + breakdown
+    return total

@@ -1,0 +1,155 @@
+"""Full life-cycle phases beyond production (paper Sec. 2 and Sec. 6).
+
+The paper models the *production* phase of embodied carbon and notes
+that transportation and recycling "have been reported to be not
+dominant" [7] — but Sec. 6 lists them as a threat to validity and calls
+for modeling them.  This module adds the missing phases so users can
+(a) check the "not dominant" claim quantitatively and (b) include the
+phases when their logistics differ from the defaults.
+
+Model:
+
+* **Transport** — mass x distance x mode emission factor (standard
+  logistics accounting).  Default factors: air freight ~500 gCO2 per
+  tonne-km, ocean ~15, road ~100.
+* **End of life** — a fraction of manufacturing carbon: a recycling
+  *credit* for recovered materials minus processing emissions; net
+  default +2% (processing slightly outweighs credits for IT gear).
+* **Installation** — per-rack burden (packaging waste, commissioning
+  energy), flat per unit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.core.embodied import EmbodiedBreakdown
+from repro.core.errors import ConfigurationError, UnitError
+
+__all__ = [
+    "TransportMode",
+    "TRANSPORT_G_PER_TONNE_KM",
+    "LifecyclePhases",
+    "LifecycleAssessment",
+    "assess_lifecycle",
+]
+
+
+class TransportMode(str, enum.Enum):
+    AIR = "air"
+    OCEAN = "ocean"
+    ROAD = "road"
+
+
+#: Logistics emission factors, gCO2 per tonne-km.
+TRANSPORT_G_PER_TONNE_KM: Dict[TransportMode, float] = {
+    TransportMode.AIR: 500.0,
+    TransportMode.OCEAN: 15.0,
+    TransportMode.ROAD: 100.0,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class LifecyclePhases:
+    """Phase parameters for one shipment/installation of hardware.
+
+    Attributes
+    ----------
+    mass_kg:
+        Shipped mass of the hardware (including packaging).
+    transport_km:
+        Distance per transport mode (a shipment can chain modes:
+        road to port, ocean crossing, road to site).
+    end_of_life_fraction:
+        Net end-of-life emissions as a fraction of manufacturing carbon
+        (negative = net recycling credit).
+    installation_g:
+        Flat installation/commissioning burden in gCO2.
+    """
+
+    mass_kg: float
+    transport_km: Mapping[TransportMode, float] = field(default_factory=dict)
+    end_of_life_fraction: float = 0.02
+    installation_g: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mass_kg < 0.0:
+            raise ConfigurationError("shipped mass must be non-negative")
+        for mode, km in self.transport_km.items():
+            if not isinstance(mode, TransportMode):
+                raise ConfigurationError(f"unknown transport mode {mode!r}")
+            if km < 0.0:
+                raise ConfigurationError(f"{mode}: distance must be non-negative")
+        if self.end_of_life_fraction < -1.0:
+            raise ConfigurationError(
+                "end-of-life credit cannot exceed manufacturing carbon"
+            )
+        if self.installation_g < 0.0:
+            raise ConfigurationError("installation burden must be non-negative")
+
+    def transport_g(self) -> float:
+        """Total transport emissions for this shipment."""
+        tonnes = self.mass_kg / 1000.0
+        return sum(
+            tonnes * km * TRANSPORT_G_PER_TONNE_KM[mode]
+            for mode, km in self.transport_km.items()
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LifecycleAssessment:
+    """Production embodied carbon extended with the other phases."""
+
+    production: EmbodiedBreakdown
+    transport_g: float
+    end_of_life_g: float
+    installation_g: float
+
+    @property
+    def total_g(self) -> float:
+        return (
+            self.production.total_g
+            + self.transport_g
+            + self.end_of_life_g
+            + self.installation_g
+        )
+
+    @property
+    def non_production_share(self) -> float:
+        """Fraction of life-cycle embodied carbon outside production —
+        the quantity the paper's citation [7] reports as 'not dominant'."""
+        total = self.total_g
+        if total <= 0.0:
+            return 0.0
+        return (self.total_g - self.production.total_g) / total
+
+    def phase_breakdown(self) -> Dict[str, float]:
+        return {
+            "production": self.production.total_g,
+            "transport": self.transport_g,
+            "end_of_life": self.end_of_life_g,
+            "installation": self.installation_g,
+        }
+
+
+def assess_lifecycle(
+    production: EmbodiedBreakdown,
+    phases: LifecyclePhases,
+) -> LifecycleAssessment:
+    """Combine a production breakdown with the remaining phases.
+
+    End-of-life emissions scale with the *manufacturing* term (material
+    mass tracks wafer/media volume, not packaging), clipped at zero so a
+    generous recycling credit cannot make embodied carbon negative.
+    """
+    end_of_life = production.manufacturing_g * phases.end_of_life_fraction
+    if production.total_g + end_of_life < 0.0:
+        raise UnitError("end-of-life credit exceeds production carbon")
+    return LifecycleAssessment(
+        production=production,
+        transport_g=phases.transport_g(),
+        end_of_life_g=end_of_life,
+        installation_g=phases.installation_g,
+    )

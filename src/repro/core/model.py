@@ -1,0 +1,152 @@
+"""Total carbon footprint accounting (paper Eq. 1).
+
+``C_total = C_em + C_op``: the overall footprint of a system over an
+accounting window is the embodied carbon of its hardware plus the
+operational carbon accumulated while running.  :class:`CarbonLedger`
+keeps itemized entries for both sides so reports can attribute the total
+to components (Fig. 5) or to phases of the system life cycle (Figs. 8-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.core.embodied import EmbodiedBreakdown
+from repro.core.errors import UnitError
+from repro.core.units import CarbonMass, format_co2
+
+__all__ = ["FootprintReport", "CarbonLedger"]
+
+
+@dataclass(frozen=True, slots=True)
+class FootprintReport:
+    """An immutable snapshot of a system's carbon footprint (Eq. 1)."""
+
+    embodied_g: float
+    operational_g: float
+
+    def __post_init__(self) -> None:
+        if self.embodied_g < 0.0 or self.operational_g < 0.0:
+            raise UnitError(
+                "footprint components must be non-negative, got "
+                f"embodied={self.embodied_g!r}, operational={self.operational_g!r}"
+            )
+
+    @property
+    def total_g(self) -> float:
+        """Eq. 1: ``C_total = C_em + C_op`` in grams CO2."""
+        return self.embodied_g + self.operational_g
+
+    @property
+    def total(self) -> CarbonMass:
+        return CarbonMass(self.total_g)
+
+    @property
+    def embodied_share(self) -> float:
+        total = self.total_g
+        return 0.0 if total == 0.0 else self.embodied_g / total
+
+    @property
+    def operational_share(self) -> float:
+        total = self.total_g
+        return 0.0 if total == 0.0 else self.operational_g / total
+
+    def __add__(self, other: "FootprintReport") -> "FootprintReport":
+        if not isinstance(other, FootprintReport):
+            return NotImplemented
+        return FootprintReport(
+            embodied_g=self.embodied_g + other.embodied_g,
+            operational_g=self.operational_g + other.operational_g,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"C_total={format_co2(self.total_g)} "
+            f"(C_em={format_co2(self.embodied_g)}, "
+            f"C_op={format_co2(self.operational_g)})"
+        )
+
+
+class CarbonLedger:
+    """Itemized carbon accounting for a system or an analysis window.
+
+    Embodied entries are keyed by component label (e.g. ``"GPU"``,
+    ``"DRAM"``) and hold :class:`EmbodiedBreakdown` values so the
+    manufacturing/packaging split survives aggregation.  Operational
+    entries are keyed by source label (e.g. a job id or ``"idle"``) and
+    hold grams CO2.
+    """
+
+    def __init__(self) -> None:
+        self._embodied: Dict[str, EmbodiedBreakdown] = {}
+        self._operational: Dict[str, float] = {}
+
+    # --- recording ------------------------------------------------------
+    def add_embodied(self, label: str, breakdown: EmbodiedBreakdown) -> None:
+        """Record embodied carbon under ``label`` (accumulating)."""
+        existing = self._embodied.get(label)
+        self._embodied[label] = breakdown if existing is None else existing + breakdown
+
+    def add_operational(self, label: str, grams: float) -> None:
+        """Record operational carbon under ``label`` (accumulating)."""
+        if grams < 0.0:
+            raise UnitError(f"operational carbon must be non-negative, got {grams!r}")
+        self._operational[label] = self._operational.get(label, 0.0) + grams
+
+    def merge(self, other: "CarbonLedger") -> None:
+        """Fold another ledger's entries into this one."""
+        for label, breakdown in other._embodied.items():
+            self.add_embodied(label, breakdown)
+        for label, grams in other._operational.items():
+            self.add_operational(label, grams)
+
+    # --- queries ----------------------------------------------------------
+    @property
+    def embodied_entries(self) -> Mapping[str, EmbodiedBreakdown]:
+        return dict(self._embodied)
+
+    @property
+    def operational_entries(self) -> Mapping[str, float]:
+        return dict(self._operational)
+
+    @property
+    def embodied_g(self) -> float:
+        return sum(b.total_g for b in self._embodied.values())
+
+    @property
+    def operational_g(self) -> float:
+        return sum(self._operational.values())
+
+    def report(self) -> FootprintReport:
+        """Collapse the ledger into an Eq. 1 report."""
+        return FootprintReport(
+            embodied_g=self.embodied_g, operational_g=self.operational_g
+        )
+
+    def embodied_shares(self) -> Dict[str, float]:
+        """Per-label fraction of total embodied carbon (Fig. 5 rings)."""
+        total = self.embodied_g
+        if total == 0.0:
+            return {label: 0.0 for label in self._embodied}
+        return {
+            label: breakdown.total_g / total
+            for label, breakdown in self._embodied.items()
+        }
+
+    def top_embodied(self) -> Tuple[str, EmbodiedBreakdown]:
+        """The dominant embodied-carbon component (RQ4)."""
+        if not self._embodied:
+            raise UnitError("ledger has no embodied entries")
+        label = max(self._embodied, key=lambda k: self._embodied[k].total_g)
+        return label, self._embodied[label]
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        """Iterate ``(label, grams)`` over all entries, embodied first."""
+        for label, breakdown in self._embodied.items():
+            yield f"embodied:{label}", breakdown.total_g
+        for label, grams in self._operational.items():
+            yield f"operational:{label}", grams
+
+    def __str__(self) -> str:
+        return str(self.report())

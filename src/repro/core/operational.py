@@ -1,0 +1,129 @@
+"""Operational carbon footprint model (paper Sec. 2.2, Eq. 6).
+
+The operational carbon of a running system is::
+
+    C_op = I_sys * E_op                                       (Eq. 6)
+
+where ``I_sys`` is the carbon intensity of the energy powering the system
+(gCO2/kWh) and ``E_op`` the operational energy (kWh).  Operational energy
+is IC-component energy multiplied by the facility PUE.
+
+Two accounting modes are provided:
+
+* :func:`operational_carbon` — constant intensity, the mode used by the
+  paper's upgrade analysis (Figs. 8-9 hold average intensity fixed per
+  column).
+* :func:`operational_carbon_trace` — hour-by-hour accounting against a
+  time-varying intensity trace, the mode a carbon-aware scheduler needs
+  (RQ5/RQ6).  This path is fully vectorized: a year of hourly power
+  samples is one ``numpy`` dot product.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import ModelConfig, get_config
+from repro.core.errors import UnitError
+from repro.core.units import CarbonIntensity, CarbonMass, Energy
+
+__all__ = [
+    "apply_pue",
+    "operational_carbon",
+    "operational_carbon_trace",
+    "energy_from_power_profile",
+]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def apply_pue(
+    ic_energy_kwh: float, *, pue: Optional[float] = None, config: Optional[ModelConfig] = None
+) -> float:
+    """Scale IC-component energy to facility energy using the PUE."""
+    if ic_energy_kwh < 0.0:
+        raise UnitError(f"energy must be non-negative, got {ic_energy_kwh!r}")
+    cfg = config if config is not None else get_config()
+    eff_pue = cfg.pue if pue is None else pue
+    if eff_pue < 1.0:
+        raise UnitError(f"PUE must be >= 1.0, got {eff_pue!r}")
+    return ic_energy_kwh * eff_pue
+
+
+def operational_carbon(
+    ic_energy_kwh: float,
+    intensity_g_per_kwh: float,
+    *,
+    pue: Optional[float] = None,
+    config: Optional[ModelConfig] = None,
+) -> CarbonMass:
+    """Eq. 6 with a constant carbon intensity.
+
+    ``ic_energy_kwh`` is the energy drawn by the IT equipment itself; PUE
+    overhead for cooling/ventilation is applied here (Sec. 2.2).
+    """
+    if intensity_g_per_kwh < 0.0:
+        raise UnitError(
+            f"carbon intensity must be non-negative, got {intensity_g_per_kwh!r}"
+        )
+    facility_kwh = apply_pue(ic_energy_kwh, pue=pue, config=config)
+    return CarbonMass(facility_kwh * intensity_g_per_kwh)
+
+
+def energy_from_power_profile(
+    power_w: ArrayLike, step_hours: float = 1.0
+) -> Energy:
+    """Integrate a sampled power profile (W) into energy (kWh).
+
+    Uses left-rectangle integration, matching the hourly-average
+    semantics of grid carbon-intensity data: sample ``k`` is the average
+    power over interval ``k``.
+    """
+    power = np.asarray(power_w, dtype=float)
+    if power.ndim != 1:
+        raise UnitError(f"power profile must be 1-D, got shape {power.shape}")
+    if step_hours <= 0.0:
+        raise UnitError(f"step must be positive, got {step_hours!r}")
+    if power.size and float(power.min()) < 0.0:
+        raise UnitError("power profile contains negative samples")
+    return Energy(float(power.sum()) * step_hours / 1000.0)
+
+
+def operational_carbon_trace(
+    power_w: ArrayLike,
+    intensity_g_per_kwh: ArrayLike,
+    *,
+    step_hours: float = 1.0,
+    pue: Optional[float] = None,
+    config: Optional[ModelConfig] = None,
+) -> CarbonMass:
+    """Eq. 6 accumulated against a time-varying intensity trace.
+
+    ``power_w[k]`` is the average IT power during interval ``k`` and
+    ``intensity_g_per_kwh[k]`` the grid intensity during the same
+    interval; both arrays must have the same length.  The computation is
+    a single vectorized dot product — suitable for year-long hourly
+    traces inside scheduler sweeps.
+    """
+    power = np.asarray(power_w, dtype=float)
+    intensity = np.asarray(intensity_g_per_kwh, dtype=float)
+    if power.shape != intensity.shape or power.ndim != 1:
+        raise UnitError(
+            "power and intensity must be 1-D arrays of equal length, got "
+            f"{power.shape} and {intensity.shape}"
+        )
+    if step_hours <= 0.0:
+        raise UnitError(f"step must be positive, got {step_hours!r}")
+    if power.size:
+        if float(power.min()) < 0.0:
+            raise UnitError("power profile contains negative samples")
+        if float(intensity.min()) < 0.0:
+            raise UnitError("intensity trace contains negative samples")
+    cfg = config if config is not None else get_config()
+    eff_pue = cfg.pue if pue is None else pue
+    if eff_pue < 1.0:
+        raise UnitError(f"PUE must be >= 1.0, got {eff_pue!r}")
+    grams = float(np.dot(power, intensity)) * step_hours / 1000.0 * eff_pue
+    return CarbonMass(grams)

@@ -1,0 +1,492 @@
+"""Physical quantities used throughout the carbon model.
+
+The library computes with four base quantities:
+
+``CarbonMass``
+    grams of CO2-equivalent (gCO2).  The paper reports component embodied
+    carbon in kgCO2 and grid carbon intensity in gCO2/kWh; we keep grams
+    as the canonical unit and convert only for display.
+``Energy``
+    kilowatt-hours (kWh), the unit of Eq. 6 in the paper.
+``Power``
+    watts.
+``Duration``
+    hours.  Hourly resolution matches the carbon-intensity traces.
+
+Design notes
+------------
+Hot numerical paths (year-long hourly traces, parameter sweeps) operate on
+raw ``numpy`` arrays in these canonical units; the quantity classes are
+for the *public API boundary*, where dimensional mistakes are most costly
+and the per-call overhead is irrelevant.  This follows the usual HPC
+Python split: typed scalars at the interface, vectorized arrays inside.
+
+All quantities are immutable and hashable.  Arithmetic is closed over the
+physically meaningful operations:
+
+* same-type addition/subtraction,
+* scaling by dimensionless numbers,
+* ``Power * Duration -> Energy``,
+* ``Energy * CarbonIntensity -> CarbonMass``,
+* ratios of same-type quantities are plain floats.
+
+Anything else raises :class:`~repro.core.errors.UnitError`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.errors import UnitError
+
+__all__ = [
+    "CarbonMass",
+    "Energy",
+    "Power",
+    "Duration",
+    "CarbonIntensity",
+    "GRAMS_PER_KILOGRAM",
+    "GRAMS_PER_TONNE",
+    "HOURS_PER_DAY",
+    "HOURS_PER_YEAR",
+    "WATTS_PER_KILOWATT",
+    "format_co2",
+    "format_energy",
+]
+
+GRAMS_PER_KILOGRAM = 1_000.0
+GRAMS_PER_TONNE = 1_000_000.0
+HOURS_PER_DAY = 24.0
+#: The analyses use non-leap calendar years (the paper studies 2021).
+HOURS_PER_YEAR = 8_760.0
+WATTS_PER_KILOWATT = 1_000.0
+
+_Number = Union[int, float]
+
+
+def _check_finite(value: float, what: str) -> float:
+    value = float(value)
+    if not math.isfinite(value):
+        raise UnitError(f"{what} must be finite, got {value!r}")
+    return value
+
+
+def _check_non_negative(value: float, what: str) -> float:
+    value = _check_finite(value, what)
+    if value < 0.0:
+        raise UnitError(f"{what} must be non-negative, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class CarbonMass:
+    """A mass of emitted CO2-equivalent, canonically in grams."""
+
+    grams: float
+
+    def __post_init__(self) -> None:
+        _check_non_negative(self.grams, "carbon mass (g)")
+
+    # --- constructors -------------------------------------------------
+    @classmethod
+    def from_grams(cls, grams: _Number) -> "CarbonMass":
+        return cls(float(grams))
+
+    @classmethod
+    def from_kilograms(cls, kg: _Number) -> "CarbonMass":
+        return cls(float(kg) * GRAMS_PER_KILOGRAM)
+
+    @classmethod
+    def from_tonnes(cls, tonnes: _Number) -> "CarbonMass":
+        return cls(float(tonnes) * GRAMS_PER_TONNE)
+
+    @classmethod
+    def zero(cls) -> "CarbonMass":
+        return cls(0.0)
+
+    # --- conversions --------------------------------------------------
+    @property
+    def kilograms(self) -> float:
+        return self.grams / GRAMS_PER_KILOGRAM
+
+    @property
+    def tonnes(self) -> float:
+        return self.grams / GRAMS_PER_TONNE
+
+    # --- arithmetic ---------------------------------------------------
+    def __add__(self, other: "CarbonMass") -> "CarbonMass":
+        if not isinstance(other, CarbonMass):
+            return NotImplemented
+        return CarbonMass(self.grams + other.grams)
+
+    def __sub__(self, other: "CarbonMass") -> "CarbonMass":
+        if not isinstance(other, CarbonMass):
+            return NotImplemented
+        return CarbonMass(self.grams - other.grams)
+
+    def __mul__(self, factor: _Number) -> "CarbonMass":
+        if isinstance(factor, (int, float)):
+            return CarbonMass(self.grams * float(factor))
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(
+        self, other: Union["CarbonMass", _Number]
+    ) -> Union["CarbonMass", float]:
+        if isinstance(other, CarbonMass):
+            if other.grams == 0.0:
+                raise UnitError("division by zero carbon mass")
+            return self.grams / other.grams
+        if isinstance(other, (int, float)):
+            if float(other) == 0.0:
+                raise UnitError("division of carbon mass by zero")
+            return CarbonMass(self.grams / float(other))
+        return NotImplemented
+
+    def __lt__(self, other: "CarbonMass") -> bool:
+        if not isinstance(other, CarbonMass):
+            return NotImplemented
+        return self.grams < other.grams
+
+    def __le__(self, other: "CarbonMass") -> bool:
+        if not isinstance(other, CarbonMass):
+            return NotImplemented
+        return self.grams <= other.grams
+
+    def __str__(self) -> str:
+        return format_co2(self.grams)
+
+
+@dataclass(frozen=True, slots=True)
+class Energy:
+    """Electrical energy, canonically in kilowatt-hours."""
+
+    kwh: float
+
+    def __post_init__(self) -> None:
+        _check_non_negative(self.kwh, "energy (kWh)")
+
+    @classmethod
+    def from_kwh(cls, kwh: _Number) -> "Energy":
+        return cls(float(kwh))
+
+    @classmethod
+    def from_joules(cls, joules: _Number) -> "Energy":
+        return cls(float(joules) / 3.6e6)
+
+    @classmethod
+    def from_wh(cls, wh: _Number) -> "Energy":
+        return cls(float(wh) / WATTS_PER_KILOWATT)
+
+    @classmethod
+    def zero(cls) -> "Energy":
+        return cls(0.0)
+
+    @property
+    def joules(self) -> float:
+        return self.kwh * 3.6e6
+
+    @property
+    def wh(self) -> float:
+        return self.kwh * WATTS_PER_KILOWATT
+
+    def __add__(self, other: "Energy") -> "Energy":
+        if not isinstance(other, Energy):
+            return NotImplemented
+        return Energy(self.kwh + other.kwh)
+
+    def __sub__(self, other: "Energy") -> "Energy":
+        if not isinstance(other, Energy):
+            return NotImplemented
+        return Energy(self.kwh - other.kwh)
+
+    def __mul__(
+        self, other: Union["CarbonIntensity", _Number]
+    ) -> Union["CarbonMass", "Energy"]:
+        if isinstance(other, CarbonIntensity):
+            return CarbonMass(self.kwh * other.g_per_kwh)
+        if isinstance(other, (int, float)):
+            return Energy(self.kwh * float(other))
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(
+        self, other: Union["Energy", "Duration", _Number]
+    ) -> Union[float, "Power", "Energy"]:
+        if isinstance(other, Energy):
+            if other.kwh == 0.0:
+                raise UnitError("division by zero energy")
+            return self.kwh / other.kwh
+        if isinstance(other, Duration):
+            if other.hours == 0.0:
+                raise UnitError("division of energy by zero duration")
+            return Power(self.kwh * WATTS_PER_KILOWATT / other.hours)
+        if isinstance(other, (int, float)):
+            if float(other) == 0.0:
+                raise UnitError("division of energy by zero")
+            return Energy(self.kwh / float(other))
+        return NotImplemented
+
+    def __lt__(self, other: "Energy") -> bool:
+        if not isinstance(other, Energy):
+            return NotImplemented
+        return self.kwh < other.kwh
+
+    def __le__(self, other: "Energy") -> bool:
+        if not isinstance(other, Energy):
+            return NotImplemented
+        return self.kwh <= other.kwh
+
+    def __str__(self) -> str:
+        return format_energy(self.kwh)
+
+
+@dataclass(frozen=True, slots=True)
+class Power:
+    """Instantaneous electrical power, canonically in watts."""
+
+    watts: float
+
+    def __post_init__(self) -> None:
+        _check_non_negative(self.watts, "power (W)")
+
+    @classmethod
+    def from_watts(cls, watts: _Number) -> "Power":
+        return cls(float(watts))
+
+    @classmethod
+    def from_kilowatts(cls, kw: _Number) -> "Power":
+        return cls(float(kw) * WATTS_PER_KILOWATT)
+
+    @classmethod
+    def from_megawatts(cls, mw: _Number) -> "Power":
+        return cls(float(mw) * 1e6)
+
+    @property
+    def kilowatts(self) -> float:
+        return self.watts / WATTS_PER_KILOWATT
+
+    @property
+    def megawatts(self) -> float:
+        return self.watts / 1e6
+
+    def __add__(self, other: "Power") -> "Power":
+        if not isinstance(other, Power):
+            return NotImplemented
+        return Power(self.watts + other.watts)
+
+    def __sub__(self, other: "Power") -> "Power":
+        if not isinstance(other, Power):
+            return NotImplemented
+        return Power(self.watts - other.watts)
+
+    def __mul__(self, other: Union["Duration", _Number]) -> Union["Energy", "Power"]:
+        if isinstance(other, Duration):
+            return Energy(self.watts * other.hours / WATTS_PER_KILOWATT)
+        if isinstance(other, (int, float)):
+            return Power(self.watts * float(other))
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Power", _Number]) -> Union[float, "Power"]:
+        if isinstance(other, Power):
+            if other.watts == 0.0:
+                raise UnitError("division by zero power")
+            return self.watts / other.watts
+        if isinstance(other, (int, float)):
+            if float(other) == 0.0:
+                raise UnitError("division of power by zero")
+            return Power(self.watts / float(other))
+        return NotImplemented
+
+    def __lt__(self, other: "Power") -> bool:
+        if not isinstance(other, Power):
+            return NotImplemented
+        return self.watts < other.watts
+
+    def __le__(self, other: "Power") -> bool:
+        if not isinstance(other, Power):
+            return NotImplemented
+        return self.watts <= other.watts
+
+    def __str__(self) -> str:
+        if self.watts >= 1e6:
+            return f"{self.megawatts:.2f} MW"
+        if self.watts >= WATTS_PER_KILOWATT:
+            return f"{self.kilowatts:.2f} kW"
+        return f"{self.watts:.1f} W"
+
+
+@dataclass(frozen=True, slots=True)
+class Duration:
+    """Elapsed time, canonically in hours."""
+
+    hours: float
+
+    def __post_init__(self) -> None:
+        _check_non_negative(self.hours, "duration (h)")
+
+    @classmethod
+    def from_hours(cls, hours: _Number) -> "Duration":
+        return cls(float(hours))
+
+    @classmethod
+    def from_days(cls, days: _Number) -> "Duration":
+        return cls(float(days) * HOURS_PER_DAY)
+
+    @classmethod
+    def from_years(cls, years: _Number) -> "Duration":
+        return cls(float(years) * HOURS_PER_YEAR)
+
+    @classmethod
+    def from_seconds(cls, seconds: _Number) -> "Duration":
+        return cls(float(seconds) / 3600.0)
+
+    @property
+    def days(self) -> float:
+        return self.hours / HOURS_PER_DAY
+
+    @property
+    def years(self) -> float:
+        return self.hours / HOURS_PER_YEAR
+
+    @property
+    def seconds(self) -> float:
+        return self.hours * 3600.0
+
+    def __add__(self, other: "Duration") -> "Duration":
+        if not isinstance(other, Duration):
+            return NotImplemented
+        return Duration(self.hours + other.hours)
+
+    def __sub__(self, other: "Duration") -> "Duration":
+        if not isinstance(other, Duration):
+            return NotImplemented
+        return Duration(self.hours - other.hours)
+
+    def __mul__(self, other: Union["Power", _Number]) -> Union["Energy", "Duration"]:
+        if isinstance(other, Power):
+            return other * self
+        if isinstance(other, (int, float)):
+            return Duration(self.hours * float(other))
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(
+        self, other: Union["Duration", _Number]
+    ) -> Union[float, "Duration"]:
+        if isinstance(other, Duration):
+            if other.hours == 0.0:
+                raise UnitError("division by zero duration")
+            return self.hours / other.hours
+        if isinstance(other, (int, float)):
+            if float(other) == 0.0:
+                raise UnitError("division of duration by zero")
+            return Duration(self.hours / float(other))
+        return NotImplemented
+
+    def __lt__(self, other: "Duration") -> bool:
+        if not isinstance(other, Duration):
+            return NotImplemented
+        return self.hours < other.hours
+
+    def __le__(self, other: "Duration") -> bool:
+        if not isinstance(other, Duration):
+            return NotImplemented
+        return self.hours <= other.hours
+
+    def __str__(self) -> str:
+        if self.hours >= HOURS_PER_YEAR:
+            return f"{self.years:.2f} yr"
+        if self.hours >= HOURS_PER_DAY:
+            return f"{self.days:.1f} d"
+        return f"{self.hours:.2f} h"
+
+
+@dataclass(frozen=True, slots=True)
+class CarbonIntensity:
+    """Grid carbon intensity in gCO2 per kWh (the paper's ``I_sys``).
+
+    Reference points from the paper: renewable sources (wind/solar) are
+    below 50 gCO2/kWh, hydropower about 20 gCO2/kWh, and coal above
+    800 gCO2/kWh.
+    """
+
+    g_per_kwh: float
+
+    def __post_init__(self) -> None:
+        _check_non_negative(self.g_per_kwh, "carbon intensity (gCO2/kWh)")
+
+    @classmethod
+    def hydro(cls) -> "CarbonIntensity":
+        """The paper's 'low' scenario: hydropower at 20 gCO2/kWh."""
+        return cls(20.0)
+
+    @classmethod
+    def coal(cls) -> "CarbonIntensity":
+        return cls(820.0)
+
+    def __mul__(self, other: Union["Energy", _Number]) -> Union["CarbonMass", "CarbonIntensity"]:
+        if isinstance(other, Energy):
+            return other * self
+        if isinstance(other, (int, float)):
+            return CarbonIntensity(self.g_per_kwh * float(other))
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(
+        self, other: Union["CarbonIntensity", _Number]
+    ) -> Union[float, "CarbonIntensity"]:
+        if isinstance(other, CarbonIntensity):
+            if other.g_per_kwh == 0.0:
+                raise UnitError("division by zero carbon intensity")
+            return self.g_per_kwh / other.g_per_kwh
+        if isinstance(other, (int, float)):
+            if float(other) == 0.0:
+                raise UnitError("division of carbon intensity by zero")
+            return CarbonIntensity(self.g_per_kwh / float(other))
+        return NotImplemented
+
+    def __lt__(self, other: "CarbonIntensity") -> bool:
+        if not isinstance(other, CarbonIntensity):
+            return NotImplemented
+        return self.g_per_kwh < other.g_per_kwh
+
+    def __le__(self, other: "CarbonIntensity") -> bool:
+        if not isinstance(other, CarbonIntensity):
+            return NotImplemented
+        return self.g_per_kwh <= other.g_per_kwh
+
+    def __str__(self) -> str:
+        return f"{self.g_per_kwh:.1f} gCO2/kWh"
+
+
+def format_co2(grams: float) -> str:
+    """Render a CO2 mass in grams with an auto-selected display unit."""
+    grams = float(grams)
+    magnitude = abs(grams)
+    if magnitude >= GRAMS_PER_TONNE:
+        return f"{grams / GRAMS_PER_TONNE:.2f} tCO2"
+    if magnitude >= GRAMS_PER_KILOGRAM:
+        return f"{grams / GRAMS_PER_KILOGRAM:.2f} kgCO2"
+    return f"{grams:.1f} gCO2"
+
+
+def format_energy(kwh: float) -> str:
+    """Render an energy in kWh with an auto-selected display unit."""
+    kwh = float(kwh)
+    magnitude = abs(kwh)
+    if magnitude >= 1e6:
+        return f"{kwh / 1e6:.2f} GWh"
+    if magnitude >= 1e3:
+        return f"{kwh / 1e3:.2f} MWh"
+    if magnitude >= 1.0:
+        return f"{kwh:.2f} kWh"
+    return f"{kwh * 1e3:.1f} Wh"

@@ -1,0 +1,314 @@
+"""The modeled hardware catalog (paper Tables 1 and 5).
+
+Table 1 lists the nine individually modeled components; Table 5 adds the
+older parts (NVIDIA P100, Intel Xeon E5-2680, AMD EPYC 7542) appearing in
+the node generations used for the upgrade study.
+
+Specification provenance
+------------------------
+Die areas, TDPs and peak FLOPS come from public datasheets.  IC counts
+and (for chiplet CPUs) effective compute-die areas are the calibration
+knobs the paper does not publish; they are chosen so the modeled parts
+reproduce Fig. 1's levels (GPUs above CPUs by up to ~3.4x, reversal
+under per-TFLOPS normalization) and Fig. 3's manufacturing/packaging
+splits.  See DESIGN.md section 2 for the substitution log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.errors import CatalogError
+from repro.hardware.fabdata import (
+    EPC_DRAM_G_PER_GB,
+    EPC_HDD_G_PER_GB,
+    EPC_SSD_G_PER_GB,
+    STORAGE_PACKAGING_TO_MANUFACTURING_RATIO,
+    get_process_node,
+)
+from repro.hardware.parts import (
+    MemorySpec,
+    PartSpec,
+    ProcessorKind,
+    ProcessorSpec,
+    StorageKind,
+    StorageSpec,
+)
+
+__all__ = [
+    "GPU_MI250X",
+    "GPU_A100",
+    "GPU_A100_SXM4",
+    "GPU_V100",
+    "GPU_P100",
+    "CPU_EPYC_7763",
+    "CPU_EPYC_7742",
+    "CPU_EPYC_7542",
+    "CPU_XEON_6240R",
+    "CPU_XEON_E5_2680",
+    "DRAM_64GB",
+    "SSD_3_2TB",
+    "HDD_16TB",
+    "TABLE1_PARTS",
+    "TABLE1_PROCESSORS",
+    "TABLE1_GPUS",
+    "TABLE1_CPUS",
+    "TABLE1_MEMORY_STORAGE",
+    "ALL_PARTS",
+    "get_part",
+    "list_parts",
+]
+
+# --------------------------------------------------------------------------
+# GPUs
+# --------------------------------------------------------------------------
+
+GPU_MI250X = ProcessorSpec(
+    name="AMD MI250X",
+    part_name="AMD INSTINCT MI250X",
+    kind=ProcessorKind.GPU,
+    release="November 2021",
+    # Two 724 mm^2 graphics compute dies (OAM dual-GCD package).
+    die_area_mm2=1448.0,
+    process=get_process_node("7nm"),
+    # 2 GCDs + 8 HBM2e stacks + support ICs on the OAM module.
+    ic_count=30,
+    # AMD reports 47.9 TF FP64 (paper cites ~5x the A100's peak FP64).
+    fp64_tflops=47.9,
+    fp32_tflops=47.9,
+    tdp_w=560.0,
+)
+
+GPU_A100 = ProcessorSpec(
+    name="NVIDIA A100",
+    part_name="NVIDIA A100 PCIe 40GB",
+    kind=ProcessorKind.GPU,
+    release="May 2020",
+    die_area_mm2=826.0,
+    process=get_process_node("7nm"),
+    # GA100 die + 6 HBM2 stacks (one disabled but mounted) + support ICs.
+    ic_count=20,
+    fp64_tflops=9.7,
+    fp32_tflops=19.5,
+    tdp_w=250.0,
+)
+
+GPU_A100_SXM4 = ProcessorSpec(
+    name="NVIDIA A100 SXM4",
+    part_name="NVIDIA A100 SXM4 40GB",
+    kind=ProcessorKind.GPU,
+    release="May 2020",
+    die_area_mm2=826.0,
+    process=get_process_node("7nm"),
+    ic_count=20,
+    fp64_tflops=9.7,
+    fp32_tflops=19.5,
+    tdp_w=400.0,
+)
+
+GPU_V100 = ProcessorSpec(
+    name="NVIDIA V100",
+    part_name="NVIDIA V100 SXM2 32GB",
+    kind=ProcessorKind.GPU,
+    release="March 2018",
+    die_area_mm2=815.0,
+    process=get_process_node("12nm"),
+    # GV100 die + 4 HBM2 stacks + support ICs.
+    ic_count=12,
+    fp64_tflops=7.8,
+    fp32_tflops=15.7,
+    tdp_w=300.0,
+)
+
+GPU_P100 = ProcessorSpec(
+    name="NVIDIA P100",
+    part_name="NVIDIA Tesla P100 PCIe 16GB",
+    kind=ProcessorKind.GPU,
+    release="June 2016",
+    die_area_mm2=610.0,
+    process=get_process_node("16nm"),
+    # GP100 die + 4 HBM2 stacks + support ICs.
+    ic_count=9,
+    fp64_tflops=4.7,
+    fp32_tflops=9.3,
+    tdp_w=250.0,
+)
+
+# --------------------------------------------------------------------------
+# CPUs
+# --------------------------------------------------------------------------
+
+CPU_EPYC_7763 = ProcessorSpec(
+    name="AMD EPYC 7763",
+    part_name="AMD EPYC 7763 CPU",
+    kind=ProcessorKind.CPU,
+    release="March 2021",
+    # Effective compute-die area: 8 Zen3 CCDs; commodity 12nm I/O die
+    # folded into the IC count.
+    die_area_mm2=560.0,
+    process=get_process_node("7nm"),
+    ic_count=9,
+    # 64 cores x 2.45 GHz x 16 FP64 FLOPs/cycle.
+    fp64_tflops=2.51,
+    fp32_tflops=5.02,
+    tdp_w=280.0,
+    idle_fraction=0.20,
+    busy_utilization=0.55,
+)
+
+CPU_EPYC_7742 = ProcessorSpec(
+    name="AMD EPYC 7742",
+    part_name="AMD EPYC 7742 CPU",
+    kind=ProcessorKind.CPU,
+    release="August 2019",
+    die_area_mm2=540.0,
+    process=get_process_node("7nm"),
+    ic_count=9,
+    fp64_tflops=2.30,
+    fp32_tflops=4.60,
+    tdp_w=225.0,
+    idle_fraction=0.20,
+    busy_utilization=0.55,
+)
+
+CPU_EPYC_7542 = ProcessorSpec(
+    name="AMD EPYC 7542",
+    part_name="AMD EPYC 7542 CPU",
+    kind=ProcessorKind.CPU,
+    release="August 2019",
+    die_area_mm2=340.0,
+    process=get_process_node("7nm"),
+    ic_count=5,
+    fp64_tflops=1.48,
+    fp32_tflops=2.96,
+    tdp_w=225.0,
+    idle_fraction=0.20,
+    busy_utilization=0.55,
+)
+
+CPU_XEON_6240R = ProcessorSpec(
+    name="Intel Xeon Gold 6240R",
+    part_name="Intel Xeon Gold 6240R CPU",
+    kind=ProcessorKind.CPU,
+    release="February 2020",
+    die_area_mm2=694.0,
+    process=get_process_node("14nm"),
+    # Monolithic die + platform support ICs.
+    ic_count=4,
+    # 24 cores x 2.4 GHz x 16 FP64 FLOPs/cycle (one AVX-512 FMA pipe).
+    fp64_tflops=0.92,
+    fp32_tflops=1.84,
+    tdp_w=165.0,
+    idle_fraction=0.20,
+    busy_utilization=0.55,
+)
+
+CPU_XEON_E5_2680 = ProcessorSpec(
+    name="Intel Xeon E5-2680",
+    part_name="Intel Xeon CPU E5-2680 v4",
+    kind=ProcessorKind.CPU,
+    release="March 2016",
+    die_area_mm2=456.0,
+    process=get_process_node("14nm"),
+    ic_count=2,
+    # 14 cores x 2.4 GHz x 16 FP64 FLOPs/cycle (AVX2 dual FMA).
+    fp64_tflops=0.54,
+    fp32_tflops=1.08,
+    tdp_w=120.0,
+    idle_fraction=0.20,
+    busy_utilization=0.55,
+)
+
+# --------------------------------------------------------------------------
+# Memory / storage
+# --------------------------------------------------------------------------
+
+DRAM_64GB = MemorySpec(
+    name="DRAM 64GB",
+    part_name="SK Hynix 64GB DDR4",
+    release="October 2020",
+    capacity_gb=64.0,
+    epc_g_per_gb=EPC_DRAM_G_PER_GB,
+    # DRAM die packages on a 64GB RDIMM; reproduces the ~42% packaging
+    # share the paper reports for DRAM in Fig. 3.
+    ic_count=20,
+    bandwidth_gb_s=25.6,
+    active_w=6.0,
+    idle_w=3.0,
+)
+
+SSD_3_2TB = StorageSpec(
+    name="SSD 3.2TB",
+    part_name="Seagate Nytro 3530 3.2TB",
+    kind=StorageKind.SSD,
+    release="October 2018",
+    capacity_gb=3200.0,
+    epc_g_per_gb=EPC_SSD_G_PER_GB,
+    packaging_ratio=STORAGE_PACKAGING_TO_MANUFACTURING_RATIO,
+    bandwidth_gb_s=1.1,
+    active_w=9.0,
+    idle_w=4.0,
+)
+
+HDD_16TB = StorageSpec(
+    name="HDD 16TB",
+    part_name="Seagate Exos X16 16TB",
+    kind=StorageKind.HDD,
+    release="June 2019",
+    capacity_gb=16000.0,
+    epc_g_per_gb=EPC_HDD_G_PER_GB,
+    packaging_ratio=STORAGE_PACKAGING_TO_MANUFACTURING_RATIO,
+    bandwidth_gb_s=0.261,
+    active_w=10.0,
+    idle_w=5.0,
+)
+
+# --------------------------------------------------------------------------
+# Registries
+# --------------------------------------------------------------------------
+
+#: The nine components of paper Table 1, in table order.
+TABLE1_PARTS: Tuple[PartSpec, ...] = (
+    GPU_A100,
+    GPU_MI250X,
+    GPU_V100,
+    CPU_EPYC_7763,
+    CPU_EPYC_7742,
+    CPU_XEON_6240R,
+    DRAM_64GB,
+    SSD_3_2TB,
+    HDD_16TB,
+)
+
+TABLE1_GPUS: Tuple[ProcessorSpec, ...] = (GPU_MI250X, GPU_A100, GPU_V100)
+TABLE1_CPUS: Tuple[ProcessorSpec, ...] = (
+    CPU_EPYC_7763,
+    CPU_EPYC_7742,
+    CPU_XEON_6240R,
+)
+TABLE1_PROCESSORS: Tuple[ProcessorSpec, ...] = TABLE1_GPUS + TABLE1_CPUS
+TABLE1_MEMORY_STORAGE: Tuple[PartSpec, ...] = (DRAM_64GB, SSD_3_2TB, HDD_16TB)
+
+#: Every part the library models (Table 1 + Table 5 extras).
+ALL_PARTS: Tuple[PartSpec, ...] = TABLE1_PARTS + (
+    GPU_A100_SXM4,
+    GPU_P100,
+    CPU_EPYC_7542,
+    CPU_XEON_E5_2680,
+)
+
+_PARTS_BY_NAME: Dict[str, PartSpec] = {part.name: part for part in ALL_PARTS}
+
+
+def get_part(name: str) -> PartSpec:
+    """Look up any modeled part by its catalog name."""
+    try:
+        return _PARTS_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_PARTS_BY_NAME))
+        raise CatalogError(f"unknown part {name!r}; known parts: {known}") from None
+
+
+def list_parts() -> List[str]:
+    """Names of every part in the catalog, sorted."""
+    return sorted(_PARTS_BY_NAME)

@@ -1,0 +1,196 @@
+"""Compute-node specifications (paper Table 5 and the Fig. 4 node).
+
+A node is an inventory of parts with counts.  The embodied carbon of a
+node is the count-weighted sum of its parts' embodied breakdowns
+(Sec. 2.1, "multiply by the total number of components available").
+
+The paper's per-figure accounting scope differs slightly:
+
+* Fig. 4 compares node performance against the embodied carbon of the
+  *processors* in the node (2 CPUs + N GPUs) — use
+  ``embodied(classes=PROCESSOR_CLASSES)``.
+* Figs. 8-9 charge the full node (GPUs + CPUs + DRAM) as the upgrade's
+  embodied cost — use ``embodied()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.core.config import ModelConfig
+from repro.core.embodied import EmbodiedBreakdown
+from repro.core.errors import CatalogError
+from repro.hardware.catalog import (
+    CPU_EPYC_7542,
+    CPU_XEON_6240R,
+    CPU_XEON_E5_2680,
+    DRAM_64GB,
+    GPU_A100,
+    GPU_P100,
+    GPU_V100,
+)
+from repro.hardware.parts import ComponentClass, PartSpec, ProcessorKind, ProcessorSpec
+
+__all__ = [
+    "NodeSpec",
+    "PROCESSOR_CLASSES",
+    "ALL_CLASSES",
+    "node_generations",
+    "get_node_generation",
+    "p100_node",
+    "v100_node",
+    "a100_node",
+]
+
+PROCESSOR_CLASSES: Tuple[ComponentClass, ...] = (
+    ComponentClass.GPU,
+    ComponentClass.CPU,
+)
+ALL_CLASSES: Tuple[ComponentClass, ...] = tuple(ComponentClass)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node: parts with counts.
+
+    ``components`` maps each part spec to its count in the node.  The
+    mapping is copied at construction; NodeSpec is immutable.
+    """
+
+    name: str
+    components: Mapping[PartSpec, int]
+
+    def __post_init__(self) -> None:
+        frozen: Dict[PartSpec, int] = {}
+        for part, count in self.components.items():
+            if count < 0:
+                raise CatalogError(
+                    f"node {self.name!r}: negative count for {part.name!r}"
+                )
+            if count > 0:
+                frozen[part] = int(count)
+        if not frozen:
+            raise CatalogError(f"node {self.name!r} has no components")
+        object.__setattr__(self, "components", frozen)
+
+    # --- inventory queries ------------------------------------------------
+    def count_of_class(self, component_class: ComponentClass) -> int:
+        return sum(
+            count
+            for part, count in self.components.items()
+            if part.component_class is component_class
+        )
+
+    @property
+    def gpu_count(self) -> int:
+        return self.count_of_class(ComponentClass.GPU)
+
+    @property
+    def cpu_count(self) -> int:
+        return self.count_of_class(ComponentClass.CPU)
+
+    def gpus(self) -> Tuple[Tuple[ProcessorSpec, int], ...]:
+        return tuple(
+            (part, count)
+            for part, count in self.components.items()
+            if isinstance(part, ProcessorSpec) and part.kind is ProcessorKind.GPU
+        )
+
+    def cpus(self) -> Tuple[Tuple[ProcessorSpec, int], ...]:
+        return tuple(
+            (part, count)
+            for part, count in self.components.items()
+            if isinstance(part, ProcessorSpec) and part.kind is ProcessorKind.CPU
+        )
+
+    def gpu_spec(self) -> ProcessorSpec:
+        """The node's GPU model; raises if the node has none or several."""
+        gpus = self.gpus()
+        if len(gpus) != 1:
+            raise CatalogError(
+                f"node {self.name!r} has {len(gpus)} GPU models; expected exactly 1"
+            )
+        return gpus[0][0]
+
+    # --- embodied carbon ----------------------------------------------------
+    def embodied_by_class(
+        self,
+        classes: Optional[Iterable[ComponentClass]] = None,
+        config: Optional[ModelConfig] = None,
+    ) -> Dict[ComponentClass, EmbodiedBreakdown]:
+        """Per-component-class embodied carbon of the node."""
+        wanted = tuple(classes) if classes is not None else ALL_CLASSES
+        result: Dict[ComponentClass, EmbodiedBreakdown] = {}
+        for part, count in self.components.items():
+            cls = part.component_class
+            if cls not in wanted:
+                continue
+            contribution = part.embodied(config).scaled(count)
+            existing = result.get(cls)
+            result[cls] = contribution if existing is None else existing + contribution
+        return result
+
+    def embodied(
+        self,
+        classes: Optional[Iterable[ComponentClass]] = None,
+        config: Optional[ModelConfig] = None,
+    ) -> EmbodiedBreakdown:
+        """Total embodied carbon over the selected component classes."""
+        total = EmbodiedBreakdown(0.0, 0.0)
+        for breakdown in self.embodied_by_class(classes, config).values():
+            total = total + breakdown
+        return total
+
+    def with_gpu_count(self, gpu_count: int) -> "NodeSpec":
+        """A copy of this node with its GPU count replaced (Fig. 4 sweep)."""
+        if gpu_count < 1:
+            raise CatalogError(f"GPU count must be >= 1, got {gpu_count}")
+        gpu = self.gpu_spec()
+        components = {
+            part: count for part, count in self.components.items() if part is not gpu
+        }
+        components[gpu] = gpu_count
+        return NodeSpec(name=f"{self.name} ({gpu_count} GPU)", components=components)
+
+
+def p100_node() -> NodeSpec:
+    """Table 5 row 1: 4x Tesla P100 PCIe + 2x Xeon E5-2680."""
+    return NodeSpec(
+        name="P100",
+        components={GPU_P100: 4, CPU_XEON_E5_2680: 2, DRAM_64GB: 4},
+    )
+
+
+def v100_node() -> NodeSpec:
+    """Table 5 row 2: 4x Tesla V100 SXM2 + 2x Xeon Gold 6240R."""
+    return NodeSpec(
+        name="V100",
+        components={GPU_V100: 4, CPU_XEON_6240R: 2, DRAM_64GB: 6},
+    )
+
+
+def a100_node() -> NodeSpec:
+    """Table 5 row 3: 4x A100 PCIe 40GB + 4x EPYC 7542."""
+    return NodeSpec(
+        name="A100",
+        components={GPU_A100: 4, CPU_EPYC_7542: 4, DRAM_64GB: 8},
+    )
+
+
+def node_generations() -> Dict[str, NodeSpec]:
+    """The three node generations of paper Table 5, keyed by name."""
+    nodes = (p100_node(), v100_node(), a100_node())
+    return {node.name: node for node in nodes}
+
+
+def get_node_generation(name: str) -> NodeSpec:
+    """Look up a Table 5 node generation by name ('P100'/'V100'/'A100')."""
+    generations = node_generations()
+    try:
+        return generations[name]
+    except KeyError:
+        known = ", ".join(sorted(generations))
+        raise CatalogError(
+            f"unknown node generation {name!r}; known generations: {known}"
+        ) from None

@@ -1,0 +1,264 @@
+"""Hardware part specifications and their embodied-carbon evaluation.
+
+Three spec families mirror the paper's component taxonomy (Table 1):
+
+* :class:`ProcessorSpec` — CPUs and GPUs, modeled vendor-generically via
+  die area and process-node factors (Eq. 3) plus IC-count packaging
+  (Eq. 5);
+* :class:`MemorySpec` — DRAM modules, modeled via capacity x EPC (Eq. 4)
+  plus IC-count packaging (Eq. 5);
+* :class:`StorageSpec` — SSDs/HDDs, modeled via capacity x EPC (Eq. 4)
+  plus a packaging-to-manufacturing ratio (the paper's storage-specific
+  path, Sec. 2.1).
+
+Each spec exposes ``embodied()`` returning an
+:class:`~repro.core.embodied.EmbodiedBreakdown`, and performance
+normalizers used by Figs. 1-2 (``embodied_per_tflop``,
+``embodied_per_bandwidth``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.config import ModelConfig
+from repro.core.embodied import (
+    EmbodiedBreakdown,
+    manufacturing_carbon_capacity,
+    manufacturing_carbon_processor,
+    packaging_carbon_from_ic_count,
+    packaging_carbon_from_ratio,
+)
+from repro.core.errors import CatalogError
+from repro.hardware.fabdata import ProcessNode
+
+__all__ = [
+    "ComponentClass",
+    "ProcessorKind",
+    "StorageKind",
+    "ProcessorSpec",
+    "MemorySpec",
+    "StorageSpec",
+    "PartSpec",
+]
+
+
+class ComponentClass(str, enum.Enum):
+    """The five component classes of the paper's Fig. 5 ring charts."""
+
+    GPU = "GPU"
+    CPU = "CPU"
+    DRAM = "DRAM"
+    SSD = "SSD"
+    HDD = "HDD"
+
+
+class ProcessorKind(str, enum.Enum):
+    GPU = "GPU"
+    CPU = "CPU"
+
+
+class StorageKind(str, enum.Enum):
+    SSD = "SSD"
+    HDD = "HDD"
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorSpec:
+    """A CPU or GPU part (paper Table 1 rows 1-6, Table 5 extras).
+
+    Attributes
+    ----------
+    name:
+        Short catalog key, e.g. ``"NVIDIA A100"``.
+    part_name:
+        Full part designation, e.g. ``"NVIDIA A100 PCIe 40GB"``.
+    kind:
+        GPU or CPU.
+    release:
+        Release date string as in Table 1 (e.g. ``"May 2020"``).
+    die_area_mm2:
+        Total compute-die area (summed over chiplets).  For chiplet CPUs
+        this is the effective compute-die area; commodity I/O dies are
+        folded into the IC count.
+    process:
+        The :class:`~repro.hardware.fabdata.ProcessNode` of the part.
+    ic_count:
+        Number of IC packages (dies + HBM stacks + support ICs) for the
+        Eq. 5 packaging term.  Where vendors do not publish counts we use
+        values that reproduce the paper's Fig. 3 packaging shares.
+    fp64_tflops / fp32_tflops:
+        Peak theoretical throughput, for the Fig. 1(b) normalization.
+    tdp_w / idle_fraction:
+        Board power limit and idle draw as a fraction of TDP, used by the
+        power substrate.
+    """
+
+    name: str
+    part_name: str
+    kind: ProcessorKind
+    release: str
+    die_area_mm2: float
+    process: ProcessNode
+    ic_count: int
+    fp64_tflops: float
+    fp32_tflops: float
+    tdp_w: float
+    idle_fraction: float = 0.08
+    busy_utilization: float = 0.90
+
+    def __post_init__(self) -> None:
+        if self.die_area_mm2 <= 0.0:
+            raise CatalogError(f"{self.name}: die area must be positive")
+        if self.ic_count < 1:
+            raise CatalogError(f"{self.name}: IC count must be >= 1")
+        if self.fp64_tflops <= 0.0 or self.fp32_tflops <= 0.0:
+            raise CatalogError(f"{self.name}: peak TFLOPS must be positive")
+        if self.tdp_w <= 0.0:
+            raise CatalogError(f"{self.name}: TDP must be positive")
+        if not (0.0 <= self.idle_fraction < 1.0):
+            raise CatalogError(f"{self.name}: idle fraction must be in [0, 1)")
+        if not (0.0 < self.busy_utilization <= 1.0):
+            raise CatalogError(f"{self.name}: busy utilization must be in (0, 1]")
+
+    @property
+    def component_class(self) -> ComponentClass:
+        return ComponentClass(self.kind.value)
+
+    @property
+    def idle_w(self) -> float:
+        return self.idle_fraction * self.tdp_w
+
+    @property
+    def busy_w(self) -> float:
+        """Average board power while running a training workload."""
+        return self.idle_w + self.busy_utilization * (self.tdp_w - self.idle_w)
+
+    def embodied(self, config: Optional[ModelConfig] = None) -> EmbodiedBreakdown:
+        """Eq. 2 = Eq. 3 (manufacturing) + Eq. 5 (packaging)."""
+        manufacturing = manufacturing_carbon_processor(
+            self.die_area_mm2,
+            self.process.fpa_g_per_cm2,
+            self.process.gpa_g_per_cm2,
+            self.process.mpa_g_per_cm2,
+            config=config,
+        )
+        packaging = packaging_carbon_from_ic_count(self.ic_count, config=config)
+        return EmbodiedBreakdown(manufacturing_g=manufacturing, packaging_g=packaging)
+
+    def embodied_per_tflop(
+        self, precision: str = "fp64", config: Optional[ModelConfig] = None
+    ) -> float:
+        """Embodied gCO2 per peak TFLOPS (Fig. 1b normalization)."""
+        if precision == "fp64":
+            tflops = self.fp64_tflops
+        elif precision == "fp32":
+            tflops = self.fp32_tflops
+        else:
+            raise CatalogError(
+                f"unknown precision {precision!r}; expected 'fp64' or 'fp32'"
+            )
+        return self.embodied(config).total_g / tflops
+
+
+@dataclass(frozen=True, slots=True)
+class MemorySpec:
+    """A DRAM module (paper Table 1 row 7).
+
+    Manufacturing carbon follows Eq. 4 with the vendor EPC; packaging
+    follows Eq. 5 with the number of DRAM die packages on the module.
+    """
+
+    name: str
+    part_name: str
+    release: str
+    capacity_gb: float
+    epc_g_per_gb: float
+    ic_count: int
+    bandwidth_gb_s: float
+    active_w: float = 6.0
+    idle_w: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0.0:
+            raise CatalogError(f"{self.name}: capacity must be positive")
+        if self.epc_g_per_gb < 0.0:
+            raise CatalogError(f"{self.name}: EPC must be non-negative")
+        if self.ic_count < 1:
+            raise CatalogError(f"{self.name}: IC count must be >= 1")
+        if self.bandwidth_gb_s <= 0.0:
+            raise CatalogError(f"{self.name}: bandwidth must be positive")
+        if self.idle_w < 0.0 or self.active_w < self.idle_w:
+            raise CatalogError(
+                f"{self.name}: power must satisfy 0 <= idle <= active"
+            )
+
+    @property
+    def component_class(self) -> ComponentClass:
+        return ComponentClass.DRAM
+
+    def embodied(self, config: Optional[ModelConfig] = None) -> EmbodiedBreakdown:
+        manufacturing = manufacturing_carbon_capacity(
+            self.epc_g_per_gb, self.capacity_gb
+        )
+        packaging = packaging_carbon_from_ic_count(self.ic_count, config=config)
+        return EmbodiedBreakdown(manufacturing_g=manufacturing, packaging_g=packaging)
+
+    def embodied_per_bandwidth(self, config: Optional[ModelConfig] = None) -> float:
+        """Embodied gCO2 per GB/s of bandwidth (Fig. 2b normalization)."""
+        return self.embodied(config).total_g / self.bandwidth_gb_s
+
+
+@dataclass(frozen=True, slots=True)
+class StorageSpec:
+    """An SSD or HDD (paper Table 1 rows 8-9).
+
+    Manufacturing carbon follows Eq. 4; packaging uses the
+    packaging-to-manufacturing ratio because counting IC packages is
+    non-trivial for storage (paper Sec. 2.1).
+    """
+
+    name: str
+    part_name: str
+    kind: StorageKind
+    release: str
+    capacity_gb: float
+    epc_g_per_gb: float
+    packaging_ratio: float
+    bandwidth_gb_s: float
+    active_w: float = 9.0
+    idle_w: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0.0:
+            raise CatalogError(f"{self.name}: capacity must be positive")
+        if self.epc_g_per_gb < 0.0:
+            raise CatalogError(f"{self.name}: EPC must be non-negative")
+        if self.packaging_ratio < 0.0:
+            raise CatalogError(f"{self.name}: packaging ratio must be non-negative")
+        if self.bandwidth_gb_s <= 0.0:
+            raise CatalogError(f"{self.name}: bandwidth must be positive")
+        if self.idle_w < 0.0 or self.active_w < self.idle_w:
+            raise CatalogError(
+                f"{self.name}: power must satisfy 0 <= idle <= active"
+            )
+
+    @property
+    def component_class(self) -> ComponentClass:
+        return ComponentClass(self.kind.value)
+
+    def embodied(self, config: Optional[ModelConfig] = None) -> EmbodiedBreakdown:
+        manufacturing = manufacturing_carbon_capacity(
+            self.epc_g_per_gb, self.capacity_gb
+        )
+        packaging = packaging_carbon_from_ratio(manufacturing, self.packaging_ratio)
+        return EmbodiedBreakdown(manufacturing_g=manufacturing, packaging_g=packaging)
+
+    def embodied_per_bandwidth(self, config: Optional[ModelConfig] = None) -> float:
+        """Embodied gCO2 per GB/s of bandwidth (Fig. 2b normalization)."""
+        return self.embodied(config).total_g / self.bandwidth_gb_s
+
+
+PartSpec = Union[ProcessorSpec, MemorySpec, StorageSpec]

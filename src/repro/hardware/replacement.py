@@ -1,0 +1,127 @@
+"""Component failure/replacement embodied carbon (paper RQ4 implication).
+
+The paper warns: *"Memory often has the largest failure rate and gets
+replaced, therefore, lack of attention around minimizing or mitigating
+embodied carbon cost for DRAM can be undesirable."*  Replacements are
+fresh manufacturing — each failed module re-incurs its full embodied
+carbon — so a system's lifetime embodied footprint grows with its annual
+replacement rates.
+
+:class:`ReplacementModel` carries per-class annualized replacement rates
+(defaults anchored to published large-fleet reliability studies: DRAM
+modules and HDDs fail the most, CPUs almost never) and computes the
+expected replacement carbon of a node or system over a service life.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Union
+
+from repro.core.config import ModelConfig
+from repro.core.embodied import EmbodiedBreakdown
+from repro.core.errors import CatalogError
+from repro.hardware.node import NodeSpec
+from repro.hardware.parts import ComponentClass
+from repro.hardware.systems import SystemSpec
+
+__all__ = ["DEFAULT_ANNUAL_REPLACEMENT_RATES", "ReplacementModel"]
+
+#: Annualized replacement fraction per component class.  DRAM leads (the
+#: paper's point), disks follow, processors are rarely replaced.
+DEFAULT_ANNUAL_REPLACEMENT_RATES: Dict[ComponentClass, float] = {
+    ComponentClass.DRAM: 0.040,
+    ComponentClass.HDD: 0.025,
+    ComponentClass.SSD: 0.012,
+    ComponentClass.GPU: 0.008,
+    ComponentClass.CPU: 0.002,
+}
+
+
+@dataclass(frozen=True)
+class ReplacementModel:
+    """Expected embodied carbon of replacements over a service life."""
+
+    annual_rates: Mapping[ComponentClass, float] = field(
+        default_factory=lambda: dict(DEFAULT_ANNUAL_REPLACEMENT_RATES)
+    )
+
+    def __post_init__(self) -> None:
+        for cls, rate in self.annual_rates.items():
+            if not isinstance(cls, ComponentClass):
+                raise CatalogError(f"unknown component class {cls!r}")
+            if not (0.0 <= rate <= 1.0):
+                raise CatalogError(f"{cls}: annual rate must be in [0, 1]")
+
+    def rate(self, cls: ComponentClass) -> float:
+        return float(self.annual_rates.get(cls, 0.0))
+
+    # --- expectations --------------------------------------------------------
+    def expected_replacements(
+        self,
+        inventory: Union[NodeSpec, SystemSpec],
+        years: float,
+    ) -> Dict[ComponentClass, float]:
+        """Expected number of replaced units per class over ``years``."""
+        if years < 0.0:
+            raise CatalogError("service life must be non-negative")
+        result: Dict[ComponentClass, float] = {}
+        for part, count in inventory.components.items():
+            cls = part.component_class
+            expected = count * self.rate(cls) * years
+            result[cls] = result.get(cls, 0.0) + expected
+        return result
+
+    def replacement_carbon(
+        self,
+        inventory: Union[NodeSpec, SystemSpec],
+        years: float,
+        config: Optional[ModelConfig] = None,
+    ) -> Dict[ComponentClass, EmbodiedBreakdown]:
+        """Expected embodied carbon of replacements per class."""
+        if years < 0.0:
+            raise CatalogError("service life must be non-negative")
+        result: Dict[ComponentClass, EmbodiedBreakdown] = {}
+        for part, count in inventory.components.items():
+            cls = part.component_class
+            expected_units = count * self.rate(cls) * years
+            contribution = part.embodied(config).scaled(expected_units)
+            existing = result.get(cls)
+            result[cls] = (
+                contribution if existing is None else existing + contribution
+            )
+        return result
+
+    def lifetime_embodied(
+        self,
+        inventory: Union[NodeSpec, SystemSpec],
+        years: float,
+        config: Optional[ModelConfig] = None,
+    ) -> EmbodiedBreakdown:
+        """Initial build + expected replacements over the service life."""
+        if isinstance(inventory, NodeSpec):
+            total = inventory.embodied(config=config)
+        else:
+            total = inventory.embodied_total(config)
+        for breakdown in self.replacement_carbon(inventory, years, config).values():
+            total = total + breakdown
+        return total
+
+    def replacement_overhead_fraction(
+        self,
+        inventory: Union[NodeSpec, SystemSpec],
+        years: float,
+        config: Optional[ModelConfig] = None,
+    ) -> float:
+        """Replacement carbon as a fraction of the initial build's."""
+        if isinstance(inventory, NodeSpec):
+            initial = inventory.embodied(config=config).total_g
+        else:
+            initial = inventory.embodied_total(config).total_g
+        if initial == 0.0:
+            return 0.0
+        replacements = sum(
+            b.total_g
+            for b in self.replacement_carbon(inventory, years, config).values()
+        )
+        return replacements / initial

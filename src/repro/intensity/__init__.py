@@ -1,0 +1,74 @@
+"""Regional carbon-intensity substrate (paper Sec. 4, Table 3, Figs. 6-7)."""
+
+from repro.intensity.analysis import (
+    JST_OFFSET_HOURS,
+    WinnerCounts,
+    daily_winner_share,
+    hourly_winner_counts,
+    pairwise_advantage,
+)
+from repro.intensity.api import CarbonIntensityService
+from repro.intensity.forecast import (
+    BlendedForecaster,
+    ClimatologyForecaster,
+    PersistenceForecaster,
+    evaluate_forecaster,
+)
+from repro.intensity.generator import (
+    DEFAULT_SEED,
+    ar1_noise,
+    generate_all_traces,
+    generate_trace,
+)
+from repro.intensity.mix import (
+    SOURCE_INTENSITY_G_PER_KWH,
+    DecarbonizationScenario,
+    GridMix,
+    upgrade_breakeven_with_decarbonization,
+)
+from repro.intensity.regions import (
+    REGIONS,
+    RegionProfile,
+    RegionSpec,
+    get_region,
+    list_regions,
+)
+from repro.intensity.stats import (
+    RegionStats,
+    annual_summary,
+    rank_by_cov,
+    rank_by_median,
+)
+from repro.intensity.trace import HOURS_PER_STUDY_YEAR, IntensityTrace
+
+__all__ = [
+    "IntensityTrace",
+    "HOURS_PER_STUDY_YEAR",
+    "RegionProfile",
+    "RegionSpec",
+    "REGIONS",
+    "get_region",
+    "list_regions",
+    "generate_trace",
+    "generate_all_traces",
+    "ar1_noise",
+    "DEFAULT_SEED",
+    "RegionStats",
+    "annual_summary",
+    "rank_by_median",
+    "rank_by_cov",
+    "WinnerCounts",
+    "hourly_winner_counts",
+    "daily_winner_share",
+    "pairwise_advantage",
+    "JST_OFFSET_HOURS",
+    "CarbonIntensityService",
+    "PersistenceForecaster",
+    "ClimatologyForecaster",
+    "BlendedForecaster",
+    "evaluate_forecaster",
+    "GridMix",
+    "SOURCE_INTENSITY_G_PER_KWH",
+    "DecarbonizationScenario",
+    "upgrade_breakeven_with_decarbonization",
+]

@@ -1,0 +1,121 @@
+"""Carbon-intensity service facade (ESO Carbon Intensity API substitute).
+
+The paper obtains UK data from National Grid ESO's public Carbon
+Intensity API and other regions from Electricity Maps.  Schedulers need
+the same two capabilities those services expose: *current/historical*
+intensity and a *short-horizon forecast*.  :class:`CarbonIntensityService`
+provides both, backed by the synthetic traces.
+
+Forecasts are intentionally imperfect: forecast error grows with lead
+time (a calibrated random walk around the true future value), so
+carbon-aware scheduling policies are evaluated against realistic,
+degradable information rather than an oracle.  Pass
+``forecast_error=0.0`` to get oracle forecasts for upper-bound studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.core.errors import TraceError
+from repro.intensity.generator import DEFAULT_SEED, generate_all_traces
+from repro.intensity.trace import IntensityTrace
+
+__all__ = ["CarbonIntensityService"]
+
+
+class CarbonIntensityService:
+    """Query interface over a set of regional intensity traces.
+
+    Parameters
+    ----------
+    traces:
+        Mapping of region code to trace.  Defaults to generating the
+        full Table 3 set with the library seed.
+    forecast_error:
+        Relative 1-hour-ahead forecast error; error std grows with the
+        square root of lead time (random-walk model).  0.0 = oracle.
+    seed:
+        Seed for the forecast error stream (kept separate from the
+        trace-generation seed so changing one does not change the other).
+    """
+
+    def __init__(
+        self,
+        traces: Optional[Mapping[str, IntensityTrace]] = None,
+        *,
+        forecast_error: float = 0.03,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
+        if forecast_error < 0.0:
+            raise TraceError(
+                f"forecast error must be non-negative, got {forecast_error!r}"
+            )
+        self._traces: Dict[str, IntensityTrace] = dict(
+            traces if traces is not None else generate_all_traces(seed=seed)
+        )
+        if not self._traces:
+            raise TraceError("service needs at least one region trace")
+        self._forecast_error = forecast_error
+        self._rng = np.random.default_rng(seed + 777)
+
+    # --- catalog ------------------------------------------------------------
+    @property
+    def regions(self) -> list[str]:
+        return list(self._traces)
+
+    def trace(self, region: str) -> IntensityTrace:
+        try:
+            return self._traces[region]
+        except KeyError:
+            known = ", ".join(sorted(self._traces))
+            raise TraceError(
+                f"unknown region {region!r}; known regions: {known}"
+            ) from None
+
+    def horizon_hours(self) -> int:
+        return min(len(trace) for trace in self._traces.values())
+
+    # --- queries ----------------------------------------------------------
+    def intensity_at(self, region: str, hour: int) -> float:
+        """True intensity (gCO2/kWh) at a UTC hour (wraps at year end)."""
+        trace = self.trace(region)
+        return float(trace.values[int(hour) % len(trace)])
+
+    def history(self, region: str, start_hour: int, n_hours: int) -> np.ndarray:
+        """True intensity over ``[start, start+n)`` UTC hours."""
+        return self.trace(region).slice_hours(int(start_hour), int(n_hours))
+
+    def forecast(self, region: str, start_hour: int, horizon_hours: int) -> np.ndarray:
+        """Forecast intensity over ``[start, start+horizon)`` UTC hours.
+
+        Lead-time ``k`` (1-based) carries multiplicative noise with std
+        ``forecast_error * sqrt(k)``, floored at zero intensity.
+        """
+        if horizon_hours < 0:
+            raise TraceError(f"horizon must be non-negative, got {horizon_hours}")
+        truth = self.history(region, start_hour, horizon_hours)
+        if self._forecast_error == 0.0 or horizon_hours == 0:
+            return truth.copy()
+        lead = np.arange(1, horizon_hours + 1, dtype=float)
+        noise = self._rng.standard_normal(horizon_hours)
+        factor = 1.0 + self._forecast_error * np.sqrt(lead) * noise
+        return np.maximum(truth * factor, 0.0)
+
+    def cleanest_region(self, hour: int, regions: Optional[Iterable[str]] = None) -> str:
+        """The region with the lowest true intensity at a UTC hour."""
+        codes = list(regions) if regions is not None else self.regions
+        if not codes:
+            raise TraceError("no regions to compare")
+        return min(codes, key=lambda code: self.intensity_at(code, hour))
+
+    def forecast_window_mean(
+        self, region: str, start_hour: int, window_hours: int
+    ) -> float:
+        """Mean forecast intensity over a job-length window — the score a
+        temporal-shifting scheduler minimizes."""
+        if window_hours < 1:
+            raise TraceError(f"window must be >= 1 hour, got {window_hours}")
+        return float(self.forecast(region, start_hour, window_hours).mean())

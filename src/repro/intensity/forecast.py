@@ -1,0 +1,174 @@
+"""Carbon-intensity forecasting models.
+
+The ESO Carbon Intensity API the paper cites publishes 48-hour
+forecasts; a carbon-aware scheduler depends on their quality.  This
+module implements the standard statistical baselines a grid operator (or
+a scheduler without access to one) would use, all vectorized:
+
+* :class:`PersistenceForecaster` — tomorrow equals right now.
+* :class:`ClimatologyForecaster` — the mean of the same (weekday-kind,
+  hour-of-day) bucket over the training history; captures the diurnal
+  and weekend structure the generator embeds.
+* :class:`BlendedForecaster` — persistence for short leads decaying into
+  climatology for long leads (what operational feeds roughly do).
+
+:func:`evaluate_forecaster` scores any of them with MAPE per lead time,
+so the scheduler benchmarks can trade forecast quality against realized
+carbon savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Protocol
+
+import numpy as np
+
+from repro.core.errors import TraceError
+from repro.core.units import HOURS_PER_DAY
+from repro.intensity.trace import IntensityTrace
+
+__all__ = [
+    "Forecaster",
+    "PersistenceForecaster",
+    "ClimatologyForecaster",
+    "BlendedForecaster",
+    "evaluate_forecaster",
+]
+
+_HOURS = int(HOURS_PER_DAY)
+
+
+class Forecaster(Protocol):
+    """Forecast ``horizon`` hourly values starting after ``now_hour``."""
+
+    name: str
+
+    def forecast(self, now_hour: int, horizon: int) -> np.ndarray:  # pragma: no cover
+        ...
+
+
+def _check_horizon(horizon: int) -> int:
+    if horizon < 0:
+        raise TraceError(f"horizon must be non-negative, got {horizon}")
+    return int(horizon)
+
+
+@dataclass
+class PersistenceForecaster:
+    """Flat forecast at the last observed value."""
+
+    trace: IntensityTrace
+    name: str = "persistence"
+
+    def forecast(self, now_hour: int, horizon: int) -> np.ndarray:
+        horizon = _check_horizon(horizon)
+        last = float(self.trace.values[int(now_hour) % len(self.trace)])
+        return np.full(horizon, last)
+
+
+@dataclass
+class ClimatologyForecaster:
+    """Per-(day-kind, hour-of-day) mean of the training window.
+
+    ``day-kind`` distinguishes weekdays from weekends, which the
+    synthetic grids (and real ones) treat differently.  Only hours up to
+    ``now_hour`` are used — no lookahead.
+    """
+
+    trace: IntensityTrace
+    name: str = "climatology"
+    _table: np.ndarray | None = None
+    _trained_until: int = -1
+
+    def _train(self, now_hour: int) -> np.ndarray:
+        history = self.trace.values[: max(int(now_hour) + 1, 1)]
+        hours = np.arange(history.size)
+        local = (hours + self.trace.tz_offset_hours) % _HOURS
+        day_index = (hours + self.trace.tz_offset_hours) // _HOURS
+        weekday = (day_index + 4) % 7  # Jan 1 2021 = Friday
+        is_weekend = (weekday >= 5).astype(int)
+        table = np.zeros((2, _HOURS))
+        for kind in (0, 1):
+            for hour in range(_HOURS):
+                mask = (is_weekend == kind) & (local == hour)
+                bucket = history[mask]
+                table[kind, hour] = (
+                    float(bucket.mean()) if bucket.size else float(history.mean())
+                )
+        return table
+
+    def forecast(self, now_hour: int, horizon: int) -> np.ndarray:
+        horizon = _check_horizon(horizon)
+        if self._table is None or self._trained_until != int(now_hour):
+            object.__setattr__(self, "_table", self._train(now_hour))
+            object.__setattr__(self, "_trained_until", int(now_hour))
+        table = self._table
+        assert table is not None
+        future = np.arange(int(now_hour) + 1, int(now_hour) + 1 + horizon)
+        local = (future + self.trace.tz_offset_hours) % _HOURS
+        day_index = (future + self.trace.tz_offset_hours) // _HOURS
+        weekend = (((day_index + 4) % 7) >= 5).astype(int)
+        return table[weekend, local]
+
+
+@dataclass
+class BlendedForecaster:
+    """Persistence decaying into climatology with lead time.
+
+    Weight on persistence is ``exp(-lead / decay_hours)`` — short leads
+    trust the current grid state, long leads trust the climate.
+    """
+
+    trace: IntensityTrace
+    decay_hours: float = 6.0
+    name: str = "blended"
+
+    def __post_init__(self) -> None:
+        if self.decay_hours <= 0.0:
+            raise TraceError("decay_hours must be positive")
+        self._persistence = PersistenceForecaster(self.trace)
+        self._climatology = ClimatologyForecaster(self.trace)
+
+    def forecast(self, now_hour: int, horizon: int) -> np.ndarray:
+        horizon = _check_horizon(horizon)
+        p = self._persistence.forecast(now_hour, horizon)
+        c = self._climatology.forecast(now_hour, horizon)
+        lead = np.arange(1, horizon + 1, dtype=float)
+        w = np.exp(-lead / self.decay_hours)
+        return w * p + (1.0 - w) * c
+
+
+def evaluate_forecaster(
+    forecaster: Forecaster,
+    trace: IntensityTrace,
+    *,
+    horizon: int = 24,
+    start_hour: int = 24 * 28,
+    stride: int = 24,
+) -> Dict[str, np.ndarray]:
+    """Backtest: MAPE and bias per lead time over the trace.
+
+    Forecast origins step through the trace every ``stride`` hours from
+    ``start_hour`` (leaving a training warm-up) to the last origin whose
+    horizon fits.  Returns ``{"mape": (horizon,), "bias": (horizon,)}``.
+    """
+    if _check_horizon(horizon) == 0:
+        raise TraceError("horizon must be >= 1 for evaluation")
+    if stride < 1:
+        raise TraceError(f"stride must be >= 1, got {stride}")
+    last_origin = len(trace) - horizon - 1
+    if start_hour > last_origin:
+        raise TraceError("trace too short for the requested backtest")
+    origins = np.arange(start_hour, last_origin + 1, stride)
+    abs_pct = np.zeros((origins.size, horizon))
+    err = np.zeros((origins.size, horizon))
+    for i, origin in enumerate(origins):
+        predicted = forecaster.forecast(int(origin), horizon)
+        truth = trace.values[origin + 1 : origin + 1 + horizon]
+        err[i] = predicted - truth
+        abs_pct[i] = np.abs(err[i]) / np.maximum(truth, 1e-9)
+    return {
+        "mape": abs_pct.mean(axis=0) * 100.0,
+        "bias": err.mean(axis=0),
+    }

@@ -1,0 +1,150 @@
+"""Synthetic hourly carbon-intensity trace generation.
+
+The generator composes the physically meaningful structure of a grid's
+carbon intensity (see :class:`repro.intensity.regions.RegionProfile`):
+
+* an annual (seasonal) cycle,
+* a demand-driven diurnal cycle in *local* time,
+* a midday solar depression, deeper in summer,
+* a weekend demand reduction,
+* persistent AR(1) "weather" noise (wind availability, imports),
+
+multiplies them, clips at the region's floor, and rescales so the annual
+median matches the region's calibrated target exactly.  Everything is
+vectorized; a 7-region year costs a few milliseconds.
+
+Determinism: each region's noise stream is seeded from a stable hash of
+``(seed, region code)``, so traces are reproducible across runs and
+independent across regions.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.core.errors import TraceError
+from repro.core.units import HOURS_PER_DAY
+from repro.intensity.regions import REGIONS, RegionSpec, get_region
+from repro.intensity.trace import HOURS_PER_STUDY_YEAR, IntensityTrace
+
+__all__ = [
+    "generate_trace",
+    "generate_all_traces",
+    "ar1_noise",
+    "DEFAULT_SEED",
+]
+
+#: Library-wide default seed for the 2021 study traces.
+DEFAULT_SEED = 2021
+
+_DAYS_PER_YEAR = 365.0
+#: Jan 1 2021 was a Friday; with Monday=0 its weekday index is 4.
+_JAN1_WEEKDAY = 4
+
+
+def _region_rng(seed: int, region_code: str) -> np.random.Generator:
+    """A generator seeded stably from (seed, region)."""
+    mix = zlib.crc32(region_code.encode("utf-8"))
+    return np.random.default_rng(np.uint64(seed) * np.uint64(1_000_003) + mix)
+
+
+def ar1_noise(
+    n: int, sigma: float, rho: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Stationary AR(1) noise with marginal std ``sigma``.
+
+    ``x[t] = rho * x[t-1] + e[t]`` with ``e ~ N(0, sigma^2 (1-rho^2))``
+    is an IIR filter; :func:`scipy.signal.lfilter` evaluates the
+    recursion in compiled code, so a year of hourly noise is O(n) with
+    no Python-level loop.  The initial state is drawn from the
+    stationary marginal so the series has no warm-up transient.
+    """
+    if n < 0:
+        raise TraceError(f"noise length must be non-negative, got {n}")
+    if sigma < 0.0:
+        raise TraceError(f"noise sigma must be non-negative, got {sigma!r}")
+    if not (0.0 <= rho < 1.0):
+        raise TraceError(f"noise rho must be in [0, 1), got {rho!r}")
+    if n == 0:
+        return np.zeros(0)
+    innovations = rng.standard_normal(n) * (sigma * np.sqrt(1.0 - rho * rho))
+    if rho == 0.0:
+        return innovations
+    from scipy.signal import lfilter, lfiltic
+
+    x0 = rng.standard_normal() * sigma
+    zi = lfiltic([1.0], [1.0, -rho], y=[x0])
+    out, _ = lfilter([1.0], [1.0, -rho], innovations, zi=zi)
+    return np.asarray(out)
+
+
+def generate_trace(
+    region: RegionSpec | str,
+    *,
+    n_hours: int = HOURS_PER_STUDY_YEAR,
+    seed: int = DEFAULT_SEED,
+) -> IntensityTrace:
+    """Generate the synthetic hourly trace for one region.
+
+    The returned trace is UTC-indexed (see
+    :class:`~repro.intensity.trace.IntensityTrace`) with the region's
+    timezone attached; its annual median equals the profile's calibrated
+    target exactly.
+    """
+    spec = get_region(region) if isinstance(region, str) else region
+    if n_hours < int(HOURS_PER_DAY):
+        raise TraceError(f"need at least one day of hours, got {n_hours}")
+    profile = spec.profile
+    rng = _region_rng(seed, spec.code)
+
+    t_utc = np.arange(n_hours, dtype=float)
+    local = t_utc + spec.tz_offset_hours
+    day_of_year = (local / HOURS_PER_DAY) % _DAYS_PER_YEAR
+    hour_local = local % HOURS_PER_DAY
+    weekday = (np.floor(local / HOURS_PER_DAY).astype(int) + _JAN1_WEEKDAY) % 7
+
+    seasonal = 1.0 + profile.seasonal_amp * np.cos(
+        2.0 * np.pi * (day_of_year - profile.seasonal_peak_day) / _DAYS_PER_YEAR
+    )
+    diurnal = 1.0 + profile.diurnal_amp * np.cos(
+        2.0 * np.pi * (hour_local - profile.diurnal_peak_hour) / HOURS_PER_DAY
+    )
+    # Solar output peaks in summer (northern hemisphere, day ~172).
+    solar_season = 1.0 + 0.5 * np.cos(
+        2.0 * np.pi * (day_of_year - 172.0) / _DAYS_PER_YEAR
+    )
+    solar_dip = profile.solar_dip_amp * solar_season * np.exp(
+        -((hour_local - profile.solar_noon_hour) ** 2)
+        / (2.0 * profile.solar_width_h**2)
+    )
+    weekend = np.where(weekday >= 5, 1.0 - profile.weekly_amp, 1.0)
+    noise = 1.0 + ar1_noise(n_hours, profile.noise_sigma, profile.noise_rho, rng)
+
+    raw = seasonal * diurnal * (1.0 - solar_dip) * weekend * np.clip(noise, 0.05, None)
+    raw = np.maximum(raw, 1e-6)
+    # Rescale so the annual median hits the calibrated target exactly,
+    # then clip at the physical floor (the clip moves the median by <1%
+    # for every calibrated profile; tests assert the 5% envelope).
+    scale = profile.median_g_per_kwh / float(np.median(raw))
+    values = np.maximum(raw * scale, profile.floor_g_per_kwh)
+    return IntensityTrace(
+        region_code=spec.code,
+        tz_offset_hours=spec.tz_offset_hours,
+        values=values,
+    )
+
+
+def generate_all_traces(
+    *,
+    regions: Optional[Iterable[str]] = None,
+    n_hours: int = HOURS_PER_STUDY_YEAR,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, IntensityTrace]:
+    """Generate traces for several regions (default: all of Table 3)."""
+    codes = list(regions) if regions is not None else list(REGIONS)
+    return {
+        code: generate_trace(code, n_hours=n_hours, seed=seed) for code in codes
+    }

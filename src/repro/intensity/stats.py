@@ -1,0 +1,72 @@
+"""Regional carbon-intensity statistics (paper Fig. 6).
+
+Fig. 6(a) is a box plot of annual hourly carbon intensity per region;
+Fig. 6(b) shows the coefficient of variation (std as a percentage of the
+mean).  :func:`annual_summary` computes both for a set of traces and
+:func:`rank_by_median` / :func:`rank_by_cov` express the orderings the
+paper's Insight 6 discusses (lowest-median regions have the *highest*
+temporal variation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.core.errors import TraceError
+from repro.intensity.trace import IntensityTrace
+
+__all__ = ["RegionStats", "annual_summary", "rank_by_median", "rank_by_cov"]
+
+
+@dataclass(frozen=True, slots=True)
+class RegionStats:
+    """Annual summary statistics of one region's hourly intensity."""
+
+    region_code: str
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    std: float
+    cov_percent: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def annual_summary(traces: Mapping[str, IntensityTrace]) -> Dict[str, RegionStats]:
+    """Fig. 6 statistics for each region, keyed by region code."""
+    if not traces:
+        raise TraceError("no traces supplied")
+    result: Dict[str, RegionStats] = {}
+    for code, trace in traces.items():
+        minimum, q1, median, q3, maximum = trace.box_stats()
+        mean = trace.mean()
+        std = trace.std()
+        result[code] = RegionStats(
+            region_code=code,
+            minimum=minimum,
+            q1=q1,
+            median=median,
+            q3=q3,
+            maximum=maximum,
+            mean=mean,
+            std=std,
+            cov_percent=100.0 * trace.cov(),
+        )
+    return result
+
+
+def rank_by_median(stats: Mapping[str, RegionStats]) -> List[str]:
+    """Region codes ordered from lowest to highest annual median."""
+    return sorted(stats, key=lambda code: stats[code].median)
+
+
+def rank_by_cov(stats: Mapping[str, RegionStats]) -> List[str]:
+    """Region codes ordered from highest to lowest CoV (most volatile
+    first) — the paper's Insight 6 pairs this with the median ranking."""
+    return sorted(stats, key=lambda code: -stats[code].cov_percent)

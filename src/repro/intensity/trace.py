@@ -1,0 +1,180 @@
+"""Hourly carbon-intensity traces.
+
+An :class:`IntensityTrace` holds one year (or any whole number of days)
+of hourly grid carbon-intensity samples for one region, indexed by UTC
+hour.  The container is a thin, immutable wrapper over a ``numpy`` array
+so that year-scale analyses (Fig. 6 statistics, Fig. 7 winner counts,
+scheduler sweeps) stay fully vectorized.
+
+Timezone convention
+-------------------
+``values[i]`` is the average intensity during UTC hour ``i`` counted
+from the trace ``start`` (hour 0 of Jan 1 of the study year).  A region
+has a fixed UTC offset (standard time; the paper's regions span GMT,
+PST, CST, EST and JST — we ignore daylight-saving shifts, which move
+diurnal structure by at most one hour for part of the year).  Local-time
+views are produced by rolling the array so index ``j`` has local hour
+``j % 24``; the roll wraps the year boundary, which perturbs at most
+``|offset|`` of 8760 samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.errors import TraceError
+from repro.core.units import HOURS_PER_DAY
+
+__all__ = ["IntensityTrace", "HOURS_PER_STUDY_YEAR"]
+
+#: The paper studies calendar year 2021 (365 days).
+HOURS_PER_STUDY_YEAR = 8760
+
+
+@dataclass(frozen=True)
+class IntensityTrace:
+    """One region's hourly carbon-intensity series (gCO2/kWh, UTC-indexed)."""
+
+    region_code: str
+    tz_offset_hours: int
+    values: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim != 1:
+            raise TraceError(
+                f"trace values must be 1-D, got shape {values.shape}"
+            )
+        if values.size == 0:
+            raise TraceError("trace must contain at least one sample")
+        if not np.all(np.isfinite(values)):
+            raise TraceError(f"trace {self.region_code!r} contains non-finite samples")
+        if float(values.min()) < 0.0:
+            raise TraceError(f"trace {self.region_code!r} contains negative samples")
+        if not (-12 <= int(self.tz_offset_hours) <= 14):
+            raise TraceError(
+                f"timezone offset must be within [-12, 14], got {self.tz_offset_hours}"
+            )
+        values = values.copy()
+        values.setflags(write=False)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "tz_offset_hours", int(self.tz_offset_hours))
+
+    # --- basic geometry ---------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def n_days(self) -> int:
+        if len(self) % int(HOURS_PER_DAY) != 0:
+            raise TraceError(
+                f"trace length {len(self)} is not a whole number of days"
+            )
+        return len(self) // int(HOURS_PER_DAY)
+
+    # --- statistics ---------------------------------------------------------
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    def median(self) -> float:
+        return float(np.median(self.values))
+
+    def std(self) -> float:
+        return float(self.values.std())
+
+    def cov(self) -> float:
+        """Coefficient of variation (std/mean), the Fig. 6(b) metric."""
+        mean = self.mean()
+        if mean == 0.0:
+            raise TraceError(f"trace {self.region_code!r} has zero mean")
+        return self.std() / mean
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.values, q))
+
+    def box_stats(self) -> Tuple[float, float, float, float, float]:
+        """(min, Q1, median, Q3, max) — the Fig. 6(a) box plot."""
+        return (
+            float(self.values.min()),
+            self.percentile(25.0),
+            self.median(),
+            self.percentile(75.0),
+            float(self.values.max()),
+        )
+
+    # --- views ---------------------------------------------------------------
+    def to_timezone(self, tz_offset_hours: int) -> np.ndarray:
+        """Values rolled so index ``j`` falls at hour ``j % 24`` of the
+        target timezone.  Used to compare regions at the same wall-clock
+        hour (the paper converts everything to JST for Fig. 7)."""
+        if not (-12 <= int(tz_offset_hours) <= 14):
+            raise TraceError(
+                f"timezone offset must be within [-12, 14], got {tz_offset_hours}"
+            )
+        return np.roll(self.values, int(tz_offset_hours))
+
+    def by_hour_of_day(self, tz_offset_hours: int | None = None) -> np.ndarray:
+        """Reshape to ``(n_days, 24)`` in the given timezone.
+
+        ``tz_offset_hours=None`` uses the trace's own local timezone.
+        Column ``h`` holds the samples at local hour ``h``.
+        """
+        offset = self.tz_offset_hours if tz_offset_hours is None else tz_offset_hours
+        rolled = self.to_timezone(offset)
+        n_days = self.n_days  # validates divisibility
+        return rolled.reshape(n_days, int(HOURS_PER_DAY))
+
+    def hourly_profile(self, tz_offset_hours: int | None = None) -> np.ndarray:
+        """Mean intensity per local hour of day, shape ``(24,)``."""
+        return self.by_hour_of_day(tz_offset_hours).mean(axis=0)
+
+    def rolling_mean(self, window_hours: int) -> np.ndarray:
+        """Trailing ``window_hours`` moving average (same length, edge-
+        padded with the partial-window mean).  Used by temporal
+        scheduling to score start hours; implemented with a cumulative
+        sum so year-long traces cost O(n)."""
+        if window_hours < 1:
+            raise TraceError(f"window must be >= 1 hour, got {window_hours}")
+        window = min(int(window_hours), len(self))
+        csum = np.concatenate(([0.0], np.cumsum(self.values)))
+        counts = np.minimum(np.arange(1, len(self) + 1), window)
+        starts = np.maximum(np.arange(1, len(self) + 1) - window, 0)
+        return (csum[1:] - csum[starts]) / counts
+
+    def forward_window_mean(self, window_hours: int) -> np.ndarray:
+        """Mean intensity over ``[t, t+window)`` for every start hour
+        ``t``; windows extending past the end wrap around (a job
+        submitted in late December runs into January).  This is the
+        quantity a carbon-aware scheduler minimizes when placing a job
+        of known duration."""
+        if window_hours < 1:
+            raise TraceError(f"window must be >= 1 hour, got {window_hours}")
+        window = int(window_hours)
+        if window > len(self):
+            raise TraceError(
+                f"window {window} h exceeds trace length {len(self)} h"
+            )
+        extended = np.concatenate([self.values, self.values[: window - 1]])
+        csum = np.concatenate(([0.0], np.cumsum(extended)))
+        return (csum[window:] - csum[:-window])[: len(self)] / window
+
+    def slice_hours(self, start_hour: int, n_hours: int) -> np.ndarray:
+        """Intensity for ``n_hours`` starting at UTC hour ``start_hour``,
+        wrapping around the year boundary."""
+        if n_hours < 0:
+            raise TraceError(f"slice length must be non-negative, got {n_hours}")
+        idx = (np.arange(start_hour, start_hour + n_hours)) % len(self)
+        return self.values[idx]
+
+    def scaled(self, factor: float) -> "IntensityTrace":
+        """A copy with all values multiplied by ``factor`` (>0)."""
+        if factor <= 0.0:
+            raise TraceError(f"scale factor must be positive, got {factor!r}")
+        return IntensityTrace(
+            region_code=self.region_code,
+            tz_offset_hours=self.tz_offset_hours,
+            values=self.values * factor,
+        )

@@ -1,0 +1,22 @@
+"""Power and energy measurement substrate (NVML/RAPL/carbontracker
+equivalents used for the paper's operational characterization)."""
+
+from repro.power.devices import DevicePowerModel, power_model_for
+from repro.power.meters import MeterLog, NvmlGpuMeter, PowerSample, RaplCpuMeter
+from repro.power.node import NodePowerModel
+from repro.power.pue import SeasonalPUE, operational_carbon_seasonal
+from repro.power.tracker import CarbonTracker, RunReport
+
+__all__ = [
+    "DevicePowerModel",
+    "power_model_for",
+    "NodePowerModel",
+    "PowerSample",
+    "MeterLog",
+    "NvmlGpuMeter",
+    "RaplCpuMeter",
+    "CarbonTracker",
+    "RunReport",
+    "SeasonalPUE",
+    "operational_carbon_seasonal",
+]

@@ -1,0 +1,88 @@
+"""Device-level power models.
+
+Each hardware part gets a :class:`DevicePowerModel` mapping utilization
+to electrical power.  The model is the standard affine one used
+throughout the GPU power-modeling literature the paper cites
+(GPUWattch, AccelWattch):
+
+``P(u) = P_idle + u * (P_max - P_idle)``  for utilization ``u in [0, 1]``
+
+For processors, ``P_max`` is the TDP and ``P_idle`` comes from the
+part's ``idle_fraction``; a *busy* training workload drives the part at
+its ``busy_utilization`` (about 0.9 for GPUs running dense DL training,
+about 0.55 for host CPUs feeding them).  Memory and storage use their
+catalog idle/active wattages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.errors import PowerModelError
+from repro.hardware.parts import MemorySpec, PartSpec, ProcessorSpec, StorageSpec
+
+__all__ = ["DevicePowerModel", "power_model_for"]
+
+
+@dataclass(frozen=True, slots=True)
+class DevicePowerModel:
+    """Affine utilization-to-watts model for one device."""
+
+    name: str
+    idle_w: float
+    max_w: float
+    busy_utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0.0:
+            raise PowerModelError(f"{self.name}: idle power must be non-negative")
+        if self.max_w < self.idle_w:
+            raise PowerModelError(
+                f"{self.name}: max power {self.max_w!r} below idle {self.idle_w!r}"
+            )
+        if not (0.0 <= self.busy_utilization <= 1.0):
+            raise PowerModelError(
+                f"{self.name}: busy utilization must be in [0, 1]"
+            )
+
+    def power_w(self, utilization: float) -> float:
+        """Power at a given utilization in [0, 1]."""
+        if not (0.0 <= utilization <= 1.0):
+            raise PowerModelError(
+                f"{self.name}: utilization must be in [0, 1], got {utilization!r}"
+            )
+        return self.idle_w + utilization * (self.max_w - self.idle_w)
+
+    @property
+    def busy_w(self) -> float:
+        """Power while running a training workload."""
+        return self.power_w(self.busy_utilization)
+
+    def average_power_w(self, busy_fraction: float) -> float:
+        """Time-averaged power when busy a fraction of the time and idle
+        otherwise — the quantity the upgrade analysis integrates."""
+        if not (0.0 <= busy_fraction <= 1.0):
+            raise PowerModelError(
+                f"{self.name}: busy fraction must be in [0, 1], got {busy_fraction!r}"
+            )
+        return busy_fraction * self.busy_w + (1.0 - busy_fraction) * self.idle_w
+
+
+def power_model_for(part: PartSpec) -> DevicePowerModel:
+    """Build the catalog power model for any part spec."""
+    if isinstance(part, ProcessorSpec):
+        return DevicePowerModel(
+            name=part.name,
+            idle_w=part.idle_w,
+            max_w=part.tdp_w,
+            busy_utilization=part.busy_utilization,
+        )
+    if isinstance(part, (MemorySpec, StorageSpec)):
+        return DevicePowerModel(
+            name=part.name,
+            idle_w=part.idle_w,
+            max_w=part.active_w,
+            busy_utilization=1.0,
+        )
+    raise PowerModelError(f"no power model for part type {type(part).__name__}")

@@ -1,0 +1,192 @@
+"""Simulated power meters (NVML / RAPL substitutes).
+
+The paper measures operational energy with the carbontracker tool, which
+samples NVIDIA NVML (GPU board power) and Intel RAPL (CPU package and
+DRAM energy counters).  Real counters are unavailable in a simulation,
+so this module provides meter objects with the same sampling semantics:
+
+* :class:`NvmlGpuMeter` — instantaneous board power per GPU, with
+  calibrated measurement noise (NVML readings jitter by a few percent);
+* :class:`RaplCpuMeter` — energy-counter semantics: monotonically
+  increasing joules per CPU socket (reads return cumulative energy, as
+  RAPL does), including DRAM domains;
+* :class:`MeterLog` — a sampled profile with trapezoid-free, interval-
+  consistent energy integration.
+
+Meters are deterministic given a seed, so characterization runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import PowerModelError
+from repro.core.units import Energy
+from repro.power.devices import DevicePowerModel
+
+__all__ = ["PowerSample", "MeterLog", "NvmlGpuMeter", "RaplCpuMeter"]
+
+
+@dataclass(frozen=True, slots=True)
+class PowerSample:
+    """One meter reading: time (hours since run start) and watts."""
+
+    time_h: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.time_h < 0.0:
+            raise PowerModelError(f"sample time must be non-negative, got {self.time_h!r}")
+        if self.power_w < 0.0:
+            raise PowerModelError(f"sample power must be non-negative, got {self.power_w!r}")
+
+
+class MeterLog:
+    """An append-only sequence of power samples for one device."""
+
+    def __init__(self, device_name: str) -> None:
+        self.device_name = device_name
+        self._times: List[float] = []
+        self._powers: List[float] = []
+
+    def append(self, sample: PowerSample) -> None:
+        if self._times and sample.time_h < self._times[-1]:
+            raise PowerModelError(
+                f"{self.device_name}: samples must be time-ordered "
+                f"({sample.time_h!r} after {self._times[-1]!r})"
+            )
+        self._times.append(sample.time_h)
+        self._powers.append(sample.power_w)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times_h(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def powers_w(self) -> np.ndarray:
+        return np.asarray(self._powers, dtype=float)
+
+    def energy(self) -> Energy:
+        """Integrate the sampled profile to energy (kWh).
+
+        Uses interval-average (trapezoidal) integration between samples,
+        matching how carbontracker aggregates NVML readings.  A log with
+        fewer than two samples has zero integrable energy.
+        """
+        if len(self._times) < 2:
+            return Energy.zero()
+        times = self.times_h
+        powers = self.powers_w
+        kwh = float(np.trapezoid(powers, times)) / 1000.0
+        return Energy(kwh)
+
+    def average_power_w(self) -> float:
+        """Energy-weighted mean power over the sampled span."""
+        if len(self._times) < 2:
+            raise PowerModelError(
+                f"{self.device_name}: need >= 2 samples for an average"
+            )
+        span = self._times[-1] - self._times[0]
+        if span <= 0.0:
+            raise PowerModelError(f"{self.device_name}: zero-length sample span")
+        return self.energy().kwh * 1000.0 / span
+
+
+class NvmlGpuMeter:
+    """Instantaneous GPU board-power meter with NVML-like jitter."""
+
+    def __init__(
+        self,
+        model: DevicePowerModel,
+        *,
+        noise_fraction: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if noise_fraction < 0.0:
+            raise PowerModelError("noise fraction must be non-negative")
+        self._model = model
+        self._noise = noise_fraction
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def device_name(self) -> str:
+        return self._model.name
+
+    def read_w(self, utilization: float) -> float:
+        """One noisy instantaneous power reading at the given utilization,
+        clipped to the physical [0, TDP] envelope."""
+        true_power = self._model.power_w(utilization)
+        noisy = true_power * (1.0 + self._noise * self._rng.standard_normal())
+        return float(np.clip(noisy, 0.0, self._model.max_w))
+
+    def sample_profile(
+        self,
+        utilizations: Sequence[float],
+        step_h: float,
+        *,
+        start_h: float = 0.0,
+    ) -> MeterLog:
+        """Sample a utilization schedule into a :class:`MeterLog`."""
+        if step_h <= 0.0:
+            raise PowerModelError(f"step must be positive, got {step_h!r}")
+        log = MeterLog(self.device_name)
+        for k, utilization in enumerate(utilizations):
+            log.append(PowerSample(start_h + k * step_h, self.read_w(utilization)))
+        return log
+
+
+class RaplCpuMeter:
+    """Cumulative energy counter with RAPL semantics (joules, monotone).
+
+    ``read_joules`` advances simulated time and returns the cumulative
+    package(+DRAM) energy; consumers difference successive readings,
+    exactly as RAPL users do.  The counter wraps at ``wrap_joules`` like
+    the hardware MSR, and :meth:`energy_between` handles one wrap.
+    """
+
+    def __init__(
+        self,
+        package_model: DevicePowerModel,
+        dram_w: float = 0.0,
+        *,
+        wrap_joules: float = 2.0**32 / 1e3,
+        seed: int = 0,
+    ) -> None:
+        if dram_w < 0.0:
+            raise PowerModelError("DRAM power must be non-negative")
+        if wrap_joules <= 0.0:
+            raise PowerModelError("wrap threshold must be positive")
+        self._model = package_model
+        self._dram_w = dram_w
+        self._wrap = wrap_joules
+        self._cumulative_j = 0.0
+        self._noise = 0.005
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def device_name(self) -> str:
+        return self._model.name
+
+    def read_joules(self, utilization: float, elapsed_h: float) -> float:
+        """Advance ``elapsed_h`` at ``utilization`` and return the counter."""
+        if elapsed_h < 0.0:
+            raise PowerModelError(f"elapsed time must be non-negative, got {elapsed_h!r}")
+        power = self._model.power_w(utilization) + self._dram_w
+        joules = power * elapsed_h * 3600.0
+        joules *= 1.0 + self._noise * self._rng.standard_normal()
+        self._cumulative_j = (self._cumulative_j + max(joules, 0.0)) % self._wrap
+        return self._cumulative_j
+
+    def energy_between(self, earlier_j: float, later_j: float) -> Energy:
+        """Difference two counter readings, tolerating one wrap."""
+        delta = later_j - earlier_j
+        if delta < 0.0:
+            delta += self._wrap
+        return Energy.from_joules(delta)

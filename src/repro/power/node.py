@@ -1,0 +1,107 @@
+"""Node-level power aggregation.
+
+A :class:`NodePowerModel` sums the device power models of a
+:class:`~repro.hardware.node.NodeSpec` and answers the two questions the
+rest of the library asks:
+
+* instantaneous node power for given GPU/CPU utilizations, and
+* average *GPU-subsystem* power under a duty cycle (the paper's
+  Figs. 8-9 are "primarily based on GPUs for simplicity"; the
+  upgrade model integrates GPU power only, while the cluster simulator
+  uses whole-node power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.errors import PowerModelError
+from repro.hardware.node import NodeSpec
+from repro.hardware.parts import ComponentClass
+from repro.power.devices import DevicePowerModel, power_model_for
+
+__all__ = ["NodePowerModel"]
+
+
+@dataclass(frozen=True)
+class NodePowerModel:
+    """Power model for a whole node, built from its part inventory."""
+
+    node: NodeSpec
+
+    def _models(self) -> Tuple[Tuple[DevicePowerModel, ComponentClass, int], ...]:
+        return tuple(
+            (power_model_for(part), part.component_class, count)
+            for part, count in self.node.components.items()
+        )
+
+    # --- instantaneous --------------------------------------------------
+    def power_w(self, gpu_utilization: float, cpu_utilization: float) -> float:
+        """Node power with GPUs and CPUs at the given utilizations; memory
+        and storage are modeled active whenever the node is in service."""
+        total = 0.0
+        for model, cls, count in self._models():
+            if cls is ComponentClass.GPU:
+                total += count * model.power_w(gpu_utilization)
+            elif cls is ComponentClass.CPU:
+                total += count * model.power_w(cpu_utilization)
+            else:
+                total += count * model.max_w
+        return total
+
+    def idle_power_w(self) -> float:
+        """Node power with every device idle."""
+        return sum(count * model.idle_w for model, _cls, count in self._models())
+
+    def busy_power_w(self) -> float:
+        """Node power while running a training workload (GPUs at their
+        busy utilization, CPUs feeding them)."""
+        total = 0.0
+        for model, cls, count in self._models():
+            if cls in (ComponentClass.GPU, ComponentClass.CPU):
+                total += count * model.busy_w
+            else:
+                total += count * model.max_w
+        return total
+
+    # --- GPU subsystem ----------------------------------------------------
+    def gpu_power_w(self, busy: bool) -> float:
+        """Power of the GPU subsystem only (the Figs. 8-9 scope)."""
+        total = 0.0
+        for model, cls, count in self._models():
+            if cls is ComponentClass.GPU:
+                total += count * (model.busy_w if busy else model.idle_w)
+        if total == 0.0 and self.node.gpu_count == 0:
+            raise PowerModelError(f"node {self.node.name!r} has no GPUs")
+        return total
+
+    def gpu_average_power_w(self, busy_fraction: float) -> float:
+        """Duty-cycled average GPU-subsystem power.
+
+        ``busy_fraction`` is the fraction of wall-clock time the GPUs
+        spend running workloads (the paper's "GPU usage rate": 40% is
+        the production-trace medium level of RQ8)."""
+        if not (0.0 <= busy_fraction <= 1.0):
+            raise PowerModelError(
+                f"busy fraction must be in [0, 1], got {busy_fraction!r}"
+            )
+        return busy_fraction * self.gpu_power_w(busy=True) + (
+            1.0 - busy_fraction
+        ) * self.gpu_power_w(busy=False)
+
+    # --- reporting ------------------------------------------------------------
+    def breakdown_w(
+        self, gpu_utilization: float, cpu_utilization: float
+    ) -> Dict[ComponentClass, float]:
+        """Per-component-class power at the given utilizations."""
+        result: Dict[ComponentClass, float] = {}
+        for model, cls, count in self._models():
+            if cls is ComponentClass.GPU:
+                power = count * model.power_w(gpu_utilization)
+            elif cls is ComponentClass.CPU:
+                power = count * model.power_w(cpu_utilization)
+            else:
+                power = count * model.max_w
+            result[cls] = result.get(cls, 0.0) + power
+        return result

@@ -1,0 +1,105 @@
+"""Seasonal PUE model (paper Sec. 6 threat to validity).
+
+The paper holds PUE constant but acknowledges it "is challenging to
+estimate with seasonal variation" and "can be approximated well with IT
+and cooling energy monitors".  Cooling overhead tracks outdoor
+temperature: free cooling in winter, chillers in summer, plus a diurnal
+ripple.  :class:`SeasonalPUE` generates an hourly PUE profile so
+operational accounting (Eq. 6) can be run with time-varying overhead and
+the error of the constant-PUE simplification can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.errors import PowerModelError
+from repro.core.units import HOURS_PER_DAY
+from repro.intensity.trace import HOURS_PER_STUDY_YEAR
+
+__all__ = ["SeasonalPUE", "operational_carbon_seasonal"]
+
+_DAYS_PER_YEAR = 365.0
+
+
+@dataclass(frozen=True, slots=True)
+class SeasonalPUE:
+    """Hourly PUE profile: base + seasonal swing + diurnal ripple.
+
+    Attributes
+    ----------
+    annual_mean:
+        Mean PUE over the year (the number usually reported).
+    seasonal_amplitude:
+        Half the winter-to-summer swing (e.g. 0.08 means PUE is 0.08
+        above mean at the summer peak and 0.08 below in winter).
+    diurnal_amplitude:
+        Day/night ripple (afternoon heat vs night free cooling).
+    peak_day / peak_hour:
+        Day-of-year and local hour of maximum cooling load.
+    """
+
+    annual_mean: float = 1.2
+    seasonal_amplitude: float = 0.08
+    diurnal_amplitude: float = 0.03
+    peak_day: float = 200.0
+    peak_hour: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.annual_mean < 1.0:
+            raise PowerModelError("mean PUE must be >= 1.0")
+        if self.seasonal_amplitude < 0.0 or self.diurnal_amplitude < 0.0:
+            raise PowerModelError("amplitudes must be non-negative")
+        if self.annual_mean - self.seasonal_amplitude - self.diurnal_amplitude < 1.0:
+            raise PowerModelError(
+                "PUE profile dips below 1.0; reduce amplitudes or raise mean"
+            )
+
+    def profile(self, n_hours: int = HOURS_PER_STUDY_YEAR) -> np.ndarray:
+        """Hourly PUE values for ``n_hours`` starting Jan 1, 00:00 local."""
+        if n_hours < 1:
+            raise PowerModelError(f"need >= 1 hour, got {n_hours}")
+        t = np.arange(n_hours, dtype=float)
+        day = (t / HOURS_PER_DAY) % _DAYS_PER_YEAR
+        hour = t % HOURS_PER_DAY
+        seasonal = self.seasonal_amplitude * np.cos(
+            2.0 * np.pi * (day - self.peak_day) / _DAYS_PER_YEAR
+        )
+        diurnal = self.diurnal_amplitude * np.cos(
+            2.0 * np.pi * (hour - self.peak_hour) / HOURS_PER_DAY
+        )
+        return self.annual_mean + seasonal + diurnal
+
+    def at_hour(self, hour: int) -> float:
+        """PUE at one hour of the year (wraps)."""
+        return float(self.profile(HOURS_PER_STUDY_YEAR)[hour % HOURS_PER_STUDY_YEAR])
+
+
+def operational_carbon_seasonal(
+    power_w: Union[Sequence[float], np.ndarray],
+    intensity_g_per_kwh: Union[Sequence[float], np.ndarray],
+    pue_model: SeasonalPUE,
+    *,
+    start_hour: int = 0,
+) -> float:
+    """Eq. 6 with hour-resolved PUE: sum(power * intensity * pue) / 1000.
+
+    Returns grams CO2.  All three hourly series are aligned starting at
+    ``start_hour`` of the year; the PUE profile wraps at year end.
+    """
+    power = np.asarray(power_w, dtype=float)
+    intensity = np.asarray(intensity_g_per_kwh, dtype=float)
+    if power.shape != intensity.shape or power.ndim != 1:
+        raise PowerModelError(
+            f"power and intensity must be equal-length 1-D, got "
+            f"{power.shape} vs {intensity.shape}"
+        )
+    if power.size and (float(power.min()) < 0.0 or float(intensity.min()) < 0.0):
+        raise PowerModelError("power/intensity samples must be non-negative")
+    year = pue_model.profile(HOURS_PER_STUDY_YEAR)
+    idx = (start_hour + np.arange(power.size)) % HOURS_PER_STUDY_YEAR
+    pue = year[idx]
+    return float(np.sum(power * intensity * pue)) / 1000.0

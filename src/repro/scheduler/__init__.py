@@ -1,0 +1,53 @@
+"""Carbon-aware job scheduling (paper RQ5/RQ6 implications)."""
+
+from repro.scheduler.budget import BudgetAccount, CarbonBudgetLedger, priority_order
+from repro.scheduler.capacity import (
+    CapacityAwareOutcome,
+    simulate_with_policy,
+    temporal_shifting_with_capacity,
+)
+from repro.scheduler.evaluation import (
+    JobOutcome,
+    PolicyEvaluation,
+    compare_policies,
+    evaluate_policy,
+)
+from repro.scheduler.transfer import (
+    DATASET_GB,
+    TransferModel,
+    dataset_size_gb,
+    default_transfer_model,
+    transfer_carbon_g,
+    transfer_energy_kwh,
+)
+from repro.scheduler.policies import (
+    CarbonObliviousPolicy,
+    GeographicPolicy,
+    SchedulingPolicy,
+    TemporalGeographicPolicy,
+    TemporalShiftingPolicy,
+)
+
+__all__ = [
+    "SchedulingPolicy",
+    "CarbonObliviousPolicy",
+    "TemporalShiftingPolicy",
+    "GeographicPolicy",
+    "TemporalGeographicPolicy",
+    "JobOutcome",
+    "PolicyEvaluation",
+    "evaluate_policy",
+    "compare_policies",
+    "BudgetAccount",
+    "CarbonBudgetLedger",
+    "priority_order",
+    "CapacityAwareOutcome",
+    "simulate_with_policy",
+    "temporal_shifting_with_capacity",
+    "TransferModel",
+    "DATASET_GB",
+    "dataset_size_gb",
+    "default_transfer_model",
+    "transfer_energy_kwh",
+    "transfer_carbon_g",
+]

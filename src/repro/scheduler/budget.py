@@ -1,0 +1,132 @@
+"""Per-user carbon budgets and priority incentives (paper RQ6).
+
+The paper's implication: "Similar to core-hour accounting and budgeting,
+HPC users should also be provided a carbon budget as a part of their
+allocation, and they could be prioritized to reduce their queue wait
+time if the carbon footprint of their jobs have been economical."
+
+:class:`CarbonBudgetLedger` implements that accounting: per-user
+allocations in gCO2, charges recorded per job, and a priority boost that
+rewards users who have consumed a small fraction of their budget.
+:func:`priority_order` turns the boost into a queue ordering a scheduler
+can apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.errors import BudgetError
+from repro.cluster.job import Job
+from repro.scheduler.evaluation import JobOutcome
+
+__all__ = ["BudgetAccount", "CarbonBudgetLedger", "priority_order"]
+
+
+@dataclass
+class BudgetAccount:
+    """One user's carbon allocation and consumption (grams CO2)."""
+
+    user: str
+    allocation_g: float
+    charged_g: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.allocation_g <= 0.0:
+            raise BudgetError(f"{self.user}: allocation must be positive")
+        if self.charged_g < 0.0:
+            raise BudgetError(f"{self.user}: charges must be non-negative")
+
+    @property
+    def remaining_g(self) -> float:
+        return max(self.allocation_g - self.charged_g, 0.0)
+
+    @property
+    def consumed_fraction(self) -> float:
+        return min(self.charged_g / self.allocation_g, 1.0)
+
+    @property
+    def over_budget(self) -> bool:
+        return self.charged_g > self.allocation_g
+
+
+class CarbonBudgetLedger:
+    """Carbon-budget accounting across a user population."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, BudgetAccount] = {}
+        self._charges: List[Tuple[str, int, float]] = []  # (user, job, grams)
+
+    # --- administration -----------------------------------------------------
+    def allocate(self, user: str, grams: float) -> BudgetAccount:
+        """Create (or top up) a user's allocation."""
+        if grams <= 0.0:
+            raise BudgetError(f"allocation must be positive, got {grams!r}")
+        account = self._accounts.get(user)
+        if account is None:
+            account = BudgetAccount(user=user, allocation_g=grams)
+            self._accounts[user] = account
+        else:
+            account.allocation_g += grams
+        return account
+
+    def account(self, user: str) -> BudgetAccount:
+        try:
+            return self._accounts[user]
+        except KeyError:
+            raise BudgetError(f"unknown user {user!r}") from None
+
+    @property
+    def users(self) -> List[str]:
+        return sorted(self._accounts)
+
+    # --- charging ------------------------------------------------------------
+    def charge(self, user: str, job_id: int, grams: float) -> None:
+        """Debit a completed job's operational carbon against its owner."""
+        if grams < 0.0:
+            raise BudgetError(f"charge must be non-negative, got {grams!r}")
+        account = self.account(user)
+        account.charged_g += grams
+        self._charges.append((user, job_id, grams))
+
+    def charge_outcomes(
+        self, jobs: Sequence[Job], outcomes: Iterable[JobOutcome]
+    ) -> None:
+        """Charge a policy evaluation's outcomes to the job owners."""
+        owners = {job.job_id: job.user for job in jobs}
+        for outcome in outcomes:
+            user = owners.get(outcome.job_id)
+            if user is None:
+                raise BudgetError(f"outcome for unknown job {outcome.job_id}")
+            self.charge(user, outcome.job_id, outcome.carbon_g)
+
+    # --- queries ----------------------------------------------------------------
+    def total_charged_g(self) -> float:
+        return sum(acct.charged_g for acct in self._accounts.values())
+
+    def total_allocated_g(self) -> float:
+        return sum(acct.allocation_g for acct in self._accounts.values())
+
+    def priority_boost(self, user: str) -> float:
+        """Queue-priority reward in [0, 1]: 1 for an untouched budget,
+        0 at or beyond exhaustion (the RQ6 incentive)."""
+        return 1.0 - self.account(user).consumed_fraction
+
+    def charges_for(self, user: str) -> List[Tuple[int, float]]:
+        """(job_id, grams) history for one user."""
+        self.account(user)  # validate
+        return [(job, grams) for (owner, job, grams) in self._charges if owner == user]
+
+
+def priority_order(jobs: Sequence[Job], ledger: CarbonBudgetLedger) -> List[Job]:
+    """Order a queue by descending carbon-budget priority.
+
+    Users with more of their carbon budget remaining are served first;
+    submission time breaks ties (so the incentive never starves anyone
+    indefinitely within a priority class).
+    """
+    return sorted(
+        jobs,
+        key=lambda job: (-ledger.priority_boost(job.user), job.submit_h, job.job_id),
+    )

@@ -1,0 +1,214 @@
+"""Carbon-aware scheduling policies (paper RQ5/RQ6 implications).
+
+The paper identifies "a strong opportunity for systems researchers to
+design, develop, and deploy carbon-intensity-aware job schedulers to
+exploit temporal variations" and geographic distribution.  This module
+implements that family:
+
+* :class:`CarbonObliviousPolicy` — the baseline: run at submit time in
+  the home region.
+* :class:`TemporalShiftingPolicy` — delay a job within its slack window
+  to the start hour minimizing the *forecast* mean intensity over the
+  job's duration (Fig. 7's within-day variation).
+* :class:`GeographicPolicy` — run the job in the forecast-cleanest
+  region at submit time, paying a data-transfer overhead (the paper's
+  Insight 7 caveat about transfer energy).
+* :class:`TemporalGeographicPolicy` — joint choice of (region, start).
+
+Policies only see *forecasts* through the
+:class:`~repro.intensity.api.CarbonIntensityService`; evaluation charges
+true intensities, so imperfect forecasts degrade realized savings
+realistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.errors import SchedulingError
+from repro.cluster.job import Job, Placement
+from repro.intensity.api import CarbonIntensityService
+
+__all__ = [
+    "SchedulingPolicy",
+    "CarbonObliviousPolicy",
+    "TemporalShiftingPolicy",
+    "GeographicPolicy",
+    "TemporalGeographicPolicy",
+]
+
+
+class SchedulingPolicy(Protocol):
+    """A policy maps one job to a placement decision."""
+
+    name: str
+
+    def place(self, job: Job) -> Placement:  # pragma: no cover - protocol
+        ...
+
+
+def _job_region(job: Job, default_region: str) -> str:
+    return job.home_region if job.home_region is not None else default_region
+
+
+def _window_hours(duration_h: float) -> int:
+    return max(int(np.ceil(duration_h)), 1)
+
+
+@dataclass
+class CarbonObliviousPolicy:
+    """Baseline: start immediately in the home region."""
+
+    service: CarbonIntensityService
+    default_region: str
+    name: str = "carbon-oblivious"
+
+    def __post_init__(self) -> None:
+        if self.default_region not in self.service.regions:
+            raise SchedulingError(
+                f"default region {self.default_region!r} not served"
+            )
+
+    def place(self, job: Job) -> Placement:
+        return Placement(
+            job_id=job.job_id,
+            region=_job_region(job, self.default_region),
+            start_h=job.submit_h,
+            duration_h=job.duration_h,
+        )
+
+
+@dataclass
+class TemporalShiftingPolicy:
+    """Shift the start within the slack window to the forecast-cleanest
+    hour in the home region.
+
+    ``step_h`` sets the candidate-start granularity (1 h matches the
+    resolution of grid-intensity feeds).
+    """
+
+    service: CarbonIntensityService
+    default_region: str
+    step_h: float = 1.0
+    name: str = "temporal-shifting"
+
+    def __post_init__(self) -> None:
+        if self.step_h <= 0.0:
+            raise SchedulingError(f"step must be positive, got {self.step_h!r}")
+        if self.default_region not in self.service.regions:
+            raise SchedulingError(
+                f"default region {self.default_region!r} not served"
+            )
+
+    def _candidate_starts(self, job: Job) -> np.ndarray:
+        if job.slack_h <= 0.0:
+            return np.array([job.submit_h])
+        return np.arange(
+            job.submit_h, job.latest_start_h + 1e-9, self.step_h
+        )
+
+    def place(self, job: Job) -> Placement:
+        region = _job_region(job, self.default_region)
+        window = _window_hours(job.duration_h)
+        starts = self._candidate_starts(job)
+        scores = [
+            self.service.forecast_window_mean(region, int(np.floor(s)), window)
+            for s in starts
+        ]
+        best = starts[int(np.argmin(scores))]
+        return Placement(
+            job_id=job.job_id,
+            region=region,
+            start_h=float(best),
+            duration_h=job.duration_h,
+        )
+
+
+@dataclass
+class GeographicPolicy:
+    """Run each job in the forecast-cleanest region at submit time.
+
+    ``regions`` restricts the candidate set (default: all regions the
+    service knows).  A job placed away from home is marked ``migrated``
+    and later charged the transfer overhead by the evaluator.
+    """
+
+    service: CarbonIntensityService
+    default_region: str
+    regions: Optional[Sequence[str]] = None
+    name: str = "geographic"
+
+    def __post_init__(self) -> None:
+        if self.default_region not in self.service.regions:
+            raise SchedulingError(
+                f"default region {self.default_region!r} not served"
+            )
+        candidates = (
+            list(self.regions) if self.regions is not None else self.service.regions
+        )
+        unknown = [r for r in candidates if r not in self.service.regions]
+        if unknown:
+            raise SchedulingError(f"unknown candidate regions: {unknown}")
+        if not candidates:
+            raise SchedulingError("no candidate regions")
+        self._candidates = candidates
+
+    def place(self, job: Job) -> Placement:
+        home = _job_region(job, self.default_region)
+        window = _window_hours(job.duration_h)
+        hour = int(np.floor(job.submit_h))
+        best_region = min(
+            self._candidates,
+            key=lambda code: self.service.forecast_window_mean(code, hour, window),
+        )
+        return Placement(
+            job_id=job.job_id,
+            region=best_region,
+            start_h=job.submit_h,
+            duration_h=job.duration_h,
+            migrated=best_region != home,
+        )
+
+
+@dataclass
+class TemporalGeographicPolicy:
+    """Joint (region, start-hour) optimization within the slack window."""
+
+    service: CarbonIntensityService
+    default_region: str
+    regions: Optional[Sequence[str]] = None
+    step_h: float = 1.0
+    name: str = "temporal+geographic"
+
+    def __post_init__(self) -> None:
+        self._temporal = TemporalShiftingPolicy(
+            self.service, self.default_region, step_h=self.step_h
+        )
+        self._geo = GeographicPolicy(
+            self.service, self.default_region, regions=self.regions
+        )
+
+    def place(self, job: Job) -> Placement:
+        home = _job_region(job, self.default_region)
+        window = _window_hours(job.duration_h)
+        starts = self._temporal._candidate_starts(job)
+        best: tuple[float, str, float] | None = None
+        for region in self._geo._candidates:
+            for start in starts:
+                score = self.service.forecast_window_mean(
+                    region, int(np.floor(start)), window
+                )
+                if best is None or score < best[0]:
+                    best = (score, region, float(start))
+        assert best is not None
+        _score, region, start = best
+        return Placement(
+            job_id=job.job_id,
+            region=region,
+            start_h=start,
+            duration_h=job.duration_h,
+            migrated=region != home,
+        )

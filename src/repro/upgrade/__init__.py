@@ -1,0 +1,39 @@
+"""Hardware-upgrade carbon analysis (paper Sec. 5, Figs. 8-9)."""
+
+from repro.upgrade.advisor import UpgradeAdvisor, UpgradeDecision, Verdict
+from repro.upgrade.amortization import (
+    SavingsGrid,
+    breakeven_table,
+    intensity_scaling_check,
+    sweep_intensities,
+    sweep_usages,
+)
+from repro.upgrade.fleet import (
+    FleetUpgradePlan,
+    RolloutResult,
+    best_rollout,
+    compare_rollouts,
+)
+from repro.upgrade.scenario import (
+    INTENSITY_LEVELS,
+    USAGE_LEVELS,
+    UpgradeScenario,
+)
+
+__all__ = [
+    "UpgradeScenario",
+    "USAGE_LEVELS",
+    "INTENSITY_LEVELS",
+    "SavingsGrid",
+    "sweep_intensities",
+    "sweep_usages",
+    "breakeven_table",
+    "intensity_scaling_check",
+    "UpgradeAdvisor",
+    "UpgradeDecision",
+    "Verdict",
+    "FleetUpgradePlan",
+    "RolloutResult",
+    "compare_rollouts",
+    "best_rollout",
+]

@@ -1,0 +1,144 @@
+"""Amortization metrics over sets of upgrade scenarios.
+
+Helpers that sweep :class:`~repro.upgrade.scenario.UpgradeScenario`
+across the paper's grids (Figs. 8-9) and summarize breakeven behaviour,
+plus the carbon-intensity sensitivity law the paper highlights: the
+amortization time scales inversely with the grid's carbon intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import UpgradeAnalysisError
+from repro.upgrade.scenario import UpgradeScenario
+from repro.workloads.models import Suite
+
+__all__ = [
+    "SavingsGrid",
+    "sweep_intensities",
+    "sweep_usages",
+    "breakeven_table",
+    "intensity_scaling_check",
+]
+
+
+@dataclass(frozen=True)
+class SavingsGrid:
+    """Savings curves for one upgrade across a parameter sweep.
+
+    ``curves[(level_label, suite)]`` is the savings series over
+    ``times_years`` — exactly one subplot line of Fig. 8 or Fig. 9.
+    """
+
+    upgrade: Tuple[str, str]
+    times_years: np.ndarray
+    curves: Mapping[Tuple[str, Suite], np.ndarray]
+
+    def curve(self, level: str, suite: Suite | str) -> np.ndarray:
+        key = (level, Suite(suite) if isinstance(suite, str) else suite)
+        try:
+            return self.curves[key]
+        except KeyError:
+            raise UpgradeAnalysisError(f"no curve for {key!r}") from None
+
+    def final_savings(self, level: str, suite: Suite | str) -> float:
+        return float(self.curve(level, suite)[-1])
+
+
+def _default_times() -> np.ndarray:
+    """The Fig. 8/9 time axis: 0-5 years, quarterly, skipping t=0."""
+    return np.linspace(0.05, 5.0, 100)
+
+
+def sweep_intensities(
+    old: str,
+    new: str,
+    intensity_levels: Mapping[str, float],
+    *,
+    usage: float = 0.40,
+    times_years: Optional[np.ndarray] = None,
+    pue: Optional[float] = None,
+) -> SavingsGrid:
+    """Fig. 8 row: savings curves across carbon-intensity levels."""
+    times = _default_times() if times_years is None else np.asarray(times_years)
+    curves: Dict[Tuple[str, Suite], np.ndarray] = {}
+    for label, intensity in intensity_levels.items():
+        for suite in Suite:
+            scenario = UpgradeScenario.from_generations(
+                old, new, suite, usage=usage, intensity=intensity, pue=pue
+            )
+            curves[(label, suite)] = scenario.savings_curve(times)
+    return SavingsGrid(upgrade=(old, new), times_years=times, curves=curves)
+
+
+def sweep_usages(
+    old: str,
+    new: str,
+    usage_levels: Mapping[str, float],
+    *,
+    intensity: float = 200.0,
+    times_years: Optional[np.ndarray] = None,
+    pue: Optional[float] = None,
+) -> SavingsGrid:
+    """Fig. 9 row: savings curves across GPU usage levels at fixed
+    intensity (the paper holds 200 gCO2/kWh)."""
+    times = _default_times() if times_years is None else np.asarray(times_years)
+    curves: Dict[Tuple[str, Suite], np.ndarray] = {}
+    for label, usage in usage_levels.items():
+        for suite in Suite:
+            scenario = UpgradeScenario.from_generations(
+                old, new, suite, usage=usage, intensity=intensity, pue=pue
+            )
+            curves[(label, suite)] = scenario.savings_curve(times)
+    return SavingsGrid(upgrade=(old, new), times_years=times, curves=curves)
+
+
+def breakeven_table(
+    upgrades: Sequence[Tuple[str, str]],
+    intensity_levels: Mapping[str, float],
+    *,
+    usage: float = 0.40,
+    pue: Optional[float] = None,
+) -> Dict[Tuple[str, str, str, Suite], Optional[float]]:
+    """Breakeven years for every (upgrade, intensity level, suite)."""
+    table: Dict[Tuple[str, str, str, Suite], Optional[float]] = {}
+    for old, new in upgrades:
+        for label, intensity in intensity_levels.items():
+            for suite in Suite:
+                scenario = UpgradeScenario.from_generations(
+                    old, new, suite, usage=usage, intensity=intensity, pue=pue
+                )
+                table[(old, new, label, suite)] = scenario.breakeven_years()
+    return table
+
+
+def intensity_scaling_check(
+    old: str,
+    new: str,
+    suite: Suite | str,
+    low_intensity: float,
+    high_intensity: float,
+    *,
+    usage: float = 0.40,
+) -> float:
+    """Ratio of breakeven times between two constant intensities.
+
+    With constant intensity the model predicts breakeven time scales as
+    ``1 / intensity`` exactly; the return value should equal
+    ``high_intensity / low_intensity`` (tests assert this).
+    """
+    if low_intensity <= 0.0 or high_intensity <= 0.0:
+        raise UpgradeAnalysisError("intensities must be positive")
+    low = UpgradeScenario.from_generations(
+        old, new, suite, usage=usage, intensity=low_intensity
+    ).breakeven_years(horizon_years=10_000.0)
+    high = UpgradeScenario.from_generations(
+        old, new, suite, usage=usage, intensity=high_intensity
+    ).breakeven_years(horizon_years=10_000.0)
+    if low is None or high is None:
+        raise UpgradeAnalysisError("scenario never breaks even")
+    return low / high

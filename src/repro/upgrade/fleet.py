@@ -1,0 +1,233 @@
+"""Fleet-level phased upgrade planning.
+
+The paper's RQ7/RQ8 analysis upgrades one node and asks *whether*; a
+center with hundreds of nodes also decides *how fast*: replace the fleet
+at once (maximum embodied spike, fastest operational savings) or roll
+the upgrade over quarters (smoother budget, longer mixed-fleet period)?
+Carbon-wise these differ because every replaced node stops burning
+old-generation energy from its own replacement date.
+
+:class:`FleetUpgradePlan` evaluates an arbitrary replacement schedule;
+:func:`compare_rollouts` sweeps the standard shapes (big-bang, linear
+over N quarters, back-loaded), and :func:`best_rollout` picks the
+schedule with the lowest total carbon over the horizon subject to a
+per-quarter replacement-capacity limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.errors import UpgradeAnalysisError
+from repro.core.units import HOURS_PER_YEAR
+from repro.hardware.node import NodeSpec, get_node_generation
+from repro.intensity.trace import IntensityTrace
+from repro.power.node import NodePowerModel
+from repro.workloads.models import Suite
+from repro.workloads.performance import generation_speedup
+
+__all__ = ["FleetUpgradePlan", "RolloutResult", "compare_rollouts", "best_rollout"]
+
+_QUARTER_H = HOURS_PER_YEAR / 4.0
+
+
+@dataclass(frozen=True)
+class RolloutResult:
+    """Total fleet carbon over the horizon for one schedule."""
+
+    name: str
+    schedule: Tuple[int, ...]  # nodes replaced at the start of each quarter
+    embodied_g: float
+    operational_g: float
+
+    @property
+    def total_g(self) -> float:
+        return self.embodied_g + self.operational_g
+
+
+@dataclass(frozen=True)
+class FleetUpgradePlan:
+    """Evaluate phased replacement of a homogeneous fleet.
+
+    Parameters
+    ----------
+    old / new:
+        Table 5 node-generation names or explicit specs.
+    n_nodes:
+        Fleet size.
+    suite:
+        Workload mix (sets the speedup, hence the new nodes' duty cycle).
+    usage:
+        Old fleet's GPU busy fraction; the job stream is fixed, so new
+        nodes run at ``usage / speedup``.
+    intensity:
+        Grid carbon intensity (constant g/kWh or a trace whose mean is
+        used — schedules span years, so annual structure averages out).
+    horizon_years:
+        Accounting horizon from the first replacement.
+    pue:
+        Facility PUE.
+    """
+
+    old: Union[str, NodeSpec]
+    new: Union[str, NodeSpec]
+    n_nodes: int
+    suite: Suite = Suite.NLP
+    usage: float = 0.40
+    intensity: Union[float, IntensityTrace] = 200.0
+    horizon_years: float = 5.0
+    pue: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise UpgradeAnalysisError("fleet must have >= 1 node")
+        if not (0.0 < self.usage <= 1.0):
+            raise UpgradeAnalysisError("usage must be in (0, 1]")
+        if self.horizon_years <= 0.0:
+            raise UpgradeAnalysisError("horizon must be positive")
+        if self.pue < 1.0:
+            raise UpgradeAnalysisError("PUE must be >= 1.0")
+
+    # --- pieces -----------------------------------------------------------
+    def _nodes(self) -> Tuple[NodeSpec, NodeSpec]:
+        old = get_node_generation(self.old) if isinstance(self.old, str) else self.old
+        new = get_node_generation(self.new) if isinstance(self.new, str) else self.new
+        return old, new
+
+    def _mean_intensity(self) -> float:
+        if isinstance(self.intensity, IntensityTrace):
+            return self.intensity.mean()
+        value = float(self.intensity)
+        if value < 0.0:
+            raise UpgradeAnalysisError("intensity must be non-negative")
+        return value
+
+    def _per_node_powers(self) -> Tuple[float, float]:
+        """(old node, new node) duty-cycled GPU-subsystem watts."""
+        old, new = self._nodes()
+        speedup = generation_speedup(self.suite, new.name) / generation_speedup(
+            self.suite, old.name
+        )
+        if speedup <= 1.0:
+            raise UpgradeAnalysisError(
+                f"{new.name} is not an upgrade over {old.name} for {self.suite}"
+            )
+        old_w = NodePowerModel(old).gpu_average_power_w(self.usage)
+        new_w = NodePowerModel(new).gpu_average_power_w(self.usage / speedup)
+        return old_w, new_w
+
+    @property
+    def n_quarters(self) -> int:
+        return int(np.ceil(self.horizon_years * 4.0))
+
+    # --- evaluation ---------------------------------------------------------
+    def evaluate(self, schedule: Sequence[int], *, name: str = "custom") -> RolloutResult:
+        """Total fleet carbon for a per-quarter replacement schedule.
+
+        ``schedule[q]`` nodes are replaced at the *start* of quarter
+        ``q``; the schedule must sum to at most the fleet size.  Nodes
+        never replaced keep running the old generation for the whole
+        horizon.
+        """
+        counts = np.asarray(list(schedule), dtype=int)
+        if counts.ndim != 1 or counts.size == 0:
+            raise UpgradeAnalysisError("schedule must be a non-empty 1-D sequence")
+        if counts.size > self.n_quarters:
+            raise UpgradeAnalysisError(
+                f"schedule spans {counts.size} quarters; horizon has "
+                f"{self.n_quarters}"
+            )
+        if int(counts.min()) < 0:
+            raise UpgradeAnalysisError("schedule entries must be non-negative")
+        if int(counts.sum()) > self.n_nodes:
+            raise UpgradeAnalysisError(
+                f"schedule replaces {int(counts.sum())} of {self.n_nodes} nodes"
+            )
+        old_node, new_node = self._nodes()
+        old_w, new_w = self._per_node_powers()
+        intensity = self._mean_intensity()
+        horizon_h = self.horizon_years * HOURS_PER_YEAR
+
+        padded = np.zeros(self.n_quarters, dtype=int)
+        padded[: counts.size] = counts
+        replaced_before = np.concatenate(([0], np.cumsum(padded)))[:-1]
+
+        # Per-quarter fleet power: replaced nodes at new_w, rest at old_w.
+        operational_g = 0.0
+        for quarter in range(self.n_quarters):
+            start_h = quarter * _QUARTER_H
+            quarter_hours = min(_QUARTER_H, horizon_h - start_h)
+            if quarter_hours <= 0.0:
+                break
+            new_count = replaced_before[quarter] + padded[quarter]
+            old_count = self.n_nodes - new_count
+            fleet_w = old_count * old_w + new_count * new_w
+            operational_g += fleet_w / 1000.0 * quarter_hours * intensity * self.pue
+
+        embodied_g = float(counts.sum()) * new_node.embodied().total_g
+        return RolloutResult(
+            name=name,
+            schedule=tuple(int(c) for c in counts),
+            embodied_g=embodied_g,
+            operational_g=operational_g,
+        )
+
+    def keep_fleet(self) -> RolloutResult:
+        """The no-upgrade reference."""
+        return self.evaluate([0], name="keep")
+
+    # --- canonical shapes -------------------------------------------------------
+    def big_bang(self) -> RolloutResult:
+        return self.evaluate([self.n_nodes], name="big-bang")
+
+    def linear(self, quarters: int) -> RolloutResult:
+        if quarters < 1:
+            raise UpgradeAnalysisError("need >= 1 quarter")
+        quarters = min(quarters, self.n_quarters)
+        base = self.n_nodes // quarters
+        counts = [base] * quarters
+        for i in range(self.n_nodes - base * quarters):
+            counts[i] += 1
+        return self.evaluate(counts, name=f"linear-{quarters}q")
+
+
+def compare_rollouts(
+    plan: FleetUpgradePlan, *, linear_quarters: Sequence[int] = (4, 8)
+) -> Dict[str, RolloutResult]:
+    """Keep vs big-bang vs linear rollouts, keyed by schedule name."""
+    results = {
+        "keep": plan.keep_fleet(),
+        "big-bang": plan.big_bang(),
+    }
+    for quarters in linear_quarters:
+        result = plan.linear(quarters)
+        results[result.name] = result
+    return results
+
+
+def best_rollout(
+    plan: FleetUpgradePlan, *, max_per_quarter: int
+) -> RolloutResult:
+    """Lowest-carbon schedule under a per-quarter replacement cap.
+
+    With constant intensity the operational term is linear in each
+    quarter's replaced-node count with nonnegative per-quarter gains, so
+    the greedy front-loaded schedule (replace as many as allowed as
+    early as possible) is optimal whenever upgrading at all beats
+    keeping; we also compare against 'keep' in case the horizon is too
+    short to amortize the embodied cost.
+    """
+    if max_per_quarter < 1:
+        raise UpgradeAnalysisError("replacement capacity must be >= 1 per quarter")
+    counts: List[int] = []
+    remaining = plan.n_nodes
+    for _quarter in range(plan.n_quarters):
+        take = min(max_per_quarter, remaining)
+        counts.append(take)
+        remaining -= take
+    front_loaded = plan.evaluate(counts, name=f"front-loaded-{max_per_quarter}/q")
+    keep = plan.keep_fleet()
+    return front_loaded if front_loaded.total_g <= keep.total_g else keep

@@ -1,0 +1,223 @@
+"""Upgrade scenarios: embodied-vs-operational carbon trade-off (RQ7/RQ8).
+
+The paper's Figs. 8-9 evaluate "carbon savings" of upgrading a node
+generation, over five years after the upgrade, for three carbon-
+intensity levels (400 / 200 / 20 gCO2/kWh) and three GPU usage levels
+(60% / 40% / 26.7%).
+
+Accounting model (matching the paper's GPU-centric simplification,
+Sec. 5: "these experiments and analyses are primarily based on GPUs"):
+
+* Keeping the old node costs only operational carbon — its embodied
+  carbon is sunk.  The GPU subsystem runs a duty cycle: busy a fraction
+  ``usage`` of the time, idle otherwise.
+* Upgrading charges the full embodied carbon of the new node up front
+  (GPUs + CPUs + DRAM — the hardware actually purchased), plus the new
+  node's operational carbon.  The same job stream finishes faster on
+  the new GPUs, so the new busy fraction is ``usage / speedup`` with
+  the suite-calibrated speedup of Table 6.
+
+Savings at time ``t`` after the upgrade::
+
+    savings(t) = 1 - (C_em_new + C_op_new(t)) / C_op_old(t)
+
+Negative at small ``t`` (the embodied "tax"), crossing zero at the
+breakeven and approaching ``1 - P_new/P_old`` asymptotically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import ModelConfig, get_config
+from repro.core.errors import UpgradeAnalysisError
+from repro.core.units import HOURS_PER_YEAR
+from repro.hardware.node import NodeSpec, get_node_generation
+from repro.intensity.trace import IntensityTrace
+from repro.power.node import NodePowerModel
+from repro.workloads.models import Suite
+from repro.workloads.performance import generation_speedup
+
+__all__ = [
+    "UsageLevel",
+    "USAGE_LEVELS",
+    "INTENSITY_LEVELS",
+    "UpgradeScenario",
+]
+
+#: The paper's Fig. 9 usage levels: medium 40% (production traces), high
+#: and low at 1.5x more / less.
+USAGE_LEVELS = {"High Usage": 0.60, "Medium Usage": 0.40, "Low Usage": 0.40 / 1.5}
+
+#: The paper's Fig. 8 carbon-intensity columns (gCO2/kWh); 20 is the
+#: hydropower intensity cited from ACT.
+INTENSITY_LEVELS = {
+    "High Carbon Intensity": 400.0,
+    "Medium Carbon Intensity": 200.0,
+    "Low Carbon Intensity": 20.0,
+}
+
+UsageLevel = float
+
+
+@dataclass(frozen=True)
+class UpgradeScenario:
+    """One (old node, new node, workload suite) upgrade analysis.
+
+    Parameters
+    ----------
+    old_node / new_node:
+        Table 5 generation names or explicit node specs.
+    suite:
+        Workload mix driving the speedup (Table 6 calibration).
+    usage:
+        Old node's GPU busy fraction (the paper's GPU usage rate).
+    intensity:
+        Constant gCO2/kWh or an hourly trace.
+    """
+
+    old_node: NodeSpec
+    new_node: NodeSpec
+    suite: Suite
+    usage: float = 0.40
+    intensity: Union[float, IntensityTrace] = 200.0
+    pue: Optional[float] = None
+    config: Optional[ModelConfig] = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.usage <= 1.0):
+            raise UpgradeAnalysisError(
+                f"usage must be in (0, 1], got {self.usage!r}"
+            )
+        if isinstance(self.intensity, (int, float)) and float(self.intensity) < 0.0:
+            raise UpgradeAnalysisError("carbon intensity must be non-negative")
+        if self.old_node.name == self.new_node.name:
+            raise UpgradeAnalysisError(
+                f"upgrade from {self.old_node.name!r} to itself is not an upgrade"
+            )
+
+    @classmethod
+    def from_generations(
+        cls,
+        old: str,
+        new: str,
+        suite: Suite | str,
+        **kwargs,
+    ) -> "UpgradeScenario":
+        return cls(
+            old_node=get_node_generation(old),
+            new_node=get_node_generation(new),
+            suite=Suite(suite) if isinstance(suite, str) else suite,
+            **kwargs,
+        )
+
+    # --- model pieces -----------------------------------------------------
+    @property
+    def speedup(self) -> float:
+        """Workload speedup of the new generation over the old one."""
+        old = generation_speedup(self.suite, self.old_node.name)
+        new = generation_speedup(self.suite, self.new_node.name)
+        if new <= old:
+            raise UpgradeAnalysisError(
+                f"{self.suite}: {self.new_node.name} is not faster than "
+                f"{self.old_node.name}"
+            )
+        return new / old
+
+    @property
+    def new_usage(self) -> float:
+        """Busy fraction of the new node serving the same job stream."""
+        return self.usage / self.speedup
+
+    @property
+    def embodied_cost_g(self) -> float:
+        """Embodied carbon of the purchased node (GPUs + CPUs + DRAM)."""
+        return self.new_node.embodied(config=self.config).total_g
+
+    def _pue(self) -> float:
+        cfg = self.config if self.config is not None else get_config()
+        return cfg.pue if self.pue is None else float(self.pue)
+
+    def old_power_w(self) -> float:
+        """Duty-cycled average GPU-subsystem power of the old node."""
+        return NodePowerModel(self.old_node).gpu_average_power_w(self.usage)
+
+    def new_power_w(self) -> float:
+        """Duty-cycled average GPU-subsystem power of the new node."""
+        return NodePowerModel(self.new_node).gpu_average_power_w(self.new_usage)
+
+    # --- operational carbon ----------------------------------------------------
+    def _cumulative_operational_g(self, power_w: float, hours: np.ndarray) -> np.ndarray:
+        """C_op(t) in grams for each horizon in ``hours`` (vectorized)."""
+        pue = self._pue()
+        if isinstance(self.intensity, IntensityTrace):
+            trace = self.intensity
+            # Cumulative gCO2 at hour boundaries, tiled across years.
+            hourly_g = power_w / 1000.0 * pue * trace.values
+            csum = np.cumsum(hourly_g)
+            total = csum[-1]
+            n = len(trace)
+            whole = np.floor_divide(hours.astype(int), n)
+            frac_idx = (hours.astype(int) % n).astype(int)
+            partial = np.where(frac_idx > 0, csum[np.maximum(frac_idx - 1, 0)], 0.0)
+            partial = np.where(frac_idx == 0, 0.0, partial)
+            return whole * total + partial
+        return power_w / 1000.0 * pue * float(self.intensity) * hours
+
+    # --- the Figs. 8-9 curves ------------------------------------------------
+    def savings_curve(
+        self, times_years: Sequence[float] | np.ndarray
+    ) -> np.ndarray:
+        """Fractional carbon savings of upgrading, per horizon.
+
+        Returns ``1 - (C_em_new + C_op_new(t)) / C_op_old(t)``; the
+        value at t -> 0+ diverges to -inf, so callers should start the
+        grid strictly after zero (the paper's plots do too).
+        """
+        times = np.asarray(times_years, dtype=float)
+        if times.ndim != 1 or times.size == 0:
+            raise UpgradeAnalysisError("times must be a non-empty 1-D array")
+        if float(times.min()) <= 0.0:
+            raise UpgradeAnalysisError("horizons must be strictly positive")
+        hours = times * HOURS_PER_YEAR
+        old_op = self._cumulative_operational_g(self.old_power_w(), hours)
+        new_op = self._cumulative_operational_g(self.new_power_w(), hours)
+        return 1.0 - (self.embodied_cost_g + new_op) / old_op
+
+    def breakeven_years(self, *, horizon_years: float = 30.0) -> Optional[float]:
+        """Years until the upgrade's embodied carbon is amortized.
+
+        Returns ``None`` if the upgrade never breaks even within
+        ``horizon_years`` (e.g. a center already on near-zero-carbon
+        energy, the paper's Insight 8 case).
+        """
+        if horizon_years <= 0.0:
+            raise UpgradeAnalysisError("horizon must be positive")
+        old_w, new_w = self.old_power_w(), self.new_power_w()
+        if new_w >= old_w:
+            return None
+        if not isinstance(self.intensity, IntensityTrace):
+            rate_g_per_h = (
+                (old_w - new_w) / 1000.0 * self._pue() * float(self.intensity)
+            )
+            if rate_g_per_h <= 0.0:
+                return None
+            years = self.embodied_cost_g / rate_g_per_h / HOURS_PER_YEAR
+            return years if years <= horizon_years else None
+        # Trace intensity: find the first hour where cumulative savings
+        # cover the embodied cost.
+        hours_grid = np.arange(1, int(horizon_years * HOURS_PER_YEAR) + 1)
+        old_op = self._cumulative_operational_g(old_w, hours_grid)
+        new_op = self._cumulative_operational_g(new_w, hours_grid)
+        net = old_op - new_op - self.embodied_cost_g
+        crossing = np.argmax(net >= 0.0)
+        if net[crossing] < 0.0:
+            return None
+        return float(hours_grid[crossing]) / HOURS_PER_YEAR
+
+    def asymptotic_savings(self) -> float:
+        """Savings limit as the horizon grows: ``1 - P_new / P_old``."""
+        return 1.0 - self.new_power_w() / self.old_power_w()

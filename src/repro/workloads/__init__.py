@@ -1,0 +1,67 @@
+"""Benchmark workload models and performance calibration (Tables 4-6,
+Fig. 4)."""
+
+from repro.workloads.distributed import (
+    SLINGSHOT_200G,
+    DistributedRun,
+    FabricSpec,
+    distributed_throughput,
+    scaling_sweep,
+)
+from repro.workloads.energy import ModelCard, model_card, model_card_table
+from repro.workloads.models import ALL_MODELS, ModelSpec, Suite, get_model
+from repro.workloads.performance import (
+    GENERATION_SPEEDUPS,
+    GENERATIONS,
+    average_time_reduction,
+    generation_speedup,
+    model_speedup,
+    model_throughput_sps,
+    suite_time_reduction,
+    upgrade_options,
+)
+from repro.workloads.runner import TrainingResult, simulate_suite, simulate_training_run
+from repro.workloads.scaling import (
+    SCALING_PARAMS,
+    ScalingParams,
+    communication_overhead_fraction,
+    scaled_performance,
+    scaling_efficiency,
+)
+from repro.workloads.suites import SUITES, list_suites, suite_models, suite_of, table4_rows
+
+__all__ = [
+    "Suite",
+    "ModelSpec",
+    "ALL_MODELS",
+    "get_model",
+    "SUITES",
+    "suite_models",
+    "suite_of",
+    "list_suites",
+    "table4_rows",
+    "GENERATIONS",
+    "GENERATION_SPEEDUPS",
+    "generation_speedup",
+    "model_speedup",
+    "model_throughput_sps",
+    "suite_time_reduction",
+    "average_time_reduction",
+    "upgrade_options",
+    "ScalingParams",
+    "SCALING_PARAMS",
+    "scaled_performance",
+    "scaling_efficiency",
+    "communication_overhead_fraction",
+    "TrainingResult",
+    "simulate_training_run",
+    "simulate_suite",
+    "FabricSpec",
+    "SLINGSHOT_200G",
+    "DistributedRun",
+    "distributed_throughput",
+    "scaling_sweep",
+    "ModelCard",
+    "model_card",
+    "model_card_table",
+]

@@ -1,0 +1,156 @@
+"""Multi-node distributed training (paper Sec. 6 "key actions").
+
+The paper's Fig. 4 stops at one node; Sec. 6 calls out that "large-scale
+HPC applications would have a large operational carbon footprint due to
+the heavy computation carried out across multiple nodes" and lists
+measuring them as a key action.  This module extends the calibrated
+single-node scaling model across nodes with the standard two-level
+communication structure:
+
+* intra-node: the Fig. 4 model (NVLink/xGMI-class links, per-suite
+  calibrated overhead),
+* inter-node: ring all-reduce over the fabric — per-step time grows with
+  gradient volume over fabric bandwidth, amortized by overlapping with
+  compute (partial overlap factor).
+
+So throughput is::
+
+    T(nodes, gpus/node) = nodes * T_node(gpus/node) /
+                          (1 + (1 - overlap) * t_fabric / t_compute)
+
+with ``t_fabric = 2 * (N-1)/N * gradient_bytes / fabric_bw`` for N
+participating nodes.  The model reproduces the qualitative law the
+paper's RQ3 observation extends to: embodied carbon grows linearly in
+nodes while performance grows sublinearly, so carbon per unit of
+achieved performance degrades with scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import WorkloadError
+from repro.hardware.node import NodeSpec, get_node_generation
+from repro.workloads.models import ModelSpec, get_model
+from repro.workloads.performance import model_throughput_sps
+from repro.workloads.scaling import scaled_performance
+
+__all__ = ["FabricSpec", "SLINGSHOT_200G", "DistributedRun", "distributed_throughput"]
+
+_BYTES_PER_PARAM = 2.0  # fp16 gradients on the wire
+
+
+@dataclass(frozen=True, slots=True)
+class FabricSpec:
+    """Inter-node fabric characteristics."""
+
+    name: str
+    bandwidth_gb_s: float  # per-node injection bandwidth
+    latency_us: float
+    overlap: float = 0.6  # fraction of comm hidden under compute
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gb_s <= 0.0:
+            raise WorkloadError(f"{self.name}: bandwidth must be positive")
+        if self.latency_us < 0.0:
+            raise WorkloadError(f"{self.name}: latency must be non-negative")
+        if not (0.0 <= self.overlap < 1.0):
+            raise WorkloadError(f"{self.name}: overlap must be in [0, 1)")
+
+
+#: A 200 Gb/s Slingshot-class fabric port.
+SLINGSHOT_200G = FabricSpec(name="Slingshot 200G", bandwidth_gb_s=25.0, latency_us=2.0)
+
+
+@dataclass(frozen=True)
+class DistributedRun:
+    """Throughput/efficiency of one multi-node configuration."""
+
+    model_name: str
+    generation: str
+    n_nodes: int
+    gpus_per_node: int
+    throughput_sps: float
+    single_gpu_sps: float
+
+    @property
+    def total_gpus(self) -> int:
+        return self.n_nodes * self.gpus_per_node
+
+    @property
+    def speedup(self) -> float:
+        return self.throughput_sps / self.single_gpu_sps
+
+    @property
+    def parallel_efficiency(self) -> float:
+        return self.speedup / self.total_gpus
+
+
+def distributed_throughput(
+    model: ModelSpec | str,
+    node: NodeSpec | str,
+    n_nodes: int,
+    *,
+    gpus_per_node: Optional[int] = None,
+    fabric: FabricSpec = SLINGSHOT_200G,
+    batch_per_gpu: int = 32,
+) -> DistributedRun:
+    """Data-parallel training throughput across ``n_nodes`` nodes.
+
+    Per-GPU batch size is fixed (weak scaling, matching Fig. 4); the
+    per-step gradient all-reduce crosses the fabric once per step.
+    """
+    spec = get_model(model) if isinstance(model, str) else model
+    node_spec = get_node_generation(node) if isinstance(node, str) else node
+    if n_nodes < 1:
+        raise WorkloadError(f"need >= 1 node, got {n_nodes}")
+    gpn = node_spec.gpu_count if gpus_per_node is None else int(gpus_per_node)
+    if not (1 <= gpn <= node_spec.gpu_count):
+        raise WorkloadError(
+            f"gpus_per_node must be in [1, {node_spec.gpu_count}], got {gpn}"
+        )
+    if batch_per_gpu < 1:
+        raise WorkloadError(f"batch size must be >= 1, got {batch_per_gpu}")
+
+    generation = node_spec.name.split()[0]
+    single = model_throughput_sps(spec, generation, n_gpus=1)
+    node_throughput = single * scaled_performance(spec.suite, gpn)
+
+    if n_nodes == 1:
+        total = node_throughput
+    else:
+        # Per-step compute time on one node for its local batch.
+        local_batch = batch_per_gpu * gpn
+        t_compute_s = local_batch / node_throughput
+        gradient_gb = spec.params_millions * 1e6 * _BYTES_PER_PARAM / 1e9
+        ring_factor = 2.0 * (n_nodes - 1) / n_nodes
+        t_fabric_s = (
+            ring_factor * gradient_gb / fabric.bandwidth_gb_s
+            + 2.0 * (n_nodes - 1) * fabric.latency_us * 1e-6
+        )
+        exposed = (1.0 - fabric.overlap) * t_fabric_s
+        total = n_nodes * node_throughput * t_compute_s / (t_compute_s + exposed)
+
+    return DistributedRun(
+        model_name=spec.name,
+        generation=generation,
+        n_nodes=n_nodes,
+        gpus_per_node=gpn,
+        throughput_sps=total,
+        single_gpu_sps=single,
+    )
+
+
+def scaling_sweep(
+    model: ModelSpec | str,
+    node: NodeSpec | str,
+    node_counts: Tuple[int, ...] = (1, 2, 4, 8, 16),
+    **kwargs,
+) -> List[DistributedRun]:
+    """Throughput across node counts (the RQ3 extension experiment)."""
+    if not node_counts:
+        raise WorkloadError("node_counts must be non-empty")
+    return [
+        distributed_throughput(model, node, n, **kwargs) for n in node_counts
+    ]

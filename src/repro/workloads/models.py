@@ -1,0 +1,112 @@
+"""Deep-learning benchmark model zoo (paper Table 4).
+
+The paper benchmarks three suites of deep-learning *training* workloads:
+
+* **NLP** (Huggingface question answering): BERT, DistilBERT, MPNet,
+  RoBERTa, BART;
+* **Vision** (PyTorch image classification): ResNet50, ResNeXt50,
+  ShuffleNetV2, VGG19, ViT;
+* **CANDLE** (ANL cancer deep learning, Pilot1): Combo, NT3, P1B1, ST1,
+  TC1.
+
+Each :class:`ModelSpec` carries the descriptive metadata plus the two
+quantities the performance model needs: a base single-GPU training
+throughput on the oldest studied generation (P100) and a per-step
+communication volume used by the multi-GPU scaling model.  Base
+throughputs are representative published magnitudes; the downstream
+analyses only consume *ratios* across generations and GPU counts, which
+are calibrated to the paper (see :mod:`repro.workloads.performance`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.errors import WorkloadError
+
+__all__ = ["Suite", "ModelSpec", "ALL_MODELS", "get_model"]
+
+
+class Suite(str, enum.Enum):
+    """The three benchmark suites of Table 4."""
+
+    NLP = "NLP"
+    VISION = "Vision"
+    CANDLE = "CANDLE"
+
+
+@dataclass(frozen=True, slots=True)
+class ModelSpec:
+    """One benchmark model.
+
+    Attributes
+    ----------
+    name:
+        Model name as in Table 4.
+    suite:
+        Owning benchmark suite.
+    task:
+        The benchmarked task (question answering / image classification /
+        Pilot1 drug-response prediction).
+    params_millions:
+        Trainable parameter count, which also sets the gradient
+        all-reduce volume per step in the scaling model.
+    base_throughput_sps:
+        Single-GPU training throughput (samples/s) on the P100
+        generation.
+    samples_per_epoch:
+        Nominal epoch size for the simulated training runner.
+    """
+
+    name: str
+    suite: Suite
+    task: str
+    params_millions: float
+    base_throughput_sps: float
+    samples_per_epoch: int
+
+    def __post_init__(self) -> None:
+        if self.params_millions <= 0.0:
+            raise WorkloadError(f"{self.name}: parameter count must be positive")
+        if self.base_throughput_sps <= 0.0:
+            raise WorkloadError(f"{self.name}: base throughput must be positive")
+        if self.samples_per_epoch <= 0:
+            raise WorkloadError(f"{self.name}: epoch size must be positive")
+
+
+_QA = "question answering"
+_IC = "image classification"
+_P1 = "Pilot1 drug-response prediction"
+
+ALL_MODELS: tuple[ModelSpec, ...] = (
+    # --- NLP (Huggingface) -----------------------------------------------
+    ModelSpec("BERT", Suite.NLP, _QA, params_millions=110.0, base_throughput_sps=28.0, samples_per_epoch=88_000),
+    ModelSpec("DistilBERT", Suite.NLP, _QA, params_millions=66.0, base_throughput_sps=55.0, samples_per_epoch=88_000),
+    ModelSpec("MPNet", Suite.NLP, _QA, params_millions=110.0, base_throughput_sps=30.0, samples_per_epoch=88_000),
+    ModelSpec("RoBERTa", Suite.NLP, _QA, params_millions=125.0, base_throughput_sps=26.0, samples_per_epoch=88_000),
+    ModelSpec("BART", Suite.NLP, _QA, params_millions=140.0, base_throughput_sps=20.0, samples_per_epoch=88_000),
+    # --- Vision (PyTorch) --------------------------------------------------
+    ModelSpec("ResNet50", Suite.VISION, _IC, params_millions=25.6, base_throughput_sps=240.0, samples_per_epoch=1_281_167),
+    ModelSpec("ResNeXt50", Suite.VISION, _IC, params_millions=25.0, base_throughput_sps=160.0, samples_per_epoch=1_281_167),
+    ModelSpec("ShuffleNetV2", Suite.VISION, _IC, params_millions=2.3, base_throughput_sps=600.0, samples_per_epoch=1_281_167),
+    ModelSpec("VGG19", Suite.VISION, _IC, params_millions=143.7, base_throughput_sps=130.0, samples_per_epoch=1_281_167),
+    ModelSpec("ViT", Suite.VISION, _IC, params_millions=86.6, base_throughput_sps=110.0, samples_per_epoch=1_281_167),
+    # --- CANDLE (ANL Pilot1) ------------------------------------------------
+    ModelSpec("Combo", Suite.CANDLE, _P1, params_millions=13.0, base_throughput_sps=900.0, samples_per_epoch=250_000),
+    ModelSpec("NT3", Suite.CANDLE, _P1, params_millions=18.0, base_throughput_sps=350.0, samples_per_epoch=120_000),
+    ModelSpec("P1B1", Suite.CANDLE, _P1, params_millions=6.0, base_throughput_sps=1200.0, samples_per_epoch=300_000),
+    ModelSpec("ST1", Suite.CANDLE, _P1, params_millions=10.0, base_throughput_sps=500.0, samples_per_epoch=180_000),
+    ModelSpec("TC1", Suite.CANDLE, _P1, params_millions=12.0, base_throughput_sps=420.0, samples_per_epoch=150_000),
+)
+
+_MODELS_BY_NAME = {model.name: model for model in ALL_MODELS}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a Table 4 model by name."""
+    try:
+        return _MODELS_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_MODELS_BY_NAME))
+        raise WorkloadError(f"unknown model {name!r}; known models: {known}") from None

@@ -1,0 +1,85 @@
+"""Multi-GPU scaling model (paper Fig. 4, RQ3).
+
+The paper fixes per-GPU batch size (weak scaling of the global batch)
+and varies the GPU count of a V100 node between 1, 2 and 4.  Observed
+behaviour: performance rises ~30-40% at 2 GPUs (performance-to-embodied-
+carbon ratio ~1) but falls behind linear at 4 GPUs because of inter-GPU
+communication overhead, dropping the ratio to ~0.88 (NLP, CANDLE) and
+~0.79 (Vision).
+
+We model per-step time as compute plus an all-reduce term that grows
+with GPU count::
+
+    perf(n) = n / (1 + a * (n - 1)^b)
+
+``a`` is the communication-to-compute ratio at 2 GPUs and ``b`` captures
+how congestion grows as more GPUs share the node's interconnect.  The
+per-suite (a, b) pairs are calibrated so the 2-GPU gain and the 4-GPU
+performance-to-embodied ratio match the paper exactly (Vision models are
+more communication-bound at 4 GPUs — larger gradient/activation traffic
+relative to step time — hence its larger ``b``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.errors import CalibrationError, WorkloadError
+from repro.workloads.models import Suite
+
+__all__ = [
+    "ScalingParams",
+    "SCALING_PARAMS",
+    "scaled_performance",
+    "scaling_efficiency",
+    "communication_overhead_fraction",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingParams:
+    """Per-suite communication model parameters."""
+
+    comm_ratio: float  # a: comm/compute ratio introduced by the 2nd GPU
+    congestion_exp: float  # b: growth exponent in (n-1)
+
+    def __post_init__(self) -> None:
+        if self.comm_ratio < 0.0:
+            raise CalibrationError("comm_ratio must be non-negative")
+        if self.congestion_exp < 0.0:
+            raise CalibrationError("congestion_exp must be non-negative")
+
+
+#: Calibrated to Fig. 4: perf(2) in the paper's 30-40% band and
+#: perf(4)/embodied(4) of 0.88 / 0.79 / 0.88 for NLP / Vision / CANDLE.
+SCALING_PARAMS: Dict[Suite, ScalingParams] = {
+    Suite.NLP: ScalingParams(comm_ratio=0.5038, congestion_exp=0.672),
+    Suite.VISION: ScalingParams(comm_ratio=0.4706, congestion_exp=0.9167),
+    Suite.CANDLE: ScalingParams(comm_ratio=0.4493, congestion_exp=0.7766),
+}
+
+
+def scaled_performance(suite: Suite | str, n_gpus: int) -> float:
+    """Throughput of ``n_gpus`` relative to one GPU (>= 1, <= n_gpus)."""
+    key = Suite(suite) if isinstance(suite, str) else suite
+    if n_gpus < 1:
+        raise WorkloadError(f"GPU count must be >= 1, got {n_gpus}")
+    params = SCALING_PARAMS[key]
+    overhead = params.comm_ratio * float(n_gpus - 1) ** params.congestion_exp
+    return n_gpus / (1.0 + overhead)
+
+
+def scaling_efficiency(suite: Suite | str, n_gpus: int) -> float:
+    """Parallel efficiency: ``scaled_performance / n_gpus`` in (0, 1]."""
+    return scaled_performance(suite, n_gpus) / n_gpus
+
+
+def communication_overhead_fraction(suite: Suite | str, n_gpus: int) -> float:
+    """Fraction of step time spent in communication at ``n_gpus``."""
+    key = Suite(suite) if isinstance(suite, str) else suite
+    if n_gpus < 1:
+        raise WorkloadError(f"GPU count must be >= 1, got {n_gpus}")
+    params = SCALING_PARAMS[key]
+    overhead = params.comm_ratio * float(n_gpus - 1) ** params.congestion_exp
+    return overhead / (1.0 + overhead)

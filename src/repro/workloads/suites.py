@@ -1,0 +1,50 @@
+"""Benchmark suite groupings (paper Table 4)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.errors import WorkloadError
+from repro.workloads.models import ALL_MODELS, ModelSpec, Suite
+
+__all__ = ["SUITES", "suite_models", "suite_of", "list_suites", "table4_rows"]
+
+#: Suite -> ordered models, exactly the Table 4 rows.
+SUITES: Dict[Suite, Tuple[ModelSpec, ...]] = {
+    suite: tuple(model for model in ALL_MODELS if model.suite is suite)
+    for suite in Suite
+}
+
+
+def suite_models(suite: Suite | str) -> Tuple[ModelSpec, ...]:
+    """The models of one suite, in Table 4 order."""
+    key = Suite(suite) if isinstance(suite, str) else suite
+    models = SUITES.get(key, ())
+    if not models:
+        raise WorkloadError(f"suite {key!r} has no models")
+    return models
+
+
+def suite_of(model_name: str) -> Suite:
+    """The suite owning a model name."""
+    for model in ALL_MODELS:
+        if model.name == model_name:
+            return model.suite
+    raise WorkloadError(f"unknown model {model_name!r}")
+
+
+def list_suites() -> List[Suite]:
+    return list(Suite)
+
+
+def table4_rows() -> List[Tuple[str, str]]:
+    """(benchmark, models) rows as printed in Table 4."""
+    labels = {
+        Suite.NLP: "Natural Language Processing (NLP)",
+        Suite.VISION: "Computer Vision (Vision)",
+        Suite.CANDLE: "CANDLE",
+    }
+    return [
+        (labels[suite], ", ".join(model.name for model in models))
+        for suite, models in SUITES.items()
+    ]

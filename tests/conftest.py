@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.intensity.generator import generate_all_traces, generate_trace
+from repro.intensity.trace import IntensityTrace
+
+
+@pytest.fixture(scope="session")
+def all_traces():
+    """Full-year traces for every Table 3 region (expensive: session-scoped)."""
+    return generate_all_traces()
+
+
+@pytest.fixture(scope="session")
+def eso_trace(all_traces):
+    return all_traces["ESO"]
+
+
+@pytest.fixture()
+def flat_trace():
+    """A constant 100 gCO2/kWh two-day trace for exactness tests."""
+    return IntensityTrace(
+        region_code="FLAT", tz_offset_hours=0, values=np.full(48, 100.0)
+    )
+
+
+@pytest.fixture()
+def ramp_trace():
+    """A 0..47 ramp trace (two days, hourly) for indexing tests."""
+    return IntensityTrace(
+        region_code="RAMP", tz_offset_hours=0, values=np.arange(48, dtype=float)
+    )

@@ -1,0 +1,142 @@
+"""Figure-regeneration functions: structure and paper-shape criteria."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+)
+from repro.core.errors import ExperimentError
+from repro.workloads.models import Suite
+
+
+class TestFigure1:
+    def test_six_processors(self):
+        rows = figure1()
+        assert len(rows) == 6
+        assert sum(1 for r in rows if r.kind == "GPU") == 3
+
+    def test_gpu_above_cpu(self):
+        rows = figure1()
+        min_gpu = min(r.embodied_kg for r in rows if r.kind == "GPU")
+        max_cpu = max(r.embodied_kg for r in rows if r.kind == "CPU")
+        assert min_gpu > max_cpu
+
+    def test_per_tflop_reversal(self):
+        rows = figure1()
+        max_gpu = max(r.embodied_per_tflop_kg for r in rows if r.kind == "GPU")
+        min_cpu = min(r.embodied_per_tflop_kg for r in rows if r.kind == "CPU")
+        assert max_gpu < min_cpu
+
+    def test_fp32_variant(self):
+        fp32 = figure1(precision="fp32")
+        fp64 = figure1(precision="fp64")
+        for a, b in zip(fp32, fp64):
+            assert a.embodied_per_tflop_kg <= b.embodied_per_tflop_kg
+
+
+class TestFigure2:
+    def test_rows_and_bands(self):
+        rows = figure2()
+        assert [r.kind for r in rows] == ["DRAM", "SSD", "HDD"]
+        for row in rows:
+            assert 5.0 <= row.embodied_kg <= 25.0
+
+
+class TestFigure3:
+    def test_five_classes(self):
+        rows = figure3()
+        assert [r.component_class for r in rows] == ["GPU", "CPU", "DRAM", "SSD", "HDD"]
+
+    def test_shares_complementary(self):
+        for row in figure3():
+            assert row.manufacturing_share + row.packaging_share == pytest.approx(1.0)
+
+    def test_dram_packaging_dominant_among_classes(self):
+        rows = {r.component_class: r for r in figure3()}
+        assert rows["DRAM"].packaging_share == max(
+            r.packaging_share for r in rows.values()
+        )
+        assert rows["DRAM"].packaging_share == pytest.approx(0.42, abs=0.02)
+
+
+class TestFigure4:
+    def test_nine_points(self):
+        points = figure4()
+        assert len(points) == 9
+
+    def test_embodied_same_across_suites(self):
+        points = figure4()
+        for n in (1, 2, 4):
+            embodied = {p.embodied_relative for p in points if p.n_gpus == n}
+            assert len(embodied) == 1
+
+    def test_paper_ratios(self):
+        by_key = {(p.suite, p.n_gpus): p for p in figure4()}
+        assert by_key[("Vision", 4)].performance_to_embodied == pytest.approx(0.79, abs=0.02)
+        assert by_key[("NLP", 4)].performance_to_embodied == pytest.approx(0.88, abs=0.02)
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ExperimentError):
+            figure4(gpu_counts=(0, 2))
+
+
+class TestFigure5:
+    def test_systems_present(self):
+        shares = figure5()
+        assert set(shares) == {"Frontier", "LUMI", "Perlmutter"}
+
+    def test_shares_normalized(self):
+        for system_shares in figure5().values():
+            assert sum(system_shares.values()) == pytest.approx(1.0)
+
+    def test_perlmutter_no_hdd(self):
+        assert "HDD" not in figure5()["Perlmutter"]
+
+
+class TestFigure6And7:
+    def test_figure6_regions(self):
+        stats = figure6()
+        assert len(stats) == 7
+
+    def test_figure7_default_regions(self):
+        wc = figure7()
+        assert set(wc.counts) == {"ESO", "CISO", "ERCOT"}
+        assert wc.n_days == 365
+
+    def test_figure7_custom_regions(self):
+        wc = figure7(regions=("PJM", "MISO"))
+        assert set(wc.counts) == {"PJM", "MISO"}
+
+
+class TestFigure8And9:
+    def test_figure8_grid_structure(self):
+        times = np.linspace(0.5, 5.0, 10)
+        grids = figure8(times_years=times)
+        assert set(grids) == {("P100", "V100"), ("P100", "A100"), ("V100", "A100")}
+        for grid in grids.values():
+            assert len(grid.curves) == 9
+
+    def test_figure8_intensity_ordering(self):
+        times = np.linspace(0.5, 5.0, 10)
+        grid = figure8(times_years=times)[("P100", "A100")]
+        high = grid.final_savings("High Carbon Intensity", Suite.NLP)
+        low = grid.final_savings("Low Carbon Intensity", Suite.NLP)
+        assert high > low
+
+    def test_figure9_usage_ordering(self):
+        times = np.linspace(0.5, 5.0, 10)
+        grid = figure9(times_years=times)[("V100", "A100")]
+        assert grid.final_savings("High Usage", Suite.NLP) > grid.final_savings(
+            "Low Usage", Suite.NLP
+        )

@@ -1,0 +1,94 @@
+"""Table-regeneration functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import table1, table2, table3, table4, table5, table6
+
+
+class TestTable1:
+    def test_nine_rows(self):
+        assert len(table1()) == 9
+
+    def test_first_row_matches_paper(self):
+        type_label, name, part, release = table1()[0]
+        assert type_label == "GPU"
+        assert name == "NVIDIA A100"
+        assert part == "NVIDIA A100 PCIe 40GB"
+        assert release == "May 2020"
+
+    def test_type_column_values(self):
+        types = [row[0] for row in table1()]
+        assert types.count("GPU") == 3
+        assert types.count("CPU") == 3
+        assert set(types[6:]) == {"DRAM", "SSD", "HDD"}
+
+
+class TestTable2:
+    def test_three_rows_in_order(self):
+        names = [row[0] for row in table2()]
+        assert names == ["Frontier", "LUMI", "Perlmutter"]
+
+    def test_processor_column(self):
+        frontier = table2()[0]
+        assert "AMD EPYC 7763" in frontier[2]
+        assert "AMD MI250X" in frontier[2]
+
+    def test_core_counts(self):
+        cores = {row[0]: row[3] for row in table2()}
+        assert cores["Frontier"] == 8_730_112
+
+
+class TestTable3:
+    def test_seven_operators(self):
+        rows = table3()
+        assert len(rows) == 7
+        operators = [row[0] for row in rows]
+        assert any("ERCOT" in op for op in operators)
+        assert any("California" in op for op in operators)
+
+    def test_countries(self):
+        countries = {row[1] for row in table3()}
+        assert "Japan" in countries
+        assert "United Kingdom" in countries
+
+
+class TestTable4:
+    def test_three_suites_five_models_each(self):
+        rows = table4()
+        assert len(rows) == 3
+        for _benchmark, models in rows:
+            assert len(models.split(", ")) == 5
+
+
+class TestTable5:
+    def test_node_rows(self):
+        rows = {name: (gpu, cpu) for name, gpu, cpu in table5()}
+        assert set(rows) == {"P100", "V100", "A100"}
+        assert "4 x NVIDIA Tesla P100" in rows["P100"][0]
+        assert "2 x Intel Xeon" in rows["P100"][1]
+        assert "4 x AMD EPYC 7542" in rows["A100"][1]
+
+
+class TestTable6:
+    def test_three_upgrades(self):
+        rows = table6()
+        assert [r.upgrade for r in rows] == [
+            "P100 to V100",
+            "P100 to A100",
+            "V100 to A100",
+        ]
+
+    def test_paper_values_within_tolerance(self):
+        rows = {r.upgrade: r for r in table6()}
+        assert rows["P100 to V100"].nlp_improvement == pytest.approx(0.444, abs=0.01)
+        assert rows["P100 to A100"].candle_improvement == pytest.approx(0.683, abs=0.01)
+        assert rows["V100 to A100"].average_improvement == pytest.approx(0.359, abs=0.02)
+
+    def test_average_is_mean_of_suites(self):
+        for row in table6():
+            mean = (
+                row.nlp_improvement + row.vision_improvement + row.candle_improvement
+            ) / 3.0
+            assert row.average_improvement == pytest.approx(mean)

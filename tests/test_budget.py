@@ -1,0 +1,135 @@
+"""Carbon-budget ledger and queue-priority incentives (RQ6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import BudgetError
+from repro.cluster.job import Job
+from repro.scheduler.budget import CarbonBudgetLedger, priority_order
+from repro.scheduler.evaluation import JobOutcome
+from repro.cluster.job import Placement
+from repro.workloads.models import get_model
+
+
+def make_job(job_id, user, submit=0.0):
+    return Job(
+        job_id=job_id,
+        user=user,
+        model=get_model("BERT"),
+        n_gpus=1,
+        duration_h=1.0,
+        submit_h=submit,
+    )
+
+
+class TestLedger:
+    def test_allocate_and_charge(self):
+        ledger = CarbonBudgetLedger()
+        ledger.allocate("alice", 1000.0)
+        ledger.charge("alice", job_id=1, grams=400.0)
+        account = ledger.account("alice")
+        assert account.remaining_g == 600.0
+        assert account.consumed_fraction == pytest.approx(0.4)
+
+    def test_topup_accumulates(self):
+        ledger = CarbonBudgetLedger()
+        ledger.allocate("alice", 500.0)
+        ledger.allocate("alice", 500.0)
+        assert ledger.account("alice").allocation_g == 1000.0
+
+    def test_over_budget_flagged(self):
+        ledger = CarbonBudgetLedger()
+        ledger.allocate("bob", 100.0)
+        ledger.charge("bob", 1, 150.0)
+        account = ledger.account("bob")
+        assert account.over_budget
+        assert account.remaining_g == 0.0
+        assert account.consumed_fraction == 1.0
+
+    def test_unknown_user_rejected(self):
+        ledger = CarbonBudgetLedger()
+        with pytest.raises(BudgetError):
+            ledger.charge("ghost", 1, 1.0)
+        with pytest.raises(BudgetError):
+            ledger.account("ghost")
+
+    def test_invalid_amounts_rejected(self):
+        ledger = CarbonBudgetLedger()
+        with pytest.raises(BudgetError):
+            ledger.allocate("alice", 0.0)
+        ledger.allocate("alice", 1.0)
+        with pytest.raises(BudgetError):
+            ledger.charge("alice", 1, -1.0)
+
+    def test_totals(self):
+        ledger = CarbonBudgetLedger()
+        ledger.allocate("a", 100.0)
+        ledger.allocate("b", 200.0)
+        ledger.charge("a", 1, 30.0)
+        ledger.charge("b", 2, 50.0)
+        assert ledger.total_allocated_g() == 300.0
+        assert ledger.total_charged_g() == 80.0
+
+    def test_charges_history(self):
+        ledger = CarbonBudgetLedger()
+        ledger.allocate("a", 100.0)
+        ledger.charge("a", 1, 10.0)
+        ledger.charge("a", 2, 20.0)
+        assert ledger.charges_for("a") == [(1, 10.0), (2, 20.0)]
+
+    def test_charge_outcomes(self):
+        ledger = CarbonBudgetLedger()
+        ledger.allocate("alice", 1000.0)
+        jobs = [make_job(1, "alice")]
+        outcomes = [
+            JobOutcome(
+                job_id=1,
+                placement=Placement(job_id=1, region="ESO", start_h=0.0, duration_h=1.0),
+                energy_kwh=1.0,
+                carbon_g=250.0,
+                delay_h=0.0,
+            )
+        ]
+        ledger.charge_outcomes(jobs, outcomes)
+        assert ledger.account("alice").charged_g == 250.0
+
+    def test_charge_outcomes_unknown_job(self):
+        ledger = CarbonBudgetLedger()
+        outcomes = [
+            JobOutcome(
+                job_id=99,
+                placement=Placement(job_id=99, region="ESO", start_h=0.0, duration_h=1.0),
+                energy_kwh=1.0,
+                carbon_g=1.0,
+                delay_h=0.0,
+            )
+        ]
+        with pytest.raises(BudgetError):
+            ledger.charge_outcomes([], outcomes)
+
+
+class TestPriority:
+    def test_boost_decreases_with_consumption(self):
+        ledger = CarbonBudgetLedger()
+        ledger.allocate("frugal", 1000.0)
+        ledger.allocate("spender", 1000.0)
+        ledger.charge("spender", 1, 900.0)
+        assert ledger.priority_boost("frugal") > ledger.priority_boost("spender")
+
+    def test_priority_order_rewards_economical_users(self):
+        ledger = CarbonBudgetLedger()
+        ledger.allocate("frugal", 1000.0)
+        ledger.allocate("spender", 1000.0)
+        ledger.charge("spender", 1, 800.0)
+        queue = [make_job(1, "spender", submit=0.0), make_job(2, "frugal", submit=1.0)]
+        ordered = priority_order(queue, ledger)
+        assert [j.user for j in ordered] == ["frugal", "spender"]
+
+    def test_submit_time_breaks_ties(self):
+        ledger = CarbonBudgetLedger()
+        ledger.allocate("a", 100.0)
+        ledger.allocate("b", 100.0)
+        queue = [make_job(1, "a", submit=2.0), make_job(2, "b", submit=1.0)]
+        ordered = priority_order(queue, ledger)
+        assert [j.job_id for j in ordered] == [2, 1]

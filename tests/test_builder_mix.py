@@ -1,0 +1,226 @@
+"""System builder and grid-mix/decarbonization models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CatalogError, TraceError, UpgradeAnalysisError
+from repro.hardware.builder import SystemBuilder
+from repro.hardware.catalog import (
+    CPU_EPYC_7763,
+    DRAM_64GB,
+    GPU_MI250X,
+    HDD_16TB,
+    SSD_3_2TB,
+)
+from repro.hardware.parts import ComponentClass
+from repro.intensity.mix import (
+    SOURCE_INTENSITY_G_PER_KWH,
+    DecarbonizationScenario,
+    GridMix,
+    upgrade_breakeven_with_decarbonization,
+)
+from repro.upgrade.scenario import UpgradeScenario
+from repro.workloads.models import Suite
+
+
+class TestSystemBuilder:
+    def test_compute_nodes_counts(self):
+        system = (
+            SystemBuilder("X")
+            .compute_nodes(
+                10, gpus=(GPU_MI250X, 4), cpus=(CPU_EPYC_7763, 2), dram_gb=512
+            )
+            .build()
+        )
+        assert system.components[GPU_MI250X] == 40
+        assert system.components[CPU_EPYC_7763] == 20
+        assert system.components[DRAM_64GB] == 10 * 8
+
+    def test_dram_rounds_up_to_modules(self):
+        system = (
+            SystemBuilder("X")
+            .compute_nodes(1, cpus=(CPU_EPYC_7763, 1), dram_gb=100.0)
+            .build()
+        )
+        assert system.components[DRAM_64GB] == 2  # ceil(100/64)
+
+    def test_storage_tiers(self):
+        system = (
+            SystemBuilder("X")
+            .compute_nodes(1, cpus=(CPU_EPYC_7763, 1))
+            .flash_tier(0.0032)  # exactly one 3.2 TB drive
+            .disk_tier(0.016)    # exactly one 16 TB drive
+            .build()
+        )
+        assert system.components[SSD_3_2TB] == 1
+        assert system.components[HDD_16TB] == 1
+
+    def test_partitions_accumulate(self):
+        system = (
+            SystemBuilder("X")
+            .compute_nodes(5, gpus=(GPU_MI250X, 4), cpus=(CPU_EPYC_7763, 1))
+            .compute_nodes(10, cpus=(CPU_EPYC_7763, 2))
+            .build()
+        )
+        assert system.components[CPU_EPYC_7763] == 5 + 20
+
+    def test_cores_estimated(self):
+        system = (
+            SystemBuilder("X")
+            .compute_nodes(1, cpus=(CPU_EPYC_7763, 2))
+            .build()
+        )
+        # ~65 cores per EPYC 7763-class socket estimate.
+        assert 100 <= system.cores <= 160
+
+    def test_design_usable_for_fig5_style_analysis(self):
+        system = (
+            SystemBuilder("X")
+            .compute_nodes(100, gpus=(GPU_MI250X, 4), cpus=(CPU_EPYC_7763, 1))
+            .disk_tier(50.0)
+            .build()
+        )
+        shares = system.embodied_shares()
+        assert ComponentClass.HDD in shares
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(CatalogError):
+            SystemBuilder("")
+        with pytest.raises(CatalogError):
+            SystemBuilder("X").build()  # empty
+        with pytest.raises(CatalogError):
+            SystemBuilder("X").compute_nodes(0, cpus=(CPU_EPYC_7763, 1))
+        with pytest.raises(CatalogError):
+            SystemBuilder("X").compute_nodes(1, cpus=(GPU_MI250X, 1))  # not a CPU
+        with pytest.raises(CatalogError):
+            SystemBuilder("X").compute_nodes(
+                1, gpus=(CPU_EPYC_7763, 1), cpus=(CPU_EPYC_7763, 1)
+            )  # not a GPU
+        with pytest.raises(CatalogError):
+            SystemBuilder("X").add(GPU_MI250X, -1)
+
+
+class TestGridMix:
+    def coal_heavy(self):
+        return GridMix({"coal": 0.6, "gas": 0.2, "wind": 0.1, "hydro": 0.1})
+
+    def test_intensity_weighted_mean(self):
+        mix = GridMix({"coal": 0.5, "wind": 0.5})
+        expected = 0.5 * 820.0 + 0.5 * 11.0
+        assert mix.intensity_g_per_kwh() == pytest.approx(expected)
+
+    def test_pure_sources_match_table(self):
+        for source, factor in SOURCE_INTENSITY_G_PER_KWH.items():
+            assert GridMix({source: 1.0}).intensity_g_per_kwh() == pytest.approx(factor)
+
+    def test_renewable_share(self):
+        assert self.coal_heavy().renewable_share() == pytest.approx(0.2)
+
+    def test_shift_reduces_intensity(self):
+        mix = self.coal_heavy()
+        cleaner = mix.with_shift("coal", "wind", 0.3)
+        assert cleaner.intensity_g_per_kwh() < mix.intensity_g_per_kwh()
+        assert sum(cleaner.shares.values()) == pytest.approx(1.0)
+
+    def test_shift_more_than_available_rejected(self):
+        with pytest.raises(TraceError):
+            self.coal_heavy().with_shift("hydro", "wind", 0.5)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            GridMix({})
+        with pytest.raises(TraceError):
+            GridMix({"coal": 0.5})  # doesn't sum to 1
+        with pytest.raises(TraceError):
+            GridMix({"antimatter": 1.0})
+        with pytest.raises(TraceError):
+            GridMix({"coal": 1.5, "wind": -0.5})
+
+    def test_reference_points_from_paper(self):
+        # Paper: renewables < 50, coal > 800 gCO2/kWh.
+        assert SOURCE_INTENSITY_G_PER_KWH["coal"] > 800.0
+        for source in ("wind", "solar", "hydro"):
+            assert SOURCE_INTENSITY_G_PER_KWH[source] < 50.0
+
+
+class TestDecarbonization:
+    def test_intensity_declines(self):
+        scenario = DecarbonizationScenario(400.0, annual_decline=0.05)
+        values = [scenario.intensity_at(t) for t in (0.0, 1.0, 5.0, 10.0)]
+        assert values == sorted(values, reverse=True)
+        assert values[1] == pytest.approx(400.0 * 0.95)
+
+    def test_floor_respected(self):
+        scenario = DecarbonizationScenario(100.0, annual_decline=0.5, floor_g_per_kwh=30.0)
+        assert scenario.intensity_at(50.0) == pytest.approx(30.0)
+
+    def test_floor_above_start_clamped(self):
+        scenario = DecarbonizationScenario(15.0, annual_decline=0.1, floor_g_per_kwh=30.0)
+        assert scenario.intensity_at(10.0) <= 15.0
+
+    def test_cumulative_matches_constant_when_no_decline(self):
+        scenario = DecarbonizationScenario(200.0, annual_decline=0.0)
+        years = np.array([1.0, 3.0])
+        cumulative = scenario.cumulative_intensity_hours(years)
+        assert cumulative[0] == pytest.approx(200.0 * 8760.0, rel=1e-6)
+        assert cumulative[1] == pytest.approx(3 * 200.0 * 8760.0, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            DecarbonizationScenario(-1.0)
+        with pytest.raises(TraceError):
+            DecarbonizationScenario(100.0, annual_decline=1.0)
+        with pytest.raises(TraceError):
+            DecarbonizationScenario(100.0).intensity_at(-1.0)
+
+
+class TestUpgradeUnderDecarbonization:
+    def test_decarbonization_stretches_breakeven(self):
+        const = UpgradeScenario.from_generations(
+            "V100", "A100", Suite.NLP, intensity=200.0
+        ).breakeven_years()
+        declining = upgrade_breakeven_with_decarbonization(
+            "V100", "A100", Suite.NLP,
+            DecarbonizationScenario(200.0, annual_decline=0.08),
+        )
+        assert declining is not None
+        assert declining > const
+
+    def test_zero_decline_matches_constant(self):
+        const = UpgradeScenario.from_generations(
+            "V100", "A100", Suite.NLP, intensity=200.0
+        ).breakeven_years()
+        flat = upgrade_breakeven_with_decarbonization(
+            "V100", "A100", Suite.NLP,
+            DecarbonizationScenario(200.0, annual_decline=0.0, floor_g_per_kwh=0.0),
+        )
+        assert flat == pytest.approx(const, rel=0.02)
+
+    def test_aggressive_decarbonization_may_never_amortize(self):
+        # Fully decarbonizing grid (floor 0): the remaining operational
+        # savings shrink geometrically and never cover the embodied cost.
+        result = upgrade_breakeven_with_decarbonization(
+            "V100", "A100", Suite.NLP,
+            DecarbonizationScenario(40.0, annual_decline=0.60, floor_g_per_kwh=0.0),
+            horizon_years=15.0,
+        )
+        assert result is None
+
+    def test_floor_keeps_amortization_alive(self):
+        # Even 5 gCO2/kWh of residual intensity eventually amortizes.
+        result = upgrade_breakeven_with_decarbonization(
+            "V100", "A100", Suite.NLP,
+            DecarbonizationScenario(40.0, annual_decline=0.30, floor_g_per_kwh=5.0),
+            horizon_years=10.0,
+        )
+        assert result is not None and result > 2.0
+
+    def test_invalid_horizon(self):
+        with pytest.raises(UpgradeAnalysisError):
+            upgrade_breakeven_with_decarbonization(
+                "V100", "A100", Suite.NLP,
+                DecarbonizationScenario(200.0), horizon_years=0.0,
+            )

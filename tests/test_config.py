@@ -1,0 +1,72 @@
+"""Model configuration: defaults, validation, scoped overrides."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_PUE,
+    PAPER_FAB_YIELD,
+    PAPER_PACKAGING_GCO2_PER_IC,
+    ModelConfig,
+    default_config,
+    get_config,
+    set_config,
+    use_config,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_constants(self):
+        cfg = default_config()
+        assert cfg.fab_yield == PAPER_FAB_YIELD == 0.875
+        assert cfg.packaging_gco2_per_ic == PAPER_PACKAGING_GCO2_PER_IC == 150.0
+        assert cfg.pue == DEFAULT_PUE
+
+    def test_active_config_is_default_initially(self):
+        assert get_config() == default_config()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad_yield", [0.0, -0.1, 1.5])
+    def test_bad_yield_rejected(self, bad_yield):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(fab_yield=bad_yield)
+
+    def test_negative_packaging_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(packaging_gco2_per_ic=-1.0)
+
+    def test_pue_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(pue=0.9)
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ConfigurationError):
+            default_config().with_overrides(fab_yield=2.0)
+
+    def test_with_overrides_changes_only_named_field(self):
+        cfg = default_config().with_overrides(pue=1.5)
+        assert cfg.pue == 1.5
+        assert cfg.fab_yield == PAPER_FAB_YIELD
+
+
+class TestScopedOverride:
+    def test_use_config_restores_on_exit(self):
+        before = get_config()
+        override = ModelConfig(fab_yield=0.5)
+        with use_config(override):
+            assert get_config() is override
+        assert get_config() == before
+
+    def test_use_config_restores_on_exception(self):
+        before = get_config()
+        with pytest.raises(RuntimeError):
+            with use_config(ModelConfig(pue=2.0)):
+                raise RuntimeError("boom")
+        assert get_config() == before
+
+    def test_set_config_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            set_config({"fab_yield": 0.875})  # type: ignore[arg-type]

@@ -1,0 +1,137 @@
+"""Cross-consistency: independent computation paths must agree.
+
+Each test computes the same quantity through two unrelated code paths
+(e.g. the export layer vs the figure function, the tracker vs the plain
+Eq. 6 helpers, the audit vs hand-assembled pieces) and asserts equality.
+These catch silent drift between the public surfaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.audit import CenterAuditor
+from repro.analysis.export import experiment_data
+from repro.analysis.figures import figure1, figure5, figure6
+from repro.analysis.ranking import Deployment, evaluate_deployment
+from repro.core.operational import operational_carbon
+from repro.core.units import HOURS_PER_YEAR
+from repro.hardware.node import v100_node
+from repro.hardware.systems import perlmutter, studied_systems
+from repro.intensity.generator import generate_trace
+from repro.power.node import NodePowerModel
+from repro.power.tracker import CarbonTracker
+from repro.upgrade.amortization import sweep_intensities
+from repro.upgrade.scenario import INTENSITY_LEVELS, UpgradeScenario
+from repro.workloads.energy import model_card
+from repro.workloads.models import Suite
+from repro.workloads.runner import simulate_training_run
+
+
+class TestExportMatchesFigures:
+    def test_fig1_export(self):
+        rows = {row[0]: row for row in experiment_data("fig1")["rows"]}
+        for fig_row in figure1():
+            exported = rows[fig_row.name]
+            assert exported[2] == pytest.approx(fig_row.embodied_kg)
+            assert exported[3] == pytest.approx(fig_row.embodied_per_tflop_kg)
+
+    def test_fig5_export(self):
+        exported = {
+            (row[0], row[1]): row[2] for row in experiment_data("fig5")["rows"]
+        }
+        for system, shares in figure5().items():
+            for cls, share in shares.items():
+                assert exported[(system, cls)] == pytest.approx(share)
+
+    def test_fig6_export(self):
+        exported = {row[0]: row for row in experiment_data("fig6")["rows"]}
+        for code, stats in figure6().items():
+            assert exported[code][3] == pytest.approx(stats.median)
+            assert exported[code][7] == pytest.approx(stats.cov_percent)
+
+    def test_fig8_export_matches_sweep(self):
+        rows = experiment_data("fig8")["rows"]
+        subset = [
+            r for r in rows
+            if r[0] == "P100->V100" and r[1] == "Medium Carbon Intensity"
+            and r[2] == "NLP"
+        ]
+        times = np.array([r[3] for r in subset])
+        values = np.array([r[4] for r in subset])
+        grid = sweep_intensities(
+            "P100", "V100", INTENSITY_LEVELS, times_years=times
+        )
+        assert np.allclose(values, grid.curve("Medium Carbon Intensity", Suite.NLP))
+
+
+class TestTrackerMatchesEq6:
+    def test_constant_intensity(self):
+        node = v100_node()
+        report = CarbonTracker(node, 250.0, pue=1.3).track_run(
+            3.0, gpu_utilization=0.7, cpu_utilization=0.4
+        )
+        direct = operational_carbon(
+            report.ic_energy.kwh, 250.0, pue=1.3
+        )
+        assert report.carbon.grams == pytest.approx(direct.grams, rel=1e-9)
+
+    def test_model_card_matches_runner(self):
+        card = model_card("BERT", "A100", 200.0, epochs=4)
+        run = simulate_training_run("BERT", "A100", epochs=4, intensity=200.0)
+        assert card.operational_g == pytest.approx(run.carbon.grams)
+        assert card.train_hours == pytest.approx(run.duration_h)
+
+
+class TestAuditMatchesPieces:
+    def test_build_matches_system_breakdown(self):
+        auditor = CenterAuditor(intensity=100.0, replacement=None)
+        audit = auditor.audit(perlmutter(), service_years=1.0)
+        expected = {
+            cls.value: b.total_g
+            for cls, b in perlmutter().embodied_by_class().items()
+        }
+        assert audit.build_g == pytest.approx(expected)
+
+    def test_operational_matches_hand_computation(self):
+        auditor = CenterAuditor(intensity=100.0, gpu_usage=0.5, replacement=None, pue=1.0)
+        audit = auditor.audit(perlmutter(), service_years=1.0)
+        # Hand-compute with the same duty-cycle rule.
+        power = auditor._system_average_power_w(perlmutter())
+        expected = power / 1000.0 * HOURS_PER_YEAR * 100.0
+        assert audit.operational_g == pytest.approx(expected, rel=1e-9)
+
+
+class TestRankingMatchesPowerModel:
+    def test_operational_metric(self):
+        node = v100_node()
+        deployment = Deployment("X", node, 10, 200.0, usage=0.4, pue=1.2)
+        metrics = evaluate_deployment(deployment)
+        power = NodePowerModel(node)
+        avg_w = 0.4 * power.busy_power_w() + 0.6 * power.power_w(0.0, 0.0)
+        expected = 10 * avg_w / 1000.0 * HOURS_PER_YEAR * 200.0 * 1.2
+        assert metrics.operational_g_per_year == pytest.approx(expected, rel=1e-9)
+
+
+class TestScenarioMatchesTraceMean:
+    def test_constant_equals_trace_with_same_mean_long_run(self):
+        trace = generate_trace("MISO")
+        with_trace = UpgradeScenario.from_generations(
+            "P100", "A100", Suite.VISION, intensity=trace
+        )
+        with_const = UpgradeScenario.from_generations(
+            "P100", "A100", Suite.VISION, intensity=trace.mean()
+        )
+        horizon = np.array([4.0])  # whole years: trace tiling is exact
+        assert with_trace.savings_curve(horizon)[0] == pytest.approx(
+            with_const.savings_curve(horizon)[0], rel=1e-6
+        )
+
+    def test_systems_totals_match_class_sums(self):
+        for system in studied_systems():
+            by_class = system.embodied_by_class()
+            total = system.embodied_total().total_g
+            assert total == pytest.approx(
+                sum(b.total_g for b in by_class.values())
+            )

@@ -1,0 +1,99 @@
+"""Multi-node distributed training model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.workloads.distributed import (
+    SLINGSHOT_200G,
+    FabricSpec,
+    distributed_throughput,
+    scaling_sweep,
+)
+from repro.workloads.performance import model_throughput_sps
+
+
+class TestFabricSpec:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            FabricSpec("bad", bandwidth_gb_s=0.0, latency_us=1.0)
+        with pytest.raises(WorkloadError):
+            FabricSpec("bad", bandwidth_gb_s=10.0, latency_us=-1.0)
+        with pytest.raises(WorkloadError):
+            FabricSpec("bad", bandwidth_gb_s=10.0, latency_us=1.0, overlap=1.0)
+
+
+class TestDistributedThroughput:
+    def test_single_node_matches_fig4_model(self):
+        run = distributed_throughput("BERT", "V100", 1)
+        assert run.throughput_sps == pytest.approx(
+            model_throughput_sps("BERT", "V100", n_gpus=4)
+        )
+
+    def test_throughput_grows_sublinearly(self):
+        one = distributed_throughput("BERT", "A100", 1)
+        eight = distributed_throughput("BERT", "A100", 8)
+        assert eight.throughput_sps > one.throughput_sps
+        assert eight.throughput_sps < 8 * one.throughput_sps
+
+    def test_efficiency_decreases_with_scale(self):
+        runs = scaling_sweep("ViT", "A100", node_counts=(1, 2, 4, 8, 16))
+        efficiencies = [r.parallel_efficiency for r in runs]
+        assert efficiencies == sorted(efficiencies, reverse=True)
+
+    def test_larger_models_scale_worse(self):
+        # VGG19 (144M params) all-reduces far more than ShuffleNetV2 (2.3M).
+        big = distributed_throughput("VGG19", "A100", 8)
+        small = distributed_throughput("ShuffleNetV2", "A100", 8)
+        assert small.parallel_efficiency > big.parallel_efficiency
+
+    def test_faster_fabric_helps(self):
+        slow = FabricSpec("slow", bandwidth_gb_s=5.0, latency_us=5.0)
+        base = distributed_throughput("BERT", "A100", 8, fabric=slow)
+        fast = distributed_throughput("BERT", "A100", 8, fabric=SLINGSHOT_200G)
+        assert fast.throughput_sps > base.throughput_sps
+
+    def test_full_overlap_recovers_linear_scaling(self):
+        perfect = FabricSpec("ideal", bandwidth_gb_s=25.0, latency_us=0.0,
+                             overlap=0.999999)
+        run = distributed_throughput("BERT", "A100", 8, fabric=perfect)
+        one = distributed_throughput("BERT", "A100", 1, fabric=perfect)
+        assert run.throughput_sps == pytest.approx(8 * one.throughput_sps, rel=1e-3)
+
+    def test_bigger_batches_amortize_communication(self):
+        small = distributed_throughput("BERT", "A100", 8, batch_per_gpu=8)
+        large = distributed_throughput("BERT", "A100", 8, batch_per_gpu=64)
+        assert large.throughput_sps > small.throughput_sps
+
+    def test_gpus_per_node_subset(self):
+        run = distributed_throughput("BERT", "A100", 2, gpus_per_node=2)
+        assert run.total_gpus == 4
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            distributed_throughput("BERT", "A100", 0)
+        with pytest.raises(WorkloadError):
+            distributed_throughput("BERT", "A100", 2, gpus_per_node=5)
+        with pytest.raises(WorkloadError):
+            distributed_throughput("BERT", "A100", 2, batch_per_gpu=0)
+        with pytest.raises(WorkloadError):
+            scaling_sweep("BERT", "A100", node_counts=())
+
+
+class TestCarbonPerPerformanceAtScale:
+    def test_rq3_law_extends_across_nodes(self):
+        """Embodied carbon grows linearly in nodes; performance does not —
+        so carbon per achieved performance degrades (RQ3 at scale)."""
+        from repro.hardware.node import a100_node
+
+        node_embodied = a100_node().embodied().total_g
+        runs = scaling_sweep("BERT", "A100", node_counts=(1, 4, 16))
+        ratios = [
+            (r.throughput_sps / runs[0].throughput_sps)
+            / (r.n_nodes * node_embodied / node_embodied)
+            for r in runs
+        ]
+        assert ratios[0] == pytest.approx(1.0)
+        assert ratios[1] < ratios[0]
+        assert ratios[2] < ratios[1]

@@ -1,0 +1,160 @@
+"""Embodied model (Eq. 2-5): exactness, monotonicity, breakdown algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import ModelConfig
+from repro.core.embodied import (
+    EmbodiedBreakdown,
+    combine_breakdowns,
+    manufacturing_carbon_capacity,
+    manufacturing_carbon_processor,
+    packaging_carbon_from_ic_count,
+    packaging_carbon_from_ratio,
+)
+from repro.core.errors import ConfigurationError, UnitError
+
+pos = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestEq3Processor:
+    def test_paper_formula_exact(self):
+        # (FPA + GPA + MPA) * A_die / yield, with area in cm^2.
+        grams = manufacturing_carbon_processor(
+            826.0, 950.0, 420.0, 290.0, fab_yield=0.875
+        )
+        expected = (950.0 + 420.0 + 290.0) * 8.26 / 0.875
+        assert grams == pytest.approx(expected)
+
+    def test_yield_inverse_scaling(self):
+        full = manufacturing_carbon_processor(100.0, 10.0, 5.0, 5.0, fab_yield=1.0)
+        half = manufacturing_carbon_processor(100.0, 10.0, 5.0, 5.0, fab_yield=0.5)
+        assert half == pytest.approx(2.0 * full)
+
+    def test_config_supplies_default_yield(self):
+        cfg = ModelConfig(fab_yield=0.5)
+        grams = manufacturing_carbon_processor(100.0, 10.0, 0.0, 0.0, config=cfg)
+        assert grams == pytest.approx(10.0 * 1.0 / 0.5)
+
+    def test_zero_area_is_zero(self):
+        assert manufacturing_carbon_processor(0.0, 10.0, 5.0, 5.0) == 0.0
+
+    @pytest.mark.parametrize("bad", [-1.0, -0.001])
+    def test_negative_area_rejected(self, bad):
+        with pytest.raises(UnitError):
+            manufacturing_carbon_processor(bad, 1.0, 1.0, 1.0)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(UnitError):
+            manufacturing_carbon_processor(1.0, -1.0, 1.0, 1.0)
+
+    @pytest.mark.parametrize("bad_yield", [0.0, -0.5, 1.01])
+    def test_bad_yield_rejected(self, bad_yield):
+        with pytest.raises(ConfigurationError):
+            manufacturing_carbon_processor(1.0, 1.0, 1.0, 1.0, fab_yield=bad_yield)
+
+    @given(area=pos, fpa=pos, gpa=pos, mpa=pos)
+    def test_monotone_in_area_and_factors(self, area, fpa, gpa, mpa):
+        base = manufacturing_carbon_processor(area, fpa, gpa, mpa)
+        bigger_area = manufacturing_carbon_processor(area * 2, fpa, gpa, mpa)
+        bigger_fpa = manufacturing_carbon_processor(area, fpa * 2, gpa, mpa)
+        assert bigger_area > base
+        assert bigger_fpa > base
+
+
+class TestEq4Capacity:
+    def test_paper_dram_value(self):
+        # 65 gCO2/GB * 64 GB = 4160 g, the Table 1 DRAM manufacturing carbon.
+        assert manufacturing_carbon_capacity(65.0, 64.0) == pytest.approx(4160.0)
+
+    def test_linear_in_capacity(self):
+        one = manufacturing_carbon_capacity(6.21, 1.0)
+        assert manufacturing_carbon_capacity(6.21, 3200.0) == pytest.approx(3200 * one)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(UnitError):
+            manufacturing_carbon_capacity(-1.0, 10.0)
+        with pytest.raises(UnitError):
+            manufacturing_carbon_capacity(1.0, -10.0)
+
+    @given(epc=pos, cap=pos)
+    def test_commutative_in_factors(self, epc, cap):
+        assert manufacturing_carbon_capacity(epc, cap) == pytest.approx(
+            manufacturing_carbon_capacity(cap, epc)
+        )
+
+
+class TestEq5Packaging:
+    def test_paper_150g_per_ic(self):
+        assert packaging_carbon_from_ic_count(20) == pytest.approx(3000.0)
+
+    def test_zero_ics_zero_carbon(self):
+        assert packaging_carbon_from_ic_count(0) == 0.0
+
+    def test_override_per_ic(self):
+        assert packaging_carbon_from_ic_count(10, per_ic_g=100.0) == 1000.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(UnitError):
+            packaging_carbon_from_ic_count(-1)
+
+    def test_ratio_path_for_storage(self):
+        assert packaging_carbon_from_ratio(1000.0, 0.0204) == pytest.approx(20.4)
+
+    def test_ratio_negative_rejected(self):
+        with pytest.raises(UnitError):
+            packaging_carbon_from_ratio(1000.0, -0.1)
+
+
+class TestBreakdown:
+    def test_eq2_total(self):
+        b = EmbodiedBreakdown(manufacturing_g=800.0, packaging_g=200.0)
+        assert b.total_g == 1000.0
+        assert b.manufacturing_share == pytest.approx(0.8)
+        assert b.packaging_share == pytest.approx(0.2)
+
+    def test_shares_sum_to_one(self):
+        b = EmbodiedBreakdown(3.0, 7.0)
+        assert b.manufacturing_share + b.packaging_share == pytest.approx(1.0)
+
+    def test_zero_breakdown_shares(self):
+        b = EmbodiedBreakdown(0.0, 0.0)
+        assert b.manufacturing_share == 0.0
+        assert b.packaging_share == 0.0
+
+    def test_scaled(self):
+        b = EmbodiedBreakdown(10.0, 5.0).scaled(4)
+        assert b.manufacturing_g == 40.0
+        assert b.packaging_g == 20.0
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(UnitError):
+            EmbodiedBreakdown(1.0, 1.0).scaled(-1)
+
+    def test_addition(self):
+        total = EmbodiedBreakdown(1.0, 2.0) + EmbodiedBreakdown(3.0, 4.0)
+        assert total.manufacturing_g == 4.0
+        assert total.packaging_g == 6.0
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(UnitError):
+            EmbodiedBreakdown(-1.0, 0.0)
+
+    def test_combine_breakdowns(self):
+        combined = combine_breakdowns(
+            {"GPU": EmbodiedBreakdown(10.0, 1.0), "CPU": EmbodiedBreakdown(5.0, 2.0)}
+        )
+        assert combined.total_g == pytest.approx(18.0)
+
+    @given(
+        m1=pos, p1=pos, m2=pos, p2=pos,
+        count=st.integers(min_value=0, max_value=1000),
+    )
+    def test_scaling_distributes_over_addition(self, m1, p1, m2, p2, count):
+        a, b = EmbodiedBreakdown(m1, p1), EmbodiedBreakdown(m2, p2)
+        left = (a + b).scaled(count)
+        right = a.scaled(count) + b.scaled(count)
+        assert left.total_g == pytest.approx(right.total_g)

@@ -1,0 +1,117 @@
+"""Fleet-level phased upgrade planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import UpgradeAnalysisError
+from repro.intensity.generator import generate_trace
+from repro.upgrade.fleet import FleetUpgradePlan, best_rollout, compare_rollouts
+from repro.workloads.models import Suite
+
+
+def make_plan(**overrides) -> FleetUpgradePlan:
+    kwargs = dict(
+        old="V100",
+        new="A100",
+        n_nodes=64,
+        suite=Suite.NLP,
+        usage=0.40,
+        intensity=200.0,
+        horizon_years=5.0,
+    )
+    kwargs.update(overrides)
+    return FleetUpgradePlan(**kwargs)
+
+
+class TestEvaluate:
+    def test_keep_has_no_embodied_cost(self):
+        keep = make_plan().keep_fleet()
+        assert keep.embodied_g == 0.0
+        assert keep.operational_g > 0.0
+
+    def test_big_bang_embodied_is_full_fleet(self):
+        plan = make_plan()
+        big = plan.big_bang()
+        from repro.hardware.node import a100_node
+
+        assert big.embodied_g == pytest.approx(64 * a100_node().embodied().total_g)
+
+    def test_big_bang_minimizes_operational(self):
+        plan = make_plan()
+        results = compare_rollouts(plan)
+        assert results["big-bang"].operational_g == min(
+            r.operational_g for r in results.values()
+        )
+
+    def test_linear_embodied_equals_big_bang(self):
+        plan = make_plan()
+        assert plan.linear(4).embodied_g == pytest.approx(plan.big_bang().embodied_g)
+
+    def test_linear_slower_rollout_more_operational(self):
+        plan = make_plan()
+        fast = plan.linear(2)
+        slow = plan.linear(12)
+        assert slow.operational_g > fast.operational_g
+
+    def test_dirty_grid_upgrade_beats_keep(self):
+        plan = make_plan(intensity=400.0)
+        results = compare_rollouts(plan)
+        assert results["big-bang"].total_g < results["keep"].total_g
+
+    def test_green_grid_keep_wins_short_horizon(self):
+        plan = make_plan(intensity=20.0, horizon_years=2.0)
+        results = compare_rollouts(plan, linear_quarters=(4,))
+        assert results["keep"].total_g < results["big-bang"].total_g
+
+    def test_partial_schedule_allowed(self):
+        plan = make_plan()
+        partial = plan.evaluate([16, 16], name="half")
+        assert partial.embodied_g == pytest.approx(plan.big_bang().embodied_g / 2.0)
+
+    def test_trace_intensity_accepted(self):
+        plan = make_plan(intensity=generate_trace("PJM"))
+        assert plan.big_bang().total_g > 0.0
+
+    @pytest.mark.parametrize(
+        "schedule", [[], [-1], [65], [1] * 21]
+    )
+    def test_invalid_schedules_rejected(self, schedule):
+        with pytest.raises(UpgradeAnalysisError):
+            make_plan().evaluate(schedule)
+
+    def test_invalid_plan_rejected(self):
+        with pytest.raises(UpgradeAnalysisError):
+            make_plan(n_nodes=0)
+        with pytest.raises(UpgradeAnalysisError):
+            make_plan(horizon_years=0.0)
+        with pytest.raises(UpgradeAnalysisError):
+            make_plan(pue=0.9)
+
+    def test_downgrade_rejected(self):
+        plan = make_plan(old="A100", new="V100")
+        with pytest.raises(UpgradeAnalysisError):
+            plan.big_bang()
+
+
+class TestBestRollout:
+    def test_capacity_cap_respected(self):
+        plan = make_plan(intensity=400.0)
+        best = best_rollout(plan, max_per_quarter=8)
+        assert max(best.schedule) <= 8
+        assert sum(best.schedule) == 64
+
+    def test_front_loading_beats_even_spread_on_dirty_grid(self):
+        plan = make_plan(intensity=400.0)
+        best = best_rollout(plan, max_per_quarter=16)
+        linear = plan.linear(plan.n_quarters)
+        assert best.total_g <= linear.total_g
+
+    def test_keep_chosen_when_upgrade_never_pays(self):
+        plan = make_plan(intensity=1.0, horizon_years=1.0)
+        best = best_rollout(plan, max_per_quarter=64)
+        assert best.name == "keep"
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(UpgradeAnalysisError):
+            best_rollout(make_plan(), max_per_quarter=0)

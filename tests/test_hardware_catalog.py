@@ -1,0 +1,148 @@
+"""Catalog contents: Table 1 completeness and paper-anchored factors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import CatalogError
+from repro.hardware.catalog import (
+    ALL_PARTS,
+    DRAM_64GB,
+    GPU_A100,
+    GPU_MI250X,
+    GPU_V100,
+    HDD_16TB,
+    SSD_3_2TB,
+    TABLE1_CPUS,
+    TABLE1_GPUS,
+    TABLE1_MEMORY_STORAGE,
+    TABLE1_PARTS,
+    get_part,
+    list_parts,
+)
+from repro.hardware.fabdata import (
+    EPC_DRAM_G_PER_GB,
+    EPC_HDD_G_PER_GB,
+    EPC_SSD_G_PER_GB,
+    PROCESS_NODES,
+    get_process_node,
+)
+from repro.hardware.parts import ProcessorKind
+
+
+class TestTable1Completeness:
+    def test_nine_components(self):
+        assert len(TABLE1_PARTS) == 9
+
+    def test_three_gpus_three_cpus(self):
+        assert len(TABLE1_GPUS) == 3
+        assert len(TABLE1_CPUS) == 3
+        assert all(p.kind is ProcessorKind.GPU for p in TABLE1_GPUS)
+        assert all(p.kind is ProcessorKind.CPU for p in TABLE1_CPUS)
+
+    def test_memory_storage_components(self):
+        names = {p.name for p in TABLE1_MEMORY_STORAGE}
+        assert names == {"DRAM 64GB", "SSD 3.2TB", "HDD 16TB"}
+
+    def test_release_dates_match_paper(self):
+        releases = {p.name: p.release for p in TABLE1_PARTS}
+        assert releases["NVIDIA A100"] == "May 2020"
+        assert releases["AMD MI250X"] == "November 2021"
+        assert releases["NVIDIA V100"] == "March 2018"
+        assert releases["AMD EPYC 7763"] == "March 2021"
+        assert releases["AMD EPYC 7742"] == "August 2019"
+        assert releases["Intel Xeon Gold 6240R"] == "February 2020"
+        assert releases["DRAM 64GB"] == "October 2020"
+        assert releases["SSD 3.2TB"] == "October 2018"
+        assert releases["HDD 16TB"] == "June 2019"
+
+
+class TestPaperFactors:
+    def test_epc_values_from_paper(self):
+        assert DRAM_64GB.epc_g_per_gb == EPC_DRAM_G_PER_GB == 65.0
+        assert SSD_3_2TB.epc_g_per_gb == EPC_SSD_G_PER_GB == 6.21
+        assert HDD_16TB.epc_g_per_gb == EPC_HDD_G_PER_GB == 1.33
+
+    def test_mi250x_fp64_is_about_5x_a100(self):
+        # The paper cites AMD reporting ~5x the A100's peak FP64.
+        ratio = GPU_MI250X.fp64_tflops / GPU_A100.fp64_tflops
+        assert 4.5 <= ratio <= 5.5
+
+    def test_mi250x_dual_die_area(self):
+        assert GPU_MI250X.die_area_mm2 == pytest.approx(2 * 724.0)
+
+    def test_process_nodes_monotone_per_area(self):
+        # Denser nodes emit more per unit area.
+        assert (
+            PROCESS_NODES["6nm"].carbon_per_area_g_per_cm2
+            > PROCESS_NODES["7nm"].carbon_per_area_g_per_cm2
+            > PROCESS_NODES["12nm"].carbon_per_area_g_per_cm2
+            >= PROCESS_NODES["14nm"].carbon_per_area_g_per_cm2
+        )
+
+    def test_per_area_in_act_range(self):
+        # ACT's end-to-end range: roughly 1.2-2.1 kgCO2/cm^2.
+        for node in PROCESS_NODES.values():
+            assert 1200.0 <= node.carbon_per_area_g_per_cm2 <= 2100.0
+
+
+class TestLookups:
+    def test_get_part_roundtrip(self):
+        for name in list_parts():
+            assert get_part(name).name == name
+
+    def test_unknown_part_raises_with_candidates(self):
+        with pytest.raises(CatalogError, match="NVIDIA A100"):
+            get_part("NVIDIA H100")
+
+    def test_unknown_process_node(self):
+        with pytest.raises(CatalogError, match="7nm"):
+            get_process_node("3nm")
+
+    def test_all_parts_superset_of_table1(self):
+        table1 = {p.name for p in TABLE1_PARTS}
+        everything = {p.name for p in ALL_PARTS}
+        assert table1 < everything
+        # Table 5 extras present:
+        assert {"NVIDIA P100", "Intel Xeon E5-2680", "AMD EPYC 7542"} <= everything
+
+    def test_part_names_unique(self):
+        names = [p.name for p in ALL_PARTS]
+        assert len(names) == len(set(names))
+
+
+class TestFigure1Anchors:
+    """Catalog-level invariants behind the Fig. 1 observations."""
+
+    def test_every_gpu_above_every_cpu(self):
+        min_gpu = min(p.embodied().total_g for p in TABLE1_GPUS)
+        max_cpu = max(p.embodied().total_g for p in TABLE1_CPUS)
+        assert min_gpu > max_cpu
+
+    def test_ratio_up_to_about_3_4x(self):
+        ratio = max(p.embodied().total_g for p in TABLE1_GPUS) / min(
+            p.embodied().total_g for p in TABLE1_CPUS
+        )
+        assert 2.5 <= ratio <= 3.9
+
+    def test_per_flop_reversal(self):
+        max_gpu = max(p.embodied_per_tflop() for p in TABLE1_GPUS)
+        min_cpu = min(p.embodied_per_tflop() for p in TABLE1_CPUS)
+        assert max_gpu < min_cpu
+
+    def test_fp32_shows_same_reversal(self):
+        # The paper notes the trend holds for FP32 too.
+        max_gpu = max(p.embodied_per_tflop("fp32") for p in TABLE1_GPUS)
+        min_cpu = min(p.embodied_per_tflop("fp32") for p in TABLE1_CPUS)
+        assert max_gpu < min_cpu
+
+    def test_dram_packaging_share_42_percent(self):
+        assert DRAM_64GB.embodied().packaging_share == pytest.approx(0.42, abs=0.01)
+
+    def test_memory_storage_in_5_to_25_kg(self):
+        for part in TABLE1_MEMORY_STORAGE:
+            assert 5_000.0 <= part.embodied().total_g <= 25_000.0
+
+    def test_v100_embodied_relative_to_a100(self):
+        # Newer process, similar area -> A100 embodies more than V100.
+        assert GPU_A100.embodied().total_g > GPU_V100.embodied().total_g

@@ -1,0 +1,115 @@
+"""Node specs: inventory algebra, embodied scoping, GPU-count sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import CatalogError
+from repro.hardware.catalog import CPU_XEON_6240R, DRAM_64GB, GPU_V100
+from repro.hardware.node import (
+    ALL_CLASSES,
+    PROCESSOR_CLASSES,
+    NodeSpec,
+    a100_node,
+    get_node_generation,
+    node_generations,
+    p100_node,
+    v100_node,
+)
+from repro.hardware.parts import ComponentClass
+
+
+class TestNodeSpec:
+    def test_counts_by_class(self):
+        node = v100_node()
+        assert node.gpu_count == 4
+        assert node.cpu_count == 2
+        assert node.count_of_class(ComponentClass.DRAM) == 6
+
+    def test_zero_count_components_dropped(self):
+        node = NodeSpec("n", {GPU_V100: 1, CPU_XEON_6240R: 0})
+        assert CPU_XEON_6240R not in node.components
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(CatalogError):
+            NodeSpec("n", {GPU_V100: -1})
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(CatalogError):
+            NodeSpec("n", {})
+
+    def test_gpu_spec_unique(self):
+        assert v100_node().gpu_spec() is GPU_V100
+
+    def test_gpu_spec_requires_gpu(self):
+        cpu_only = NodeSpec("cpu-only", {CPU_XEON_6240R: 2})
+        with pytest.raises(CatalogError):
+            cpu_only.gpu_spec()
+
+    def test_embodied_sums_components(self):
+        node = v100_node()
+        expected = (
+            4 * GPU_V100.embodied().total_g
+            + 2 * CPU_XEON_6240R.embodied().total_g
+            + 6 * DRAM_64GB.embodied().total_g
+        )
+        assert node.embodied().total_g == pytest.approx(expected)
+
+    def test_embodied_class_scoping(self):
+        node = v100_node()
+        processors = node.embodied(classes=PROCESSOR_CLASSES).total_g
+        everything = node.embodied(classes=ALL_CLASSES).total_g
+        assert processors < everything
+        dram_only = node.embodied(classes=[ComponentClass.DRAM]).total_g
+        assert processors + dram_only == pytest.approx(everything)
+
+    def test_embodied_by_class_keys(self):
+        by_class = v100_node().embodied_by_class()
+        assert set(by_class) == {
+            ComponentClass.GPU,
+            ComponentClass.CPU,
+            ComponentClass.DRAM,
+        }
+
+    def test_with_gpu_count(self):
+        node = v100_node().with_gpu_count(2)
+        assert node.gpu_count == 2
+        assert node.cpu_count == 2  # CPUs untouched
+
+    def test_with_gpu_count_linear_in_gpus(self):
+        one = v100_node().with_gpu_count(1).embodied(classes=[ComponentClass.GPU])
+        four = v100_node().with_gpu_count(4).embodied(classes=[ComponentClass.GPU])
+        assert four.total_g == pytest.approx(4 * one.total_g)
+
+    def test_with_gpu_count_invalid(self):
+        with pytest.raises(CatalogError):
+            v100_node().with_gpu_count(0)
+
+
+class TestNodeGenerations:
+    def test_table5_names(self):
+        assert set(node_generations()) == {"P100", "V100", "A100"}
+
+    def test_table5_configs(self):
+        p100, v100, a100 = p100_node(), v100_node(), a100_node()
+        assert p100.gpu_count == 4 and p100.cpu_count == 2
+        assert v100.gpu_count == 4 and v100.cpu_count == 2
+        assert a100.gpu_count == 4 and a100.cpu_count == 4  # Table 5: 4x EPYC 7542
+
+    def test_generation_gpu_names_match(self):
+        for name, node in node_generations().items():
+            assert node.gpu_spec().name.endswith(name)
+
+    def test_newer_nodes_embody_more(self):
+        # Newer process + more DRAM/CPUs -> rising embodied cost.
+        p100 = p100_node().embodied().total_g
+        v100 = v100_node().embodied().total_g
+        a100 = a100_node().embodied().total_g
+        assert p100 < v100 < a100
+
+    def test_lookup_roundtrip(self):
+        assert get_node_generation("V100").name == "V100"
+
+    def test_unknown_generation(self):
+        with pytest.raises(CatalogError, match="A100"):
+            get_node_generation("H100")

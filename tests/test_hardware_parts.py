@@ -1,0 +1,166 @@
+"""Part specs: validation, embodied dispatch, normalizations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.errors import CatalogError
+from repro.hardware.fabdata import get_process_node
+from repro.hardware.parts import (
+    ComponentClass,
+    MemorySpec,
+    ProcessorKind,
+    ProcessorSpec,
+    StorageKind,
+    StorageSpec,
+)
+
+
+def make_gpu(**overrides) -> ProcessorSpec:
+    kwargs = dict(
+        name="TestGPU",
+        part_name="Test GPU 1",
+        kind=ProcessorKind.GPU,
+        release="January 2020",
+        die_area_mm2=800.0,
+        process=get_process_node("7nm"),
+        ic_count=10,
+        fp64_tflops=10.0,
+        fp32_tflops=20.0,
+        tdp_w=300.0,
+    )
+    kwargs.update(overrides)
+    return ProcessorSpec(**kwargs)
+
+
+class TestProcessorSpec:
+    def test_embodied_matches_equations(self):
+        gpu = make_gpu()
+        node = get_process_node("7nm")
+        expected_mfg = node.carbon_per_area_g_per_cm2 * 8.0 / 0.875
+        breakdown = gpu.embodied()
+        assert breakdown.manufacturing_g == pytest.approx(expected_mfg)
+        assert breakdown.packaging_g == pytest.approx(1500.0)
+
+    def test_embodied_respects_config(self):
+        gpu = make_gpu()
+        strict = gpu.embodied(ModelConfig(fab_yield=0.5))
+        default = gpu.embodied()
+        assert strict.manufacturing_g == pytest.approx(
+            default.manufacturing_g * 0.875 / 0.5
+        )
+
+    def test_per_tflop_precisions(self):
+        gpu = make_gpu()
+        assert gpu.embodied_per_tflop("fp64") == pytest.approx(
+            gpu.embodied().total_g / 10.0
+        )
+        assert gpu.embodied_per_tflop("fp32") == pytest.approx(
+            gpu.embodied().total_g / 20.0
+        )
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(CatalogError):
+            make_gpu().embodied_per_tflop("fp16")
+
+    def test_component_class_follows_kind(self):
+        assert make_gpu().component_class is ComponentClass.GPU
+        cpu = make_gpu(kind=ProcessorKind.CPU, name="TestCPU")
+        assert cpu.component_class is ComponentClass.CPU
+
+    def test_power_envelope(self):
+        gpu = make_gpu(tdp_w=250.0, idle_fraction=0.08, busy_utilization=0.9)
+        assert gpu.idle_w == pytest.approx(20.0)
+        assert gpu.busy_w == pytest.approx(20.0 + 0.9 * 230.0)
+        assert gpu.idle_w < gpu.busy_w <= gpu.tdp_w
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("die_area_mm2", 0.0),
+            ("ic_count", 0),
+            ("fp64_tflops", 0.0),
+            ("tdp_w", -1.0),
+            ("idle_fraction", 1.0),
+            ("busy_utilization", 0.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(CatalogError):
+            make_gpu(**{field: value})
+
+
+class TestMemorySpec:
+    def make(self, **overrides) -> MemorySpec:
+        kwargs = dict(
+            name="TestDRAM",
+            part_name="Test 64GB",
+            release="October 2020",
+            capacity_gb=64.0,
+            epc_g_per_gb=65.0,
+            ic_count=20,
+            bandwidth_gb_s=25.6,
+        )
+        kwargs.update(overrides)
+        return MemorySpec(**kwargs)
+
+    def test_embodied_eq4_plus_eq5(self):
+        breakdown = self.make().embodied()
+        assert breakdown.manufacturing_g == pytest.approx(65.0 * 64.0)
+        assert breakdown.packaging_g == pytest.approx(150.0 * 20)
+
+    def test_per_bandwidth(self):
+        dram = self.make()
+        assert dram.embodied_per_bandwidth() == pytest.approx(
+            dram.embodied().total_g / 25.6
+        )
+
+    def test_component_class(self):
+        assert self.make().component_class is ComponentClass.DRAM
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("capacity_gb", 0.0), ("ic_count", 0), ("bandwidth_gb_s", 0.0)],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(CatalogError):
+            self.make(**{field: value})
+
+    def test_power_ordering_enforced(self):
+        with pytest.raises(CatalogError):
+            self.make(active_w=1.0, idle_w=2.0)
+
+
+class TestStorageSpec:
+    def make(self, **overrides) -> StorageSpec:
+        kwargs = dict(
+            name="TestSSD",
+            part_name="Test 3.2TB",
+            kind=StorageKind.SSD,
+            release="October 2018",
+            capacity_gb=3200.0,
+            epc_g_per_gb=6.21,
+            packaging_ratio=0.0204,
+            bandwidth_gb_s=1.1,
+        )
+        kwargs.update(overrides)
+        return StorageSpec(**kwargs)
+
+    def test_embodied_uses_ratio_path(self):
+        breakdown = self.make().embodied()
+        assert breakdown.manufacturing_g == pytest.approx(6.21 * 3200.0)
+        assert breakdown.packaging_g == pytest.approx(6.21 * 3200.0 * 0.0204)
+
+    def test_packaging_share_near_two_percent(self):
+        share = self.make().embodied().packaging_share
+        assert share == pytest.approx(0.02, abs=0.002)
+
+    def test_kinds_map_to_classes(self):
+        assert self.make().component_class is ComponentClass.SSD
+        hdd = self.make(kind=StorageKind.HDD, name="TestHDD")
+        assert hdd.component_class is ComponentClass.HDD
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(CatalogError):
+            self.make(packaging_ratio=-0.1)

@@ -1,0 +1,123 @@
+"""System BOMs (Table 2) and the Fig. 5 share computations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import CatalogError
+from repro.hardware.catalog import GPU_MI250X, HDD_16TB, SSD_3_2TB
+from repro.hardware.parts import ComponentClass
+from repro.hardware.systems import (
+    SystemSpec,
+    drives_for_capacity,
+    frontier,
+    get_system,
+    lumi,
+    perlmutter,
+    studied_systems,
+)
+
+
+class TestDrivesForCapacity:
+    def test_exact_division(self):
+        # 16 TB drives: 16 PB -> 1000 drives.
+        assert drives_for_capacity(16.0, HDD_16TB) == 1_000_000 // 1000
+
+    def test_rounds_up(self):
+        assert drives_for_capacity(0.0001, SSD_3_2TB) == 1
+
+    def test_zero_capacity(self):
+        assert drives_for_capacity(0.0, HDD_16TB) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(CatalogError):
+            drives_for_capacity(-1.0, HDD_16TB)
+
+    def test_part_without_capacity_rejected(self):
+        with pytest.raises(CatalogError):
+            drives_for_capacity(1.0, GPU_MI250X)
+
+
+class TestTable2:
+    def test_three_systems(self):
+        systems = studied_systems()
+        assert [s.name for s in systems] == ["Frontier", "LUMI", "Perlmutter"]
+
+    def test_core_counts_match_paper(self):
+        cores = {s.name: s.cores for s in studied_systems()}
+        assert cores == {
+            "Frontier": 8_730_112,
+            "LUMI": 2_220_288,
+            "Perlmutter": 761_856,
+        }
+
+    def test_years_match_paper(self):
+        years = {s.name: s.year for s in studied_systems()}
+        assert years == {"Frontier": 2021, "LUMI": 2022, "Perlmutter": 2021}
+
+    def test_locations(self):
+        assert "Oak Ridge" in frontier().location
+        assert "Finland" in lumi().location
+        assert "Berkeley" in perlmutter().location
+
+    def test_frontier_gpu_inventory(self):
+        # 9408 nodes x 4 MI250X.
+        assert frontier().components[GPU_MI250X] == 9408 * 4
+
+    def test_perlmutter_has_no_hdd(self):
+        shares = perlmutter().embodied_shares()
+        assert ComponentClass.HDD not in shares
+
+    def test_lookup(self):
+        assert get_system("LUMI").name == "LUMI"
+        with pytest.raises(CatalogError):
+            get_system("Summit")
+
+
+class TestFigure5Shares:
+    def test_shares_sum_to_one(self):
+        for system in studied_systems():
+            assert sum(system.embodied_shares().values()) == pytest.approx(1.0)
+
+    def test_gpu_dominates_frontier_and_lumi(self):
+        for system in (frontier(), lumi()):
+            shares = system.embodied_shares()
+            assert shares[ComponentClass.GPU] == max(shares.values())
+
+    def test_frontier_gpu_over_7x_cpu(self):
+        shares = frontier().embodied_shares()
+        assert shares[ComponentClass.GPU] / shares[ComponentClass.CPU] >= 7.0
+
+    def test_perlmutter_balanced_cpu_gpu(self):
+        shares = perlmutter().embodied_shares()
+        ratio = shares[ComponentClass.GPU] / shares[ComponentClass.CPU]
+        assert 0.8 <= ratio <= 1.8  # "more balanced" than Frontier's ~10x
+
+    def test_memory_storage_share_bands(self):
+        assert frontier().memory_and_storage_share() == pytest.approx(0.60, abs=0.08)
+        assert lumi().memory_and_storage_share() == pytest.approx(0.50, abs=0.08)
+        assert perlmutter().memory_and_storage_share() >= 0.55
+
+    def test_frontier_storage_heavier_than_lumi(self):
+        # Frontier's 695 PB of disk vs LUMI's smaller tiers.
+        f = frontier().embodied_shares()[ComponentClass.HDD]
+        l = lumi().embodied_shares()[ComponentClass.HDD]
+        assert f > 3 * l
+
+    def test_embodied_total_positive(self):
+        for system in studied_systems():
+            assert system.embodied_total().total_g > 0.0
+
+
+class TestSystemSpecValidation:
+    def test_negative_count_rejected(self):
+        with pytest.raises(CatalogError):
+            SystemSpec("X", "loc", 2021, 1, {GPU_MI250X: -1})
+
+    def test_empty_rejected(self):
+        with pytest.raises(CatalogError):
+            SystemSpec("X", "loc", 2021, 1, {})
+
+    def test_zero_counts_dropped(self):
+        spec = SystemSpec("X", "loc", 2021, 1, {GPU_MI250X: 1, HDD_16TB: 0})
+        assert HDD_16TB not in spec.components

@@ -1,0 +1,41 @@
+"""The paper's nine takeaways, re-derived and checked."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.insights import InsightResult, check_all_insights
+
+
+class TestInsights:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return check_all_insights()
+
+    def test_nine_takeaways(self, results):
+        assert [r.number for r in results] == list(range(1, 10))
+
+    def test_all_hold(self, results):
+        failing = [r for r in results if not r.holds]
+        assert not failing, [(r.number, r.evidence) for r in failing]
+
+    def test_evidence_populated(self, results):
+        for result in results:
+            assert result.evidence
+            assert result.statement
+            assert result.title
+
+    def test_observation_1_numbers_in_evidence(self, results):
+        obs1 = results[0]
+        assert "kg" in obs1.evidence and "TF" in obs1.evidence
+
+    def test_insight_8_contrasts_grids(self, results):
+        insight8 = results[7]
+        assert "400" in insight8.evidence and "20" in insight8.evidence
+
+    def test_cli_insights_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["insights"]) == 0
+        out = capsys.readouterr().out
+        assert "9/9" in out

@@ -1,0 +1,129 @@
+"""Fig. 7 winner analysis and pairwise load-balancing advantage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.intensity.analysis import (
+    JST_OFFSET_HOURS,
+    daily_winner_share,
+    hourly_winner_counts,
+    pairwise_advantage,
+)
+from repro.intensity.trace import IntensityTrace
+
+
+def constant_trace(code, value, tz=0, hours=48):
+    return IntensityTrace(code, tz, np.full(hours, float(value)))
+
+
+class TestWinnerCounts:
+    def test_needs_two_regions(self, flat_trace):
+        with pytest.raises(TraceError):
+            hourly_winner_counts({"A": flat_trace})
+
+    def test_equal_lengths_required(self):
+        a = constant_trace("A", 10.0, hours=48)
+        b = constant_trace("B", 20.0, hours=72)
+        with pytest.raises(TraceError):
+            hourly_winner_counts({"A": a, "B": b})
+
+    def test_strict_dominance(self):
+        a = constant_trace("A", 10.0)
+        b = constant_trace("B", 20.0)
+        result = hourly_winner_counts({"A": a, "B": b}, reference_tz_offset=0)
+        assert all(result.counts["A"] == 2)  # 2 days, every hour
+        assert all(result.counts["B"] == 0)
+        assert result.hours_won("A") == list(range(24))
+
+    def test_ties_awarded_to_all(self):
+        a = constant_trace("A", 10.0)
+        b = constant_trace("B", 10.0)
+        result = hourly_winner_counts({"A": a, "B": b}, reference_tz_offset=0)
+        assert all(result.counts["A"] == 2)
+        assert all(result.counts["B"] == 2)
+
+    def test_alternating_hours(self):
+        # A cheap at even hours, B cheap at odd hours.
+        pattern_a = np.tile([1.0, 3.0], 24)
+        pattern_b = np.tile([3.0, 1.0], 24)
+        a = IntensityTrace("A", 0, pattern_a)
+        b = IntensityTrace("B", 0, pattern_b)
+        result = hourly_winner_counts({"A": a, "B": b}, reference_tz_offset=0)
+        assert result.hours_won("A") == list(range(0, 24, 2))
+        assert result.hours_won("B") == list(range(1, 24, 2))
+
+    def test_counts_bounded_by_days(self, all_traces):
+        low3 = {c: all_traces[c] for c in ("ESO", "CISO", "ERCOT")}
+        result = hourly_winner_counts(low3)
+        for counts in result.counts.values():
+            assert counts.min() >= 0
+            assert counts.max() <= result.n_days
+
+    def test_total_wins_cover_all_cells(self, all_traces):
+        low3 = {c: all_traces[c] for c in ("ESO", "CISO", "ERCOT")}
+        result = hourly_winner_counts(low3)
+        total = sum(result.total_wins().values())
+        # Ties are double-counted, so >= cells.
+        assert total >= result.n_days * 24
+
+
+class TestPaperFig7Shape:
+    @pytest.fixture()
+    def result(self, all_traces):
+        low3 = {c: all_traces[c] for c in ("ESO", "CISO", "ERCOT")}
+        return hourly_winner_counts(low3, reference_tz_offset=JST_OFFSET_HOURS)
+
+    def test_eso_wins_jst_8_to_20(self, result):
+        eso_hours = set(result.hours_won("ESO"))
+        assert set(range(8, 21)).issubset(eso_hours)
+
+    def test_no_region_wins_every_hour(self, result):
+        winners = result.winners_by_hour()
+        assert len(set(winners)) >= 2
+
+    def test_ciso_wins_early_jst_hours(self, result):
+        ciso_hours = set(result.hours_won("CISO"))
+        assert {3, 4, 5}.issubset(ciso_hours)
+
+    def test_counts_vary_across_hours(self, result):
+        # "the number of days ... varies significantly throughout the year"
+        eso = result.counts["ESO"]
+        assert eso.max() - eso.min() > 100
+
+
+class TestDailyWinnerShare:
+    def test_shares_sum_to_about_one(self, all_traces):
+        low3 = {c: all_traces[c] for c in ("ESO", "CISO", "ERCOT")}
+        shares = daily_winner_share(low3)
+        assert sum(shares.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_dominant_region(self):
+        a = constant_trace("A", 1.0)
+        b = constant_trace("B", 2.0)
+        shares = daily_winner_share({"A": a, "B": b}, reference_tz_offset=0)
+        assert shares["A"] == pytest.approx(1.0)
+        assert shares["B"] == 0.0
+
+
+class TestPairwiseAdvantage:
+    def test_zero_for_identical_traces(self, flat_trace):
+        assert pairwise_advantage(flat_trace, flat_trace) == pytest.approx(0.0)
+
+    def test_positive_for_antialigned(self):
+        a = IntensityTrace("A", 0, np.tile([100.0, 300.0], 24))
+        b = IntensityTrace("B", 0, np.tile([300.0, 100.0], 24))
+        adv = pairwise_advantage(a, b, reference_tz_offset=0)
+        assert adv == pytest.approx(100.0)
+
+    def test_paper_pjm_ercot_claim(self, all_traces):
+        """Insight 7: similar-median regions still reward load balancing."""
+        adv = pairwise_advantage(all_traces["PJM"], all_traces["ERCOT"])
+        assert adv > 0.0
+
+    def test_length_mismatch_rejected(self, flat_trace):
+        longer = IntensityTrace("L", 0, np.full(72, 100.0))
+        with pytest.raises(TraceError):
+            pairwise_advantage(flat_trace, longer)

@@ -1,0 +1,100 @@
+"""CarbonIntensityService: history, forecasts, region queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.intensity.api import CarbonIntensityService
+from repro.intensity.trace import IntensityTrace
+
+
+@pytest.fixture()
+def two_region_service():
+    a = IntensityTrace("A", 0, np.tile([100.0, 300.0], 24))
+    b = IntensityTrace("B", 0, np.full(48, 200.0))
+    return CarbonIntensityService({"A": a, "B": b}, forecast_error=0.0)
+
+
+class TestCatalog:
+    def test_default_regions_cover_table3(self):
+        service = CarbonIntensityService()
+        assert set(service.regions) == {"KN", "TK", "ESO", "CISO", "PJM", "MISO", "ERCOT"}
+
+    def test_unknown_region_rejected(self, two_region_service):
+        with pytest.raises(TraceError):
+            two_region_service.trace("Z")
+
+    def test_empty_service_rejected(self):
+        with pytest.raises(TraceError):
+            CarbonIntensityService({})
+
+    def test_negative_forecast_error_rejected(self):
+        with pytest.raises(TraceError):
+            CarbonIntensityService(forecast_error=-0.1)
+
+    def test_horizon(self, two_region_service):
+        assert two_region_service.horizon_hours() == 48
+
+
+class TestQueries:
+    def test_intensity_at_wraps(self, two_region_service):
+        assert two_region_service.intensity_at("A", 0) == 100.0
+        assert two_region_service.intensity_at("A", 48) == 100.0  # wrap
+        assert two_region_service.intensity_at("A", 49) == 300.0
+
+    def test_history_matches_truth(self, two_region_service):
+        hist = two_region_service.history("A", 0, 4)
+        assert list(hist) == [100.0, 300.0, 100.0, 300.0]
+
+    def test_cleanest_region(self, two_region_service):
+        assert two_region_service.cleanest_region(0) == "A"  # 100 < 200
+        assert two_region_service.cleanest_region(1) == "B"  # 300 > 200
+
+    def test_cleanest_region_subset(self, two_region_service):
+        assert two_region_service.cleanest_region(1, regions=["A"]) == "A"
+
+    def test_cleanest_region_empty_rejected(self, two_region_service):
+        with pytest.raises(TraceError):
+            two_region_service.cleanest_region(0, regions=[])
+
+
+class TestForecasts:
+    def test_oracle_forecast_equals_truth(self, two_region_service):
+        forecast = two_region_service.forecast("A", 0, 6)
+        truth = two_region_service.history("A", 0, 6)
+        assert np.array_equal(forecast, truth)
+
+    def test_noisy_forecast_differs_but_tracks(self):
+        trace = IntensityTrace("A", 0, np.full(8760, 200.0))
+        service = CarbonIntensityService({"A": trace}, forecast_error=0.05)
+        forecast = service.forecast("A", 0, 48)
+        assert not np.allclose(forecast, 200.0)
+        assert forecast.mean() == pytest.approx(200.0, rel=0.15)
+        assert float(forecast.min()) >= 0.0
+
+    def test_error_grows_with_lead_time(self):
+        trace = IntensityTrace("A", 0, np.full(8760, 200.0))
+        service = CarbonIntensityService({"A": trace}, forecast_error=0.05, seed=1)
+        errors_near, errors_far = [], []
+        for start in range(0, 4000, 40):
+            forecast = service.forecast("A", start, 48)
+            errors_near.append(abs(forecast[0] - 200.0))
+            errors_far.append(abs(forecast[-1] - 200.0))
+        assert np.mean(errors_far) > 2.0 * np.mean(errors_near)
+
+    def test_zero_horizon(self, two_region_service):
+        assert two_region_service.forecast("A", 0, 0).size == 0
+
+    def test_negative_horizon_rejected(self, two_region_service):
+        with pytest.raises(TraceError):
+            two_region_service.forecast("A", 0, -1)
+
+    def test_window_mean(self, two_region_service):
+        mean = two_region_service.forecast_window_mean("A", 0, 2)
+        assert mean == pytest.approx(200.0)
+
+    def test_window_mean_needs_positive_window(self, two_region_service):
+        with pytest.raises(TraceError):
+            two_region_service.forecast_window_mean("A", 0, 0)

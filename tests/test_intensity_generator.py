@@ -1,0 +1,127 @@
+"""Synthetic trace generator: determinism, calibration, structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.intensity.generator import (
+    DEFAULT_SEED,
+    ar1_noise,
+    generate_all_traces,
+    generate_trace,
+)
+from repro.intensity.regions import REGIONS, get_region
+from repro.intensity.trace import HOURS_PER_STUDY_YEAR
+
+
+class TestAr1Noise:
+    def test_deterministic_given_rng(self):
+        a = ar1_noise(1000, 0.2, 0.9, np.random.default_rng(1))
+        b = ar1_noise(1000, 0.2, 0.9, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_marginal_std_close_to_sigma(self):
+        noise = ar1_noise(200_000, 0.2, 0.9, np.random.default_rng(2))
+        assert noise.std() == pytest.approx(0.2, rel=0.05)
+
+    def test_autocorrelation_close_to_rho(self):
+        noise = ar1_noise(100_000, 0.3, 0.95, np.random.default_rng(3))
+        r = np.corrcoef(noise[:-1], noise[1:])[0, 1]
+        assert r == pytest.approx(0.95, abs=0.01)
+
+    def test_rho_zero_is_white(self):
+        noise = ar1_noise(50_000, 0.1, 0.0, np.random.default_rng(4))
+        r = np.corrcoef(noise[:-1], noise[1:])[0, 1]
+        assert abs(r) < 0.02
+
+    def test_zero_length(self):
+        assert ar1_noise(0, 0.1, 0.5, np.random.default_rng(5)).size == 0
+
+    def test_invalid_params_rejected(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(TraceError):
+            ar1_noise(-1, 0.1, 0.5, rng)
+        with pytest.raises(TraceError):
+            ar1_noise(10, -0.1, 0.5, rng)
+        with pytest.raises(TraceError):
+            ar1_noise(10, 0.1, 1.0, rng)
+
+
+class TestGenerateTrace:
+    def test_deterministic(self):
+        a = generate_trace("ESO")
+        b = generate_trace("ESO")
+        assert np.array_equal(a.values, b.values)
+
+    def test_seed_changes_noise(self):
+        a = generate_trace("ESO", seed=1)
+        b = generate_trace("ESO", seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_regions_independent(self):
+        # Same seed, different regions -> different streams.
+        a = generate_trace("KN", seed=1)
+        b = generate_trace("TK", seed=1)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_year_length_and_tz(self):
+        trace = generate_trace("CISO")
+        assert len(trace) == HOURS_PER_STUDY_YEAR
+        assert trace.tz_offset_hours == get_region("CISO").tz_offset_hours
+
+    def test_median_calibrated(self):
+        for code, spec in REGIONS.items():
+            trace = generate_trace(code)
+            assert trace.median() == pytest.approx(
+                spec.profile.median_g_per_kwh, rel=0.05
+            ), code
+
+    def test_floor_respected(self):
+        for code, spec in REGIONS.items():
+            trace = generate_trace(code)
+            assert float(trace.values.min()) >= spec.profile.floor_g_per_kwh - 1e-9
+
+    def test_all_positive(self):
+        trace = generate_trace("ESO")
+        assert float(trace.values.min()) > 0.0
+
+    def test_diurnal_structure_present(self):
+        # ESO's demand peak (~17:00 local) must exceed its night trough.
+        profile = generate_trace("ESO").hourly_profile()
+        assert profile[17] > profile[4] * 1.2
+
+    def test_ciso_solar_dip(self):
+        # California's midday solar dip: local noon below local evening.
+        profile = generate_trace("CISO").hourly_profile()
+        assert profile[12] < profile[19] * 0.8
+
+    def test_weekend_effect(self):
+        trace = generate_trace("KN")
+        days = trace.by_hour_of_day().mean(axis=1)
+        # Jan 1 2021 is a Friday -> indices 1,2 are the first weekend.
+        weekdays = np.ones(365, dtype=bool)
+        for start in range(1, 365, 7):
+            weekdays[start : start + 2] = False
+        assert days[~weekdays].mean() < days[weekdays].mean()
+
+    def test_custom_horizon(self):
+        trace = generate_trace("ESO", n_hours=48)
+        assert len(trace) == 48
+
+    def test_too_short_horizon_rejected(self):
+        with pytest.raises(TraceError):
+            generate_trace("ESO", n_hours=12)
+
+
+class TestGenerateAll:
+    def test_default_covers_table3(self, all_traces):
+        assert set(all_traces) == set(REGIONS)
+
+    def test_subset_selection(self):
+        traces = generate_all_traces(regions=["ESO", "CISO"])
+        assert set(traces) == {"ESO", "CISO"}
+
+    def test_default_seed_constant(self):
+        assert DEFAULT_SEED == 2021

@@ -1,0 +1,79 @@
+"""Fig. 6 statistics and Insight 6 orderings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.intensity.stats import annual_summary, rank_by_cov, rank_by_median
+from repro.intensity.trace import IntensityTrace
+
+
+class TestAnnualSummary:
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            annual_summary({})
+
+    def test_stats_fields(self, flat_trace):
+        stats = annual_summary({"FLAT": flat_trace})["FLAT"]
+        assert stats.median == 100.0
+        assert stats.mean == 100.0
+        assert stats.cov_percent == 0.0
+        assert stats.iqr == 0.0
+
+    def test_iqr_computation(self, ramp_trace):
+        stats = annual_summary({"RAMP": ramp_trace})["RAMP"]
+        assert stats.iqr == pytest.approx(stats.q3 - stats.q1)
+        assert stats.minimum == 0.0 and stats.maximum == 47.0
+
+    def test_full_region_set(self, all_traces):
+        stats = annual_summary(all_traces)
+        assert set(stats) == set(all_traces)
+        for s in stats.values():
+            assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+            assert s.cov_percent >= 0.0
+
+
+class TestPaperOrderings:
+    def test_eso_lowest_median(self, all_traces):
+        stats = annual_summary(all_traces)
+        assert rank_by_median(stats)[0] == "ESO"
+
+    def test_tk_highest_median(self, all_traces):
+        stats = annual_summary(all_traces)
+        assert rank_by_median(stats)[-1] == "TK"
+
+    def test_tk_median_about_3x_eso(self, all_traces):
+        stats = annual_summary(all_traces)
+        ratio = stats["TK"].median / stats["ESO"].median
+        assert 2.5 <= ratio <= 3.5
+
+    def test_eso_median_below_200(self, all_traces):
+        stats = annual_summary(all_traces)
+        assert stats["ESO"].median < 200.0
+
+    def test_lowest_median_regions_have_highest_cov(self, all_traces):
+        """Insight 6: ESO and CISO pair lowest medians with highest CoV."""
+        stats = annual_summary(all_traces)
+        assert set(rank_by_cov(stats)[:2]) == {"ESO", "CISO"}
+
+    def test_japan_regions_have_lowest_cov(self, all_traces):
+        stats = annual_summary(all_traces)
+        assert set(rank_by_cov(stats)[-2:]) == {"TK", "KN"}
+
+    def test_cov_magnitudes_match_figure(self, all_traces):
+        stats = annual_summary(all_traces)
+        assert stats["ESO"].cov_percent == pytest.approx(30.0, abs=5.0)
+        assert stats["TK"].cov_percent == pytest.approx(7.0, abs=3.0)
+
+    def test_rank_by_median_sorted(self, all_traces):
+        stats = annual_summary(all_traces)
+        order = rank_by_median(stats)
+        medians = [stats[c].median for c in order]
+        assert medians == sorted(medians)
+
+    def test_rank_by_cov_descending(self, all_traces):
+        stats = annual_summary(all_traces)
+        covs = [stats[c].cov_percent for c in rank_by_cov(stats)]
+        assert covs == sorted(covs, reverse=True)

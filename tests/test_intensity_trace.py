@@ -1,0 +1,163 @@
+"""IntensityTrace: geometry, statistics, timezone views, windows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.errors import TraceError
+from repro.intensity.trace import IntensityTrace
+
+trace_values = hnp.arrays(
+    dtype=float,
+    shape=st.integers(min_value=24, max_value=240).map(lambda d: d - d % 24),
+    elements=st.floats(min_value=0.0, max_value=2000.0, allow_nan=False),
+)
+
+
+def make(values, tz=0):
+    return IntensityTrace(region_code="T", tz_offset_hours=tz, values=np.asarray(values, float))
+
+
+class TestValidation:
+    def test_negative_values_rejected(self):
+        with pytest.raises(TraceError):
+            make([-1.0] * 24)
+
+    def test_nan_rejected(self):
+        with pytest.raises(TraceError):
+            make([float("nan")] * 24)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            make([])
+
+    def test_2d_rejected(self):
+        with pytest.raises(TraceError):
+            make(np.ones((2, 24)))
+
+    def test_bad_tz_rejected(self):
+        with pytest.raises(TraceError):
+            make([1.0] * 24, tz=15)
+
+    def test_values_are_immutable(self):
+        trace = make([1.0] * 24)
+        with pytest.raises(ValueError):
+            trace.values[0] = 5.0
+
+
+class TestStatistics:
+    def test_flat_trace(self, flat_trace):
+        assert flat_trace.mean() == 100.0
+        assert flat_trace.median() == 100.0
+        assert flat_trace.std() == 0.0
+        assert flat_trace.cov() == 0.0
+
+    def test_box_stats_ordering(self, ramp_trace):
+        minimum, q1, median, q3, maximum = ramp_trace.box_stats()
+        assert minimum <= q1 <= median <= q3 <= maximum
+        assert minimum == 0.0 and maximum == 47.0
+
+    def test_cov_zero_mean_rejected(self):
+        with pytest.raises(TraceError):
+            make([0.0] * 24).cov()
+
+    @given(values=trace_values)
+    def test_cov_scale_invariant(self, values):
+        if values.mean() <= 0.0:
+            values = values + 1.0
+        trace = make(values)
+        scaled = trace.scaled(3.7)
+        assert scaled.cov() == pytest.approx(trace.cov(), rel=1e-9)
+
+    @given(values=trace_values)
+    def test_box_stats_monotone(self, values):
+        stats = make(values + 1.0).box_stats()
+        assert all(a <= b + 1e-12 for a, b in zip(stats, stats[1:]))
+
+
+class TestTimezoneViews:
+    def test_roll_preserves_multiset(self, ramp_trace):
+        rolled = ramp_trace.to_timezone(9)
+        assert sorted(rolled) == sorted(ramp_trace.values)
+
+    def test_local_hour_alignment(self):
+        # values[i] = UTC hour i; at tz +2, local hour j holds UTC j-2.
+        trace = make(np.arange(24, dtype=float), tz=2)
+        day = trace.by_hour_of_day()
+        assert day.shape == (1, 24)
+        assert day[0, 2] == 0.0  # local hour 2 == UTC hour 0
+
+    def test_by_hour_shape(self, eso_trace):
+        matrix = eso_trace.by_hour_of_day(9)
+        assert matrix.shape == (365, 24)
+
+    def test_hourly_profile_mean(self, flat_trace):
+        profile = flat_trace.hourly_profile()
+        assert profile.shape == (24,)
+        assert np.allclose(profile, 100.0)
+
+    def test_non_whole_days_rejected(self):
+        trace = IntensityTrace("T", 0, np.ones(25))
+        with pytest.raises(TraceError):
+            trace.n_days
+
+
+class TestWindows:
+    def test_forward_window_mean_flat(self, flat_trace):
+        means = flat_trace.forward_window_mean(6)
+        assert means.shape == (48,)
+        assert np.allclose(means, 100.0)
+
+    def test_forward_window_mean_ramp(self, ramp_trace):
+        means = ramp_trace.forward_window_mean(2)
+        assert means[0] == pytest.approx(0.5)
+        assert means[10] == pytest.approx(10.5)
+        # Last start wraps to the beginning.
+        assert means[47] == pytest.approx((47.0 + 0.0) / 2)
+
+    def test_forward_window_too_long_rejected(self, ramp_trace):
+        with pytest.raises(TraceError):
+            ramp_trace.forward_window_mean(49)
+
+    def test_rolling_mean_matches_bruteforce(self, ramp_trace):
+        rolling = ramp_trace.rolling_mean(5)
+        values = ramp_trace.values
+        for i in (0, 3, 10, 47):
+            lo = max(i - 4, 0)
+            assert rolling[i] == pytest.approx(values[lo : i + 1].mean())
+
+    def test_slice_hours_wraps(self, ramp_trace):
+        chunk = ramp_trace.slice_hours(46, 4)
+        assert list(chunk) == [46.0, 47.0, 0.0, 1.0]
+
+    def test_slice_negative_length_rejected(self, ramp_trace):
+        with pytest.raises(TraceError):
+            ramp_trace.slice_hours(0, -1)
+
+    @given(
+        values=trace_values,
+        window=st.integers(min_value=1, max_value=24),
+    )
+    def test_forward_window_mean_within_range(self, values, window):
+        trace = make(values)
+        means = trace.forward_window_mean(window)
+        assert means.min() >= values.min() - 1e-9
+        assert means.max() <= values.max() + 1e-9
+
+
+class TestScaled:
+    def test_scaled_values(self, flat_trace):
+        assert np.allclose(flat_trace.scaled(2.0).values, 200.0)
+
+    def test_scaled_keeps_metadata(self, flat_trace):
+        scaled = flat_trace.scaled(2.0)
+        assert scaled.region_code == flat_trace.region_code
+        assert scaled.tz_offset_hours == flat_trace.tz_offset_hours
+
+    def test_non_positive_factor_rejected(self, flat_trace):
+        with pytest.raises(TraceError):
+            flat_trace.scaled(0.0)

@@ -1,0 +1,110 @@
+"""Life-cycle phases beyond production (transport, EOL, installation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.embodied import EmbodiedBreakdown
+from repro.core.errors import ConfigurationError, UnitError
+from repro.core.lifecycle import (
+    TRANSPORT_G_PER_TONNE_KM,
+    LifecyclePhases,
+    TransportMode,
+    assess_lifecycle,
+)
+from repro.hardware.catalog import GPU_A100
+
+
+class TestTransport:
+    def test_mode_factors_ordered(self):
+        assert (
+            TRANSPORT_G_PER_TONNE_KM[TransportMode.AIR]
+            > TRANSPORT_G_PER_TONNE_KM[TransportMode.ROAD]
+            > TRANSPORT_G_PER_TONNE_KM[TransportMode.OCEAN]
+        )
+
+    def test_transport_grams(self):
+        phases = LifecyclePhases(
+            mass_kg=1000.0, transport_km={TransportMode.OCEAN: 10_000.0}
+        )
+        # 1 t * 10,000 km * 15 g/t-km = 150 kg.
+        assert phases.transport_g() == pytest.approx(150_000.0)
+
+    def test_chained_modes_additive(self):
+        phases = LifecyclePhases(
+            mass_kg=100.0,
+            transport_km={TransportMode.ROAD: 500.0, TransportMode.OCEAN: 8000.0},
+        )
+        road = 0.1 * 500.0 * 100.0
+        ocean = 0.1 * 8000.0 * 15.0
+        assert phases.transport_g() == pytest.approx(road + ocean)
+
+    def test_zero_distance_zero_carbon(self):
+        assert LifecyclePhases(mass_kg=100.0).transport_g() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LifecyclePhases(mass_kg=-1.0)
+        with pytest.raises(ConfigurationError):
+            LifecyclePhases(mass_kg=1.0, transport_km={TransportMode.AIR: -5.0})
+        with pytest.raises(ConfigurationError):
+            LifecyclePhases(mass_kg=1.0, end_of_life_fraction=-1.5)
+
+
+class TestAssessment:
+    def test_phase_breakdown_sums(self):
+        production = EmbodiedBreakdown(10_000.0, 1_000.0)
+        phases = LifecyclePhases(
+            mass_kg=50.0,
+            transport_km={TransportMode.AIR: 2000.0},
+            end_of_life_fraction=0.02,
+            installation_g=500.0,
+        )
+        assessment = assess_lifecycle(production, phases)
+        parts = assessment.phase_breakdown()
+        assert sum(parts.values()) == pytest.approx(assessment.total_g)
+        assert parts["end_of_life"] == pytest.approx(200.0)
+        assert parts["installation"] == 500.0
+
+    def test_recycling_credit_reduces_total(self):
+        production = EmbodiedBreakdown(10_000.0, 1_000.0)
+        credit = assess_lifecycle(
+            production, LifecyclePhases(mass_kg=0.0, end_of_life_fraction=-0.05)
+        )
+        assert credit.total_g < production.total_g
+
+    def test_credit_cannot_go_negative(self):
+        # A credit larger than manufacturing carbon is rejected at phase
+        # construction, so assessments can never go negative.
+        with pytest.raises(ConfigurationError):
+            LifecyclePhases(mass_kg=0.0, end_of_life_fraction=-1.0 - 1e-6)
+        production = EmbodiedBreakdown(100.0, 0.0)
+        floor = assess_lifecycle(
+            production, LifecyclePhases(mass_kg=0.0, end_of_life_fraction=-1.0)
+        )
+        assert floor.total_g == pytest.approx(0.0)
+
+    def test_paper_claim_not_dominant(self):
+        """[7]'s claim the paper relies on: transport + EOL are small
+        relative to production for typical ocean-shipped hardware."""
+        production = GPU_A100.embodied()
+        phases = LifecyclePhases(
+            mass_kg=2.0,  # boxed accelerator
+            transport_km={
+                TransportMode.ROAD: 1000.0,
+                TransportMode.OCEAN: 12_000.0,
+            },
+            end_of_life_fraction=0.02,
+        )
+        assessment = assess_lifecycle(production, phases)
+        assert assessment.non_production_share < 0.05
+
+    def test_air_freight_breaks_the_claim(self):
+        """...but air freight of heavy racks does not stay negligible."""
+        production = GPU_A100.embodied()
+        phases = LifecyclePhases(
+            mass_kg=40.0,  # accelerator shipped in a populated chassis
+            transport_km={TransportMode.AIR: 9_000.0},
+        )
+        assessment = assess_lifecycle(production, phases)
+        assert assessment.non_production_share > 0.05

@@ -1,0 +1,93 @@
+"""Interconnect embodied model (the paper's stated missing component)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import CatalogError
+from repro.hardware.network import (
+    NETWORK_DEVICES,
+    NIC_SLINGSHOT,
+    SWITCH_SLINGSHOT_64PORT,
+    estimate_fat_tree_interconnect,
+    get_network_device,
+    system_share_with_interconnect,
+)
+from repro.hardware.systems import frontier
+
+
+class TestDeviceSpecs:
+    def test_switch_heavier_than_nic(self):
+        # Large ASIC + chassis + 40 ICs vs one mezzanine card.
+        assert (
+            SWITCH_SLINGSHOT_64PORT.embodied().total_g
+            > 8 * NIC_SLINGSHOT.embodied().total_g
+        )
+
+    def test_embodied_band_ordering(self):
+        low, mid, high = SWITCH_SLINGSHOT_64PORT.embodied_band()
+        assert low < mid < high
+        assert low == pytest.approx(mid * 0.65)
+
+    def test_embodied_per_port(self):
+        switch = SWITCH_SLINGSHOT_64PORT
+        assert switch.embodied_per_port() == pytest.approx(
+            switch.embodied().total_g / 64
+        )
+
+    def test_nic_has_no_chassis(self):
+        assert NIC_SLINGSHOT.chassis_overhead_g == 0.0
+
+    def test_lookup(self):
+        assert get_network_device("Slingshot NIC") is NIC_SLINGSHOT
+        with pytest.raises(CatalogError):
+            get_network_device("InfiniBand HDR")
+
+    def test_registry_complete(self):
+        assert set(NETWORK_DEVICES) == {"Slingshot NIC", "Slingshot Switch 64p"}
+
+
+class TestFatTreeEstimate:
+    def test_small_fabric(self):
+        estimate = estimate_fat_tree_interconnect(64)
+        assert estimate.nics == 64
+        assert estimate.switches == 3  # 64 * 3 / 64
+        assert estimate.low_g < estimate.mid_g < estimate.high_g
+
+    def test_scales_with_nodes(self):
+        small = estimate_fat_tree_interconnect(100)
+        large = estimate_fat_tree_interconnect(1000)
+        assert large.mid_g > 8 * small.mid_g
+
+    def test_oversubscription_reduces_switches(self):
+        full = estimate_fat_tree_interconnect(1000, oversubscription=1.0)
+        tapered = estimate_fat_tree_interconnect(1000, oversubscription=2.0)
+        assert tapered.switches < full.switches
+        assert tapered.nics == full.nics
+
+    def test_multiple_nics_per_node(self):
+        single = estimate_fat_tree_interconnect(100, nics_per_node=1)
+        quad = estimate_fat_tree_interconnect(100, nics_per_node=4)
+        assert quad.nics == 4 * single.nics
+
+    def test_validation(self):
+        with pytest.raises(CatalogError):
+            estimate_fat_tree_interconnect(0)
+        with pytest.raises(CatalogError):
+            estimate_fat_tree_interconnect(10, oversubscription=0.5)
+
+    def test_share_of(self):
+        estimate = estimate_fat_tree_interconnect(100)
+        low, mid, high = estimate.share_of(1e9)
+        assert 0.0 < low < mid < high < 1.0
+
+
+class TestSystemShare:
+    def test_frontier_with_network(self):
+        shares = system_share_with_interconnect(frontier(), 9408, nics_per_node=4)
+        assert "Network" in shares
+        assert sum(shares.values()) == pytest.approx(1.0)
+        # The paper's limitation quantified: the fabric matters but does
+        # not overturn the Fig. 5 ranking (GPU still dominates).
+        assert 0.005 <= shares["Network"] <= 0.15
+        assert shares["GPU"] == max(shares.values())

@@ -1,0 +1,121 @@
+"""Operational model (Eq. 6): PUE handling, trace accounting, additivity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import ModelConfig
+from repro.core.errors import UnitError
+from repro.core.operational import (
+    apply_pue,
+    energy_from_power_profile,
+    operational_carbon,
+    operational_carbon_trace,
+)
+
+
+class TestApplyPue:
+    def test_scales_energy(self):
+        assert apply_pue(100.0, pue=1.2) == pytest.approx(120.0)
+
+    def test_default_comes_from_config(self):
+        cfg = ModelConfig(pue=1.5)
+        assert apply_pue(10.0, config=cfg) == pytest.approx(15.0)
+
+    def test_pue_below_one_rejected(self):
+        with pytest.raises(UnitError):
+            apply_pue(10.0, pue=0.99)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(UnitError):
+            apply_pue(-1.0)
+
+
+class TestConstantIntensity:
+    def test_eq6_exact(self):
+        # 10 kWh IC energy, PUE 1.2, 200 gCO2/kWh -> 2400 g.
+        carbon = operational_carbon(10.0, 200.0, pue=1.2)
+        assert carbon.grams == pytest.approx(2400.0)
+
+    def test_zero_intensity_zero_carbon(self):
+        assert operational_carbon(100.0, 0.0, pue=1.0).grams == 0.0
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(UnitError):
+            operational_carbon(1.0, -5.0)
+
+    @given(
+        kwh=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        intensity=st.floats(min_value=0, max_value=2000, allow_nan=False),
+    )
+    def test_linear_in_energy(self, kwh, intensity):
+        single = operational_carbon(kwh, intensity, pue=1.0).grams
+        double = operational_carbon(2 * kwh, intensity, pue=1.0).grams
+        assert double == pytest.approx(2 * single)
+
+
+class TestEnergyFromProfile:
+    def test_constant_profile(self):
+        energy = energy_from_power_profile([1000.0] * 24, step_hours=1.0)
+        assert energy.kwh == pytest.approx(24.0)
+
+    def test_step_scaling(self):
+        fine = energy_from_power_profile([500.0] * 20, step_hours=0.1)
+        assert fine.kwh == pytest.approx(1.0)
+
+    def test_empty_profile_is_zero(self):
+        assert energy_from_power_profile([], step_hours=1.0).kwh == 0.0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(UnitError):
+            energy_from_power_profile([1.0, -1.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(UnitError):
+            energy_from_power_profile(np.ones((2, 2)))
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(UnitError):
+            energy_from_power_profile([1.0], step_hours=0.0)
+
+
+class TestTraceAccounting:
+    def test_matches_constant_case(self):
+        power = np.full(24, 1000.0)
+        intensity = np.full(24, 200.0)
+        trace = operational_carbon_trace(power, intensity, pue=1.2).grams
+        const = operational_carbon(24.0, 200.0, pue=1.2).grams
+        assert trace == pytest.approx(const)
+
+    def test_time_varying_weighting(self):
+        power = np.array([1000.0, 0.0])
+        intensity = np.array([100.0, 1000.0])
+        # Only the first (clean) hour draws power.
+        carbon = operational_carbon_trace(power, intensity, pue=1.0)
+        assert carbon.grams == pytest.approx(100.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(UnitError):
+            operational_carbon_trace(np.ones(3), np.ones(4))
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(UnitError):
+            operational_carbon_trace(np.array([-1.0]), np.array([1.0]))
+        with pytest.raises(UnitError):
+            operational_carbon_trace(np.array([1.0]), np.array([-1.0]))
+
+    @given(n=st.integers(min_value=2, max_value=200), split=st.integers(1, 199))
+    def test_additive_over_time_splits(self, n, split):
+        """Carbon over [0, n) equals carbon over [0, k) + [k, n)."""
+        if split >= n:
+            split = n - 1
+        rng = np.random.default_rng(n * 1000 + split)
+        power = rng.uniform(0, 500, n)
+        intensity = rng.uniform(0, 600, n)
+        whole = operational_carbon_trace(power, intensity, pue=1.1).grams
+        left = operational_carbon_trace(power[:split], intensity[:split], pue=1.1).grams
+        right = operational_carbon_trace(power[split:], intensity[split:], pue=1.1).grams
+        assert whole == pytest.approx(left + right, rel=1e-9)

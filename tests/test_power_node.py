@@ -1,0 +1,134 @@
+"""Node power aggregation and the carbontracker substitute."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PowerModelError
+from repro.hardware.catalog import CPU_XEON_6240R, GPU_V100
+from repro.hardware.node import NodeSpec, v100_node
+from repro.hardware.parts import ComponentClass
+from repro.intensity.trace import IntensityTrace
+from repro.power.node import NodePowerModel
+from repro.power.tracker import CarbonTracker
+
+
+class TestNodePowerModel:
+    @pytest.fixture()
+    def model(self):
+        return NodePowerModel(v100_node())
+
+    def test_idle_below_busy(self, model):
+        assert model.idle_power_w() < model.busy_power_w()
+
+    def test_power_monotone_in_utilization(self, model):
+        low = model.power_w(0.2, 0.2)
+        high = model.power_w(0.8, 0.8)
+        assert low < high
+
+    def test_power_at_zero_utilization_above_idle(self, model):
+        # power_w keeps memory active (node in service); idle_power_w is
+        # the everything-idle floor.
+        in_service = model.power_w(0.0, 0.0)
+        assert in_service >= model.idle_power_w()
+        # The gap is exactly the DRAM active-vs-idle delta (6 modules x 3 W).
+        assert in_service - model.idle_power_w() == pytest.approx(6 * 3.0)
+
+    def test_gpu_power_counts_only_gpus(self, model):
+        busy = model.gpu_power_w(busy=True)
+        assert busy == pytest.approx(4 * GPU_V100.busy_w)
+        idle = model.gpu_power_w(busy=False)
+        assert idle == pytest.approx(4 * GPU_V100.idle_w)
+
+    def test_gpu_average_power_duty_cycle(self, model):
+        avg = model.gpu_average_power_w(0.4)
+        expected = 0.4 * 4 * GPU_V100.busy_w + 0.6 * 4 * GPU_V100.idle_w
+        assert avg == pytest.approx(expected)
+
+    def test_gpu_average_bounds(self, model):
+        assert model.gpu_average_power_w(0.0) == model.gpu_power_w(busy=False)
+        assert model.gpu_average_power_w(1.0) == model.gpu_power_w(busy=True)
+
+    def test_bad_fraction_rejected(self, model):
+        with pytest.raises(PowerModelError):
+            model.gpu_average_power_w(1.5)
+
+    def test_breakdown_sums_to_total(self, model):
+        breakdown = model.breakdown_w(0.7, 0.3)
+        assert sum(breakdown.values()) == pytest.approx(model.power_w(0.7, 0.3))
+        assert ComponentClass.GPU in breakdown
+        assert ComponentClass.DRAM in breakdown
+
+    def test_cpu_only_node_has_no_gpu_power(self):
+        node = NodeSpec("cpu-only", {CPU_XEON_6240R: 2})
+        with pytest.raises(PowerModelError):
+            NodePowerModel(node).gpu_power_w(busy=True)
+
+
+class TestCarbonTracker:
+    def test_constant_intensity_matches_eq6(self):
+        node = v100_node()
+        tracker = CarbonTracker(node, 200.0, pue=1.2)
+        report = tracker.track_run(2.0, gpu_utilization=0.9, cpu_utilization=0.5)
+        power_w = NodePowerModel(node).power_w(0.9, 0.5)
+        expected = power_w * 2.0 / 1000.0 * 200.0 * 1.2
+        assert report.carbon.grams == pytest.approx(expected, rel=1e-6)
+
+    def test_energy_breakdown_by_class(self):
+        tracker = CarbonTracker(v100_node(), 200.0)
+        report = tracker.track_run(1.0, gpu_utilization=1.0, cpu_utilization=0.0)
+        assert report.energy_by_class_kwh[ComponentClass.GPU] == pytest.approx(
+            4 * GPU_V100.tdp_w / 1000.0
+        )
+
+    def test_facility_energy_applies_pue(self):
+        tracker = CarbonTracker(v100_node(), 100.0, pue=1.5)
+        report = tracker.track_run(1.0, gpu_utilization=0.5, cpu_utilization=0.5)
+        assert report.facility_energy.kwh == pytest.approx(report.ic_energy.kwh * 1.5)
+
+    def test_average_power(self):
+        tracker = CarbonTracker(v100_node(), 100.0)
+        report = tracker.track_run(4.0, gpu_utilization=0.5, cpu_utilization=0.5)
+        expected = NodePowerModel(v100_node()).power_w(0.5, 0.5)
+        assert report.average_power_w == pytest.approx(expected, rel=1e-9)
+
+    def test_trace_intensity_weighting(self):
+        trace = IntensityTrace("T", 0, np.array([100.0, 300.0] * 12))
+        tracker = CarbonTracker(v100_node(), trace, pue=1.0, sample_step_h=0.25)
+        cheap = tracker.track_run(1.0, gpu_utilization=0.5, cpu_utilization=0.5, start_hour=0)
+        dear = tracker.track_run(1.0, gpu_utilization=0.5, cpu_utilization=0.5, start_hour=1)
+        assert dear.carbon.grams == pytest.approx(3 * cheap.carbon.grams, rel=1e-6)
+
+    def test_average_intensity_reported(self):
+        trace = IntensityTrace("T", 0, np.array([100.0, 300.0] * 12))
+        tracker = CarbonTracker(v100_node(), trace, sample_step_h=0.5)
+        report = tracker.track_run(2.0, gpu_utilization=0.5, cpu_utilization=0.5)
+        assert report.average_intensity_g_per_kwh == pytest.approx(200.0)
+
+    def test_predict_total_scales_first_epoch(self):
+        tracker = CarbonTracker(v100_node(), 150.0)
+        epoch = tracker.track_run(0.5, gpu_utilization=0.9, cpu_utilization=0.5)
+        predicted = tracker.predict_total(epoch, total_epochs=10)
+        assert predicted.duration_h == pytest.approx(5.0)
+        assert predicted.carbon.grams == pytest.approx(10 * epoch.carbon.grams)
+        assert predicted.ic_energy.kwh == pytest.approx(10 * epoch.ic_energy.kwh)
+
+    def test_predict_requires_positive_epochs(self):
+        tracker = CarbonTracker(v100_node(), 150.0)
+        epoch = tracker.track_run(0.5, gpu_utilization=0.9, cpu_utilization=0.5)
+        with pytest.raises(PowerModelError):
+            tracker.predict_total(epoch, total_epochs=0)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(PowerModelError):
+            CarbonTracker(v100_node(), -5.0)
+        with pytest.raises(PowerModelError):
+            CarbonTracker(v100_node(), 100.0, pue=0.5)
+        with pytest.raises(PowerModelError):
+            CarbonTracker(v100_node(), 100.0, sample_step_h=0.0)
+
+    def test_zero_duration_rejected(self):
+        tracker = CarbonTracker(v100_node(), 100.0)
+        with pytest.raises(PowerModelError):
+            tracker.track_run(0.0, gpu_utilization=0.5, cpu_utilization=0.5)

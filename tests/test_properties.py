@@ -1,0 +1,236 @@
+"""Cross-cutting metamorphic and property-based tests.
+
+These encode model-level laws that must hold for *any* valid input, not
+just the calibrated catalog: scale invariances, monotonicities, and
+consistency between independent computation paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.simulator import Cluster, simulate_cluster
+from repro.cluster.workload_gen import WorkloadParams, generate_workload
+from repro.core.operational import operational_carbon_trace
+from repro.hardware.node import NodeSpec, v100_node
+from repro.hardware.catalog import CPU_XEON_6240R, DRAM_64GB, GPU_V100
+from repro.intensity.regions import RegionProfile, RegionSpec
+from repro.intensity.generator import generate_trace
+from repro.power.node import NodePowerModel
+from repro.upgrade.scenario import UpgradeScenario
+from repro.workloads.models import Suite
+
+
+# ---------------------------------------------------------------------------
+# Generator properties over random profiles
+# ---------------------------------------------------------------------------
+
+profile_strategy = st.builds(
+    RegionProfile,
+    median_g_per_kwh=st.floats(min_value=50.0, max_value=900.0),
+    seasonal_amp=st.floats(min_value=0.0, max_value=0.3),
+    seasonal_peak_day=st.floats(min_value=0.0, max_value=364.0),
+    diurnal_amp=st.floats(min_value=0.0, max_value=0.3),
+    diurnal_peak_hour=st.floats(min_value=0.0, max_value=23.0),
+    solar_dip_amp=st.floats(min_value=0.0, max_value=0.4),
+    solar_noon_hour=st.floats(min_value=10.0, max_value=15.0),
+    solar_width_h=st.floats(min_value=1.0, max_value=5.0),
+    weekly_amp=st.floats(min_value=0.0, max_value=0.15),
+    noise_sigma=st.floats(min_value=0.0, max_value=0.3),
+    noise_rho=st.floats(min_value=0.0, max_value=0.98),
+    floor_g_per_kwh=st.just(1.0),
+)
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(profile=profile_strategy, tz=st.integers(-8, 9))
+    def test_any_profile_yields_valid_trace(self, profile, tz):
+        spec = RegionSpec(
+            code="RAND", operator_name="rand", country="", region="",
+            tz_offset_hours=tz, profile=profile,
+        )
+        trace = generate_trace(spec, n_hours=24 * 30)
+        assert len(trace) == 24 * 30
+        assert float(trace.values.min()) >= profile.floor_g_per_kwh - 1e-9
+        assert np.all(np.isfinite(trace.values))
+
+    @settings(max_examples=15, deadline=None)
+    @given(profile=profile_strategy)
+    def test_median_calibration_holds_for_any_profile(self, profile):
+        spec = RegionSpec(
+            code="RAND", operator_name="rand", country="", region="",
+            tz_offset_hours=0, profile=profile,
+        )
+        trace = generate_trace(spec)
+        # The floor clip can push the median up slightly; never down.
+        assert trace.median() >= profile.median_g_per_kwh * 0.999
+        assert trace.median() <= profile.median_g_per_kwh * 1.10
+
+
+# ---------------------------------------------------------------------------
+# Operational accounting laws
+# ---------------------------------------------------------------------------
+
+
+class TestOperationalLaws:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=300),
+        scale=st.floats(min_value=0.1, max_value=10.0),
+        seed=st.integers(0, 10_000),
+    )
+    def test_bilinear_in_power_and_intensity(self, n, scale, seed):
+        rng = np.random.default_rng(seed)
+        power = rng.uniform(0, 1000, n)
+        intensity = rng.uniform(0, 800, n)
+        base = operational_carbon_trace(power, intensity, pue=1.0).grams
+        scaled_power = operational_carbon_trace(power * scale, intensity, pue=1.0).grams
+        scaled_intensity = operational_carbon_trace(power, intensity * scale, pue=1.0).grams
+        assert scaled_power == pytest.approx(base * scale, rel=1e-9)
+        assert scaled_intensity == pytest.approx(base * scale, rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_permutation_invariance(self, seed):
+        """Total carbon doesn't depend on when clean hours occur if the
+        power profile is permuted identically (dot-product symmetry)."""
+        rng = np.random.default_rng(seed)
+        power = rng.uniform(0, 500, 48)
+        intensity = rng.uniform(0, 600, 48)
+        perm = rng.permutation(48)
+        original = operational_carbon_trace(power, intensity, pue=1.1).grams
+        permuted = operational_carbon_trace(power[perm], intensity[perm], pue=1.1).grams
+        assert original == pytest.approx(permuted, rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Node/power consistency
+# ---------------------------------------------------------------------------
+
+
+class TestNodePowerConsistency:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        gpus=st.integers(1, 8),
+        cpus=st.integers(1, 4),
+        dimms=st.integers(0, 16),
+    )
+    def test_power_additive_over_inventory(self, gpus, cpus, dimms):
+        components = {GPU_V100: gpus, CPU_XEON_6240R: cpus}
+        if dimms:
+            components[DRAM_64GB] = dimms
+        node = NodeSpec("rand", components)
+        model = NodePowerModel(node)
+        busy = model.busy_power_w()
+        expected = (
+            gpus * GPU_V100.busy_w
+            + cpus * CPU_XEON_6240R.busy_w
+            + dimms * DRAM_64GB.active_w
+        )
+        assert busy == pytest.approx(expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        gpus=st.integers(1, 8),
+        usage=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_duty_cycle_interpolates(self, gpus, usage):
+        node = NodeSpec("rand", {GPU_V100: gpus, CPU_XEON_6240R: 1})
+        model = NodePowerModel(node)
+        avg = model.gpu_average_power_w(usage)
+        low = model.gpu_power_w(busy=False)
+        high = model.gpu_power_w(busy=True)
+        assert low - 1e-9 <= avg <= high + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Upgrade-model laws
+# ---------------------------------------------------------------------------
+
+
+class TestUpgradeLaws:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        usage=st.floats(min_value=0.05, max_value=1.0),
+        intensity=st.floats(min_value=10.0, max_value=800.0),
+    )
+    def test_savings_monotone_in_time(self, usage, intensity):
+        scenario = UpgradeScenario.from_generations(
+            "P100", "A100", Suite.CANDLE, usage=usage, intensity=intensity
+        )
+        times = np.linspace(0.1, 10.0, 40)
+        savings = scenario.savings_curve(times)
+        assert np.all(np.diff(savings) > -1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        usage=st.floats(min_value=0.05, max_value=1.0),
+        i1=st.floats(min_value=10.0, max_value=400.0),
+        factor=st.floats(min_value=1.1, max_value=10.0),
+    )
+    def test_breakeven_inverse_intensity_law(self, usage, i1, factor):
+        be1 = UpgradeScenario.from_generations(
+            "V100", "A100", Suite.NLP, usage=usage, intensity=i1
+        ).breakeven_years(horizon_years=10_000.0)
+        be2 = UpgradeScenario.from_generations(
+            "V100", "A100", Suite.NLP, usage=usage, intensity=i1 * factor
+        ).breakeven_years(horizon_years=10_000.0)
+        assert be1 is not None and be2 is not None
+        assert be1 / be2 == pytest.approx(factor, rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Simulator metamorphic tests
+# ---------------------------------------------------------------------------
+
+
+class TestSimulatorMetamorphic:
+    def _jobs(self, seed: int):
+        params = WorkloadParams(horizon_h=24 * 5, total_gpus=8, target_usage=0.5)
+        return generate_workload(params, seed=seed)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500), shift=st.floats(min_value=0.0, max_value=24.0))
+    def test_time_shift_preserves_waits(self, seed, shift):
+        """Shifting every submit by the same amount shifts starts by the
+        same amount (constant intensity: energy unchanged)."""
+        from dataclasses import replace
+
+        cluster = Cluster(v100_node(), n_nodes=2)
+        jobs = self._jobs(seed)
+        shifted = [replace(j, submit_h=j.submit_h + shift) for j in jobs]
+        base = simulate_cluster(jobs, cluster, horizon_h=24 * 10, intensity=100.0)
+        moved = simulate_cluster(
+            shifted, cluster, horizon_h=24 * 10 + shift, intensity=100.0
+        )
+        base_waits = sorted(s.wait_h for s in base.scheduled)
+        moved_waits = sorted(s.wait_h for s in moved.scheduled)
+        assert np.allclose(base_waits, moved_waits, atol=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_more_nodes_never_increase_waits(self, seed):
+        jobs = self._jobs(seed)
+        small = simulate_cluster(
+            jobs, Cluster(v100_node(), 2), horizon_h=24 * 10, intensity=100.0
+        )
+        large = simulate_cluster(
+            jobs, Cluster(v100_node(), 4), horizon_h=24 * 10, intensity=100.0
+        )
+        assert large.mean_wait_h() <= small.mean_wait_h() + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_busy_hours_conserved(self, seed):
+        """Total busy GPU-hours equal the sum of in-horizon job demands."""
+        cluster = Cluster(v100_node(), n_nodes=4)
+        jobs = self._jobs(seed)
+        horizon = 24 * 30  # long enough that nothing is truncated
+        result = simulate_cluster(jobs, cluster, horizon_h=horizon, intensity=100.0)
+        total_busy = float(result.busy_gpu_hours_per_hour.sum())
+        demanded = sum(j.gpu_hours for j in jobs)
+        assert total_busy == pytest.approx(demanded, rel=1e-6)

@@ -1,0 +1,88 @@
+"""Seasonal PUE model and time-varying Eq. 6 accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PowerModelError
+from repro.power.pue import SeasonalPUE, operational_carbon_seasonal
+
+
+class TestProfile:
+    def test_mean_preserved(self):
+        model = SeasonalPUE(annual_mean=1.2, seasonal_amplitude=0.08)
+        profile = model.profile(8760)
+        assert profile.mean() == pytest.approx(1.2, abs=0.01)
+
+    def test_never_below_one(self):
+        model = SeasonalPUE(annual_mean=1.15, seasonal_amplitude=0.08,
+                            diurnal_amplitude=0.03)
+        assert float(model.profile(8760).min()) >= 1.0
+
+    def test_summer_peak(self):
+        model = SeasonalPUE(peak_day=200.0)
+        profile = model.profile(8760)
+        daily = profile.reshape(365, 24).mean(axis=1)
+        assert daily.argmax() == pytest.approx(200, abs=2)
+
+    def test_afternoon_peak(self):
+        model = SeasonalPUE(peak_hour=15.0)
+        profile = model.profile(8760).reshape(365, 24).mean(axis=0)
+        assert int(profile.argmax()) == 15
+
+    def test_at_hour_wraps(self):
+        model = SeasonalPUE()
+        assert model.at_hour(0) == pytest.approx(model.at_hour(8760))
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(PowerModelError):
+            SeasonalPUE(annual_mean=0.9)
+        with pytest.raises(PowerModelError):
+            SeasonalPUE(annual_mean=1.05, seasonal_amplitude=0.1)
+        with pytest.raises(PowerModelError):
+            SeasonalPUE().profile(0)
+
+
+class TestSeasonalAccounting:
+    def test_constant_pue_limit(self):
+        model = SeasonalPUE(annual_mean=1.3, seasonal_amplitude=0.0,
+                            diurnal_amplitude=0.0)
+        power = np.full(100, 1000.0)
+        intensity = np.full(100, 200.0)
+        grams = operational_carbon_seasonal(power, intensity, model)
+        assert grams == pytest.approx(100 * 1.0 * 200.0 * 1.3)
+
+    def test_summer_job_costs_more(self):
+        model = SeasonalPUE(annual_mean=1.2, seasonal_amplitude=0.08)
+        power = np.full(24 * 7, 1000.0)
+        intensity = np.full(24 * 7, 200.0)
+        winter = operational_carbon_seasonal(
+            power, intensity, model, start_hour=24 * 10
+        )
+        summer = operational_carbon_seasonal(
+            power, intensity, model, start_hour=24 * 195
+        )
+        assert summer > winter * 1.05
+
+    def test_annual_error_of_constant_assumption_small(self):
+        """For a uniform load, constant-PUE accounting is nearly exact —
+        the paper's simplification is fine at annual granularity."""
+        model = SeasonalPUE(annual_mean=1.2, seasonal_amplitude=0.08,
+                            diurnal_amplitude=0.03)
+        rng = np.random.default_rng(5)
+        power = rng.uniform(500, 1500, 8760)
+        intensity = np.full(8760, 300.0)
+        exact = operational_carbon_seasonal(power, intensity, model)
+        constant = float(np.sum(power * intensity * 1.2)) / 1000.0
+        assert abs(exact - constant) / constant < 0.01
+
+    def test_shape_mismatch_rejected(self):
+        model = SeasonalPUE()
+        with pytest.raises(PowerModelError):
+            operational_carbon_seasonal(np.ones(5), np.ones(6), model)
+
+    def test_negative_samples_rejected(self):
+        model = SeasonalPUE()
+        with pytest.raises(PowerModelError):
+            operational_carbon_seasonal(np.array([-1.0]), np.array([1.0]), model)

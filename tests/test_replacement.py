@@ -1,0 +1,92 @@
+"""Component replacement embodied carbon (RQ4's DRAM-failure warning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import CatalogError
+from repro.hardware.catalog import DRAM_64GB
+from repro.hardware.node import v100_node
+from repro.hardware.parts import ComponentClass
+from repro.hardware.replacement import (
+    DEFAULT_ANNUAL_REPLACEMENT_RATES,
+    ReplacementModel,
+)
+from repro.hardware.systems import frontier
+
+
+class TestDefaults:
+    def test_dram_has_highest_rate(self):
+        """The paper: 'Memory often has the largest failure rate'."""
+        rates = DEFAULT_ANNUAL_REPLACEMENT_RATES
+        assert rates[ComponentClass.DRAM] == max(rates.values())
+
+    def test_cpu_rarely_replaced(self):
+        rates = DEFAULT_ANNUAL_REPLACEMENT_RATES
+        assert rates[ComponentClass.CPU] == min(rates.values())
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(CatalogError):
+            ReplacementModel({ComponentClass.DRAM: 1.5})
+
+
+class TestExpectations:
+    def test_expected_replacements_linear_in_time(self):
+        model = ReplacementModel()
+        node = v100_node()
+        one = model.expected_replacements(node, 1.0)
+        five = model.expected_replacements(node, 5.0)
+        for cls in one:
+            assert five[cls] == pytest.approx(5 * one[cls])
+
+    def test_node_dram_expectation(self):
+        model = ReplacementModel({ComponentClass.DRAM: 0.04})
+        node = v100_node()  # 6 DRAM modules
+        expected = model.expected_replacements(node, 5.0)
+        assert expected[ComponentClass.DRAM] == pytest.approx(6 * 0.04 * 5)
+
+    def test_zero_years_zero_replacements(self):
+        model = ReplacementModel()
+        expected = model.expected_replacements(v100_node(), 0.0)
+        assert all(v == 0.0 for v in expected.values())
+
+    def test_negative_years_rejected(self):
+        with pytest.raises(CatalogError):
+            ReplacementModel().expected_replacements(v100_node(), -1.0)
+
+
+class TestCarbon:
+    def test_replacement_carbon_uses_part_embodied(self):
+        model = ReplacementModel({ComponentClass.DRAM: 0.05})
+        node = v100_node()
+        carbon = model.replacement_carbon(node, 4.0)
+        expected_units = 6 * 0.05 * 4.0
+        assert carbon[ComponentClass.DRAM].total_g == pytest.approx(
+            expected_units * DRAM_64GB.embodied().total_g
+        )
+
+    def test_lifetime_embodied_exceeds_initial(self):
+        model = ReplacementModel()
+        node = v100_node()
+        lifetime = model.lifetime_embodied(node, 5.0).total_g
+        initial = node.embodied().total_g
+        assert lifetime > initial
+
+    def test_overhead_fraction_bounds(self):
+        model = ReplacementModel()
+        fraction = model.replacement_overhead_fraction(v100_node(), 5.0)
+        # A few percent over five years, not a second system.
+        assert 0.01 < fraction < 0.25
+
+    def test_system_scale(self):
+        """On Frontier-scale DRAM counts, replacements add real tonnage."""
+        model = ReplacementModel()
+        carbon = model.replacement_carbon(frontier(), 5.0)
+        dram_tonnes = carbon[ComponentClass.DRAM].total_g / 1e6
+        assert dram_tonnes > 50.0  # tens of tonnes of replacement DRAM
+
+    def test_unlisted_class_defaults_to_zero(self):
+        model = ReplacementModel({ComponentClass.DRAM: 0.04})
+        assert model.rate(ComponentClass.GPU) == 0.0
+        carbon = model.replacement_carbon(v100_node(), 5.0)
+        assert carbon[ComponentClass.GPU].total_g == 0.0

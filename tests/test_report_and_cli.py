@@ -1,0 +1,103 @@
+"""Experiment checks, report generation, and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import generate_report, run_all_checks
+from repro.cli import main
+
+
+class TestChecks:
+    @pytest.fixture(scope="class")
+    def checks(self):
+        return run_all_checks()
+
+    def test_all_pass(self, checks):
+        failing = [c for c in checks if not c.ok]
+        assert not failing, failing
+
+    def test_every_experiment_covered(self, checks):
+        experiments = {c.experiment for c in checks}
+        expected = {f"Fig. {i}" for i in range(1, 10)} | {"Table 6"}
+        assert expected <= experiments
+
+    def test_checks_carry_paper_and_measured(self, checks):
+        for check in checks:
+            assert check.paper and check.measured
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report()
+
+    def test_contains_all_artifacts(self, report):
+        for token in (
+            "Table 1",
+            "Table 6",
+            "Fig. 1",
+            "Fig. 5",
+            "Fig. 7",
+            "Fig. 9",
+        ):
+            assert token in report
+
+    def test_summary_header(self, report):
+        assert "Shape checks:" in report
+        assert "pass" in report
+
+    def test_mentions_paper_values(self, report):
+        assert "44.4%" in report  # Table 6 P100->V100 NLP
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig9", "table6", "checks", "report"):
+            assert name in out
+
+    @pytest.mark.parametrize(
+        "command,expect",
+        [
+            ("fig1", "AMD MI250X"),
+            ("fig2", "HDD 16TB"),
+            ("fig3", "DRAM"),
+            ("fig4", "Perf/Embodied"),
+            ("fig5", "Frontier"),
+            ("fig6", "ESO"),
+            ("fig7", "CISO"),
+            ("table1", "Seagate"),
+            ("table2", "LUMI"),
+            ("table3", "ERCOT"),
+            ("table4", "CANDLE"),
+            ("table5", "V100"),
+            ("table6", "P100 to A100"),
+        ],
+    )
+    def test_experiment_commands(self, capsys, command, expect):
+        assert main([command]) == 0
+        assert expect in capsys.readouterr().out
+
+    def test_fig8_and_fig9_render_sparklines(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "->" in out
+        assert main(["fig9"]) == 0
+        assert "Usage" in capsys.readouterr().out
+
+    def test_checks_command(self, capsys):
+        assert main(["checks"]) == 0
+        out = capsys.readouterr().out
+        assert "checks pass" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "EXPERIMENTS.md"
+        assert main(["report", "-o", str(target)]) == 0
+        assert target.exists()
+        assert "paper vs. measured" in target.read_text()
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

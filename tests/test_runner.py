@@ -1,0 +1,86 @@
+"""Simulated training runs end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.intensity.generator import generate_trace
+from repro.workloads.models import Suite
+from repro.workloads.performance import model_speedup
+from repro.workloads.runner import simulate_suite, simulate_training_run
+from repro.workloads.scaling import scaled_performance
+
+
+class TestSimulateTrainingRun:
+    def test_duration_from_throughput(self):
+        result = simulate_training_run("BERT", "V100", n_gpus=1, epochs=1)
+        expected_h = result.report.duration_h
+        assert result.duration_h == expected_h
+        assert result.duration_h == pytest.approx(
+            88_000 / result.throughput_sps / 3600.0
+        )
+
+    def test_epochs_scale_duration(self):
+        one = simulate_training_run("BERT", "V100", n_gpus=1, epochs=1)
+        three = simulate_training_run("BERT", "V100", n_gpus=1, epochs=3)
+        assert three.duration_h == pytest.approx(3 * one.duration_h)
+
+    def test_newer_generation_faster_and_cleaner(self):
+        old = simulate_training_run("ResNet50", "P100", n_gpus=4, intensity=200.0)
+        new = simulate_training_run("ResNet50", "A100", n_gpus=4, intensity=200.0)
+        assert new.duration_h < old.duration_h
+        assert new.carbon.grams < old.carbon.grams
+
+    def test_multi_gpu_speedup_matches_scaling(self):
+        one = simulate_training_run("ViT", "V100", n_gpus=1)
+        four = simulate_training_run("ViT", "V100", n_gpus=4)
+        assert one.duration_h / four.duration_h == pytest.approx(
+            scaled_performance(Suite.VISION, 4), rel=1e-9
+        )
+
+    def test_default_uses_all_gpus(self):
+        result = simulate_training_run("BERT", "V100")
+        assert result.n_gpus == 4
+
+    def test_gpu_count_bounds(self):
+        with pytest.raises(WorkloadError):
+            simulate_training_run("BERT", "V100", n_gpus=5)
+        with pytest.raises(WorkloadError):
+            simulate_training_run("BERT", "V100", n_gpus=0)
+
+    def test_zero_epochs_rejected(self):
+        with pytest.raises(WorkloadError):
+            simulate_training_run("BERT", "V100", epochs=0)
+
+    def test_trace_intensity_accepted(self):
+        trace = generate_trace("ESO", n_hours=48)
+        result = simulate_training_run("BERT", "V100", intensity=trace)
+        assert result.carbon.grams > 0.0
+
+    def test_samples_processed_consistent(self):
+        result = simulate_training_run("NT3", "A100", epochs=2)
+        assert result.samples_processed == pytest.approx(2 * 120_000, rel=1e-6)
+
+    def test_throughput_uses_calibrated_speedup(self):
+        p100 = simulate_training_run("BERT", "P100", n_gpus=1)
+        a100 = simulate_training_run("BERT", "A100", n_gpus=1)
+        assert a100.throughput_sps / p100.throughput_sps == pytest.approx(
+            model_speedup("BERT", "A100"), rel=1e-9
+        )
+
+
+class TestSimulateSuite:
+    def test_runs_all_models(self):
+        results = simulate_suite(Suite.CANDLE, "A100")
+        assert [r.model_name for r in results] == ["Combo", "NT3", "P1B1", "ST1", "TC1"]
+
+    def test_suite_by_name(self):
+        results = simulate_suite("NLP", "V100")
+        assert len(results) == 5
+
+    def test_total_suite_carbon_positive(self):
+        results = simulate_suite(Suite.VISION, "P100", intensity=400.0)
+        total = sum(r.carbon.grams for r in results)
+        assert total > 0.0

@@ -1,0 +1,107 @@
+"""Sensitivity analysis and machine-readable export."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import experiment_data, export_all, write_csv, write_json
+from repro.analysis.sensitivity import (
+    HEADLINE_OUTPUTS,
+    PARAMETER_RANGES,
+    sweep_parameter,
+    tornado,
+)
+from repro.core.errors import ExperimentError
+
+
+class TestSensitivity:
+    def test_yield_drives_embodied(self):
+        result = sweep_parameter("fab_yield", "a100_embodied")
+        # Lower yield -> more embodied carbon.
+        assert result.at_low > result.baseline > result.at_high
+        assert result.swing > 0.0
+
+    def test_pue_irrelevant_to_embodied(self):
+        result = sweep_parameter("pue", "a100_embodied")
+        assert result.swing == pytest.approx(0.0)
+
+    def test_pue_matters_for_breakeven(self):
+        result = sweep_parameter("pue", "upgrade_breakeven")
+        # Higher PUE multiplies operational savings -> faster breakeven.
+        assert result.at_low > result.at_high
+        assert result.relative_swing > 0.1
+
+    def test_packaging_constant_moves_component_shares(self):
+        result = sweep_parameter("packaging_gco2_per_ic", "frontier_gpu_share")
+        # Storage (ratio-based packaging) does not scale with the per-IC
+        # constant, so IC-heavy classes — GPUs included — gain share as
+        # it rises; the swing is small but nonzero.
+        assert result.at_high > result.at_low
+        assert 0.0 < result.relative_swing < 0.05
+
+    def test_tornado_sorted_by_swing(self):
+        results = tornado("upgrade_breakeven")
+        swings = [r.swing for r in results]
+        assert swings == sorted(swings, reverse=True)
+        assert {r.parameter for r in results} == set(PARAMETER_RANGES)
+
+    def test_unknown_inputs_rejected(self):
+        with pytest.raises(ExperimentError):
+            sweep_parameter("gravity", "a100_embodied")
+        with pytest.raises(ExperimentError):
+            sweep_parameter("fab_yield", "world_peace")
+
+    def test_all_headline_outputs_evaluate(self):
+        for name, fn in HEADLINE_OUTPUTS.items():
+            assert fn() > 0.0, name
+
+
+class TestExport:
+    def test_experiment_data_structure(self):
+        data = experiment_data("fig1")
+        assert data["header"][0] == "part"
+        assert len(data["rows"]) == 6
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            experiment_data("fig42")
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = write_csv("table6", tmp_path / "t6.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["upgrade", "nlp", "vision", "candle", "average"]
+        assert len(rows) == 4  # header + 3 upgrades
+
+    def test_write_json_roundtrip(self, tmp_path):
+        path = write_json("fig6", tmp_path / "f6.json")
+        data = json.loads(path.read_text())
+        assert len(data["rows"]) == 7
+
+    def test_fig8_long_format(self, tmp_path):
+        data = experiment_data("fig8")
+        # 3 upgrades x 3 levels x 3 suites x 20 time points.
+        assert len(data["rows"]) == 3 * 3 * 3 * 20
+
+    def test_export_all_csv(self, tmp_path):
+        written = export_all(tmp_path, fmt="csv")
+        assert len(written) == 15
+        assert all(p.exists() for p in written)
+
+    def test_export_all_json(self, tmp_path):
+        written = export_all(tmp_path / "json", fmt="json")
+        assert all(p.suffix == ".json" for p in written)
+
+    def test_export_bad_format(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            export_all(tmp_path, fmt="parquet")
+
+    def test_cli_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["export", "-d", str(tmp_path / "out"), "-f", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1.csv" in out

@@ -1,0 +1,220 @@
+"""Transfer energy model, deployment rankings, and workload trace I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ranking import Deployment, evaluate_deployment, rank_deployments
+from repro.cluster.job import Job
+from repro.cluster.traceio import (
+    SCHEMA_VERSION,
+    jobs_from_json,
+    jobs_to_json,
+    load_jobs,
+    save_jobs,
+)
+from repro.cluster.workload_gen import WorkloadParams, generate_workload
+from repro.core.errors import ExperimentError, SchedulingError, SimulationError
+from repro.hardware.node import a100_node, v100_node
+from repro.scheduler.transfer import (
+    DATASET_GB,
+    TransferModel,
+    dataset_size_gb,
+    default_transfer_model,
+    transfer_carbon_g,
+    transfer_energy_kwh,
+)
+from repro.workloads.models import ALL_MODELS, get_model
+
+
+class TestTransferModel:
+    def test_every_model_has_a_dataset(self):
+        assert set(DATASET_GB) == {m.name for m in ALL_MODELS}
+
+    def test_vision_datasets_largest(self):
+        assert dataset_size_gb("ResNet50") > dataset_size_gb("BERT")
+        assert dataset_size_gb("BERT") > dataset_size_gb("NT3")
+
+    def test_same_region_free(self):
+        assert transfer_energy_kwh("BERT", "ESO", "ESO") == 0.0
+
+    def test_symmetric_hops(self):
+        model = default_transfer_model()
+        assert model.hop_count("ESO", "CISO") == model.hop_count("CISO", "ESO")
+
+    def test_transatlantic_costs_more_than_domestic(self):
+        atlantic = transfer_energy_kwh("ResNet50", "ESO", "CISO")
+        domestic = transfer_energy_kwh("ResNet50", "CISO", "ERCOT")
+        assert atlantic > 2 * domestic
+
+    def test_unknown_pair_uses_default(self):
+        model = TransferModel(hops={}, default_hops=4)
+        assert model.hop_count("KN", "PJM") == 4
+
+    def test_energy_formula(self):
+        model = TransferModel(kwh_per_gb_per_hop=0.01, hops={("A", "B"): 5})
+        energy = transfer_energy_kwh("BERT", "A", "B", transfer=model)
+        assert energy == pytest.approx(18.0 * 0.01 * 5)
+
+    def test_carbon_split_between_grids(self):
+        model = TransferModel(kwh_per_gb_per_hop=0.01, hops={("A", "B"): 1})
+        carbon = transfer_carbon_g("BERT", "A", "B", 100.0, 300.0, transfer=model)
+        assert carbon == pytest.approx(18.0 * 0.01 * 200.0)
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            TransferModel(kwh_per_gb_per_hop=-0.1)
+        with pytest.raises(SchedulingError):
+            TransferModel(hops={("A", "B"): 0})
+        with pytest.raises(SchedulingError):
+            transfer_carbon_g("BERT", "A", "B", -1.0, 100.0)
+
+
+class TestRanking:
+    @pytest.fixture(scope="class")
+    def deployments(self):
+        return [
+            Deployment("A100@gas", a100_node(), 100, 400.0),
+            Deployment("A100@hydro", a100_node(), 100, 20.0),
+            Deployment("V100@hydro", v100_node(), 100, 20.0),
+        ]
+
+    def test_efficiency_ignores_grid(self, deployments):
+        ranked = rank_deployments(deployments)["efficiency"]
+        # Both A100 fleets tie at the top; V100 is last.
+        assert ranked[-1].name == "V100@hydro"
+
+    def test_operational_ranking_inverts(self, deployments):
+        ranked = rank_deployments(deployments)["operational"]
+        # The least efficient fleet on hydro beats the efficient one on gas.
+        names = [m.name for m in ranked]
+        assert names.index("V100@hydro") < names.index("A100@gas")
+
+    def test_total_ranking_includes_embodied(self, deployments):
+        metrics = {
+            m.name: m for m in rank_deployments(deployments)["total"]
+        }
+        a100 = metrics["A100@hydro"]
+        v100 = metrics["V100@hydro"]
+        # Same grid: totals differ by embodied + power profile.
+        assert a100.total_g_over_life != v100.total_g_over_life
+
+    def test_evaluate_deployment_fields(self):
+        metrics = evaluate_deployment(
+            Deployment("X", v100_node(), 10, 100.0), service_years=3.0
+        )
+        assert metrics.gflops_per_w > 0.0
+        assert metrics.operational_g_per_year > 0.0
+        assert metrics.total_g_over_life > 3 * 0.9 * metrics.operational_g_per_year
+
+    def test_duplicate_names_rejected(self):
+        d = Deployment("X", v100_node(), 1, 100.0)
+        with pytest.raises(ExperimentError):
+            rank_deployments([d, d])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            rank_deployments([])
+
+    def test_invalid_deployment(self):
+        with pytest.raises(ExperimentError):
+            Deployment("X", v100_node(), 0, 100.0)
+
+
+class TestTraceIO:
+    def test_roundtrip_preserves_jobs(self):
+        jobs = generate_workload(
+            WorkloadParams(horizon_h=48.0, total_gpus=8, home_region="ESO"), seed=5
+        )
+        restored = jobs_from_json(jobs_to_json(jobs))
+        assert len(restored) == len(jobs)
+        for a, b in zip(jobs, restored):
+            assert a.job_id == b.job_id
+            assert a.user == b.user
+            assert a.model.name == b.model.name
+            assert a.n_gpus == b.n_gpus
+            assert a.duration_h == pytest.approx(b.duration_h)
+            assert a.submit_h == pytest.approx(b.submit_h)
+            assert a.home_region == b.home_region
+
+    def test_file_roundtrip(self, tmp_path):
+        jobs = generate_workload(
+            WorkloadParams(horizon_h=24.0, total_gpus=4), seed=2
+        )
+        path = save_jobs(jobs, tmp_path / "trace.json")
+        assert load_jobs(path)[0].job_id == jobs[0].job_id
+
+    def test_schema_version_checked(self):
+        document = jobs_to_json([]).replace(
+            f'"schema_version": {SCHEMA_VERSION}', '"schema_version": 99'
+        )
+        with pytest.raises(SimulationError):
+            jobs_from_json(document)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(SimulationError):
+            jobs_from_json('{"schema_version": 1, "jobs": [{"job_id": 1}]}')
+
+    def test_duplicate_ids_rejected(self):
+        job = Job(
+            job_id=1, user="u", model=get_model("BERT"),
+            n_gpus=1, duration_h=1.0, submit_h=0.0,
+        )
+        document = jobs_to_json([job, job])
+        with pytest.raises(SimulationError):
+            jobs_from_json(document)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SimulationError):
+            jobs_from_json("not json")
+        with pytest.raises(SimulationError):
+            jobs_from_json("[1, 2, 3]")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SimulationError):
+            load_jobs(tmp_path / "nope.json")
+
+    def test_job_validation_applied_on_load(self):
+        document = """
+        {"schema_version": 1, "jobs": [{"job_id": 1, "user": "u",
+          "model": "BERT", "n_gpus": 0, "duration_h": 1.0, "submit_h": 0.0}]}
+        """
+        with pytest.raises(SimulationError):
+            jobs_from_json(document)
+
+
+class TestNewCliCommands:
+    def test_audit_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["audit", "--system", "LUMI", "--region", "ESO"]) == 0
+        out = capsys.readouterr().out
+        assert "Carbon audit — LUMI" in out and "TOTAL" in out
+
+    def test_advise_command(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["advise", "--old", "V100", "--new", "A100", "--intensity", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out and "breakeven" in out
+
+    def test_list_includes_new_commands(self, capsys):
+        from repro.cli import main
+
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "audit" in out and "advise" in out and "export" in out
+
+
+class TestModelsCliCommand:
+    def test_models_command(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["models", "--suite", "CANDLE", "--node", "A100", "--epochs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Training footprint" in out
+        assert "Combo" in out and "kg/epoch" in out

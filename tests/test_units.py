@@ -1,0 +1,170 @@
+"""Unit-quantity arithmetic: closure, conversions, and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import UnitError
+from repro.core.units import (
+    CarbonIntensity,
+    CarbonMass,
+    Duration,
+    Energy,
+    HOURS_PER_YEAR,
+    Power,
+    format_co2,
+    format_energy,
+)
+
+finite_nonneg = st.floats(
+    min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+finite_pos = st.floats(
+    min_value=1e-6, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+class TestCarbonMass:
+    def test_constructors_agree(self):
+        assert CarbonMass.from_kilograms(2.5).grams == 2500.0
+        assert CarbonMass.from_tonnes(1.0).grams == 1_000_000.0
+        assert CarbonMass.zero().grams == 0.0
+
+    def test_conversions_roundtrip(self):
+        mass = CarbonMass(123_456.0)
+        assert mass.kilograms == pytest.approx(123.456)
+        assert mass.tonnes == pytest.approx(0.123456)
+
+    def test_addition_and_subtraction(self):
+        total = CarbonMass(100.0) + CarbonMass(50.0)
+        assert total.grams == 150.0
+        assert (total - CarbonMass(150.0)).grams == 0.0
+
+    def test_subtraction_below_zero_rejected(self):
+        with pytest.raises(UnitError):
+            CarbonMass(1.0) - CarbonMass(2.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(UnitError):
+            CarbonMass(-1.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(UnitError):
+            CarbonMass(float("nan"))
+        with pytest.raises(UnitError):
+            CarbonMass(float("inf"))
+
+    def test_scaling_and_ratio(self):
+        assert (CarbonMass(10.0) * 3).grams == 30.0
+        assert (3 * CarbonMass(10.0)).grams == 30.0
+        assert CarbonMass(30.0) / CarbonMass(10.0) == pytest.approx(3.0)
+
+    def test_division_by_zero_mass(self):
+        with pytest.raises(UnitError):
+            CarbonMass(1.0) / CarbonMass(0.0)
+
+    def test_ordering(self):
+        assert CarbonMass(1.0) < CarbonMass(2.0)
+        assert CarbonMass(2.0) <= CarbonMass(2.0)
+
+    @given(a=finite_nonneg, b=finite_nonneg)
+    def test_addition_commutes(self, a, b):
+        assert (CarbonMass(a) + CarbonMass(b)).grams == (
+            CarbonMass(b) + CarbonMass(a)
+        ).grams
+
+    @given(a=finite_nonneg)
+    def test_zero_is_identity(self, a):
+        assert (CarbonMass(a) + CarbonMass.zero()).grams == a
+
+
+class TestEnergyPowerDuration:
+    def test_power_times_duration_is_energy(self):
+        energy = Power(500.0) * Duration(2.0)
+        assert isinstance(energy, Energy)
+        assert energy.kwh == pytest.approx(1.0)
+
+    def test_duration_times_power_commutes(self):
+        assert (Duration(2.0) * Power(500.0)).kwh == (Power(500.0) * Duration(2.0)).kwh
+
+    def test_energy_divided_by_duration_is_power(self):
+        power = Energy(1.0) / Duration(2.0)
+        assert isinstance(power, Power)
+        assert power.watts == pytest.approx(500.0)
+
+    def test_energy_joule_roundtrip(self):
+        assert Energy.from_joules(3.6e6).kwh == pytest.approx(1.0)
+        assert Energy(1.0).joules == pytest.approx(3.6e6)
+
+    def test_energy_wh_conversion(self):
+        assert Energy.from_wh(1500.0).kwh == pytest.approx(1.5)
+        assert Energy(1.5).wh == pytest.approx(1500.0)
+
+    def test_power_conversions(self):
+        assert Power.from_megawatts(29.0).watts == pytest.approx(29e6)
+        assert Power.from_kilowatts(13.0).kilowatts == pytest.approx(13.0)
+
+    def test_duration_conversions(self):
+        assert Duration.from_years(1.0).hours == HOURS_PER_YEAR
+        assert Duration.from_days(2.0).hours == 48.0
+        assert Duration.from_seconds(7200.0).hours == pytest.approx(2.0)
+        assert Duration(24.0).days == pytest.approx(1.0)
+
+    def test_energy_addition_closed(self):
+        assert (Energy(1.0) + Energy(2.0)).kwh == 3.0
+
+    def test_power_cannot_add_energy(self):
+        with pytest.raises(TypeError):
+            Power(1.0) + Energy(1.0)  # type: ignore[operator]
+
+    @given(w=finite_pos, h=finite_pos)
+    def test_power_duration_energy_consistency(self, w, h):
+        energy = Power(w) * Duration(h)
+        back = energy / Duration(h)
+        assert math.isclose(back.watts, w, rel_tol=1e-9)
+
+
+class TestCarbonIntensity:
+    def test_energy_times_intensity_is_mass(self):
+        mass = Energy(10.0) * CarbonIntensity(200.0)
+        assert isinstance(mass, CarbonMass)
+        assert mass.grams == pytest.approx(2000.0)
+
+    def test_intensity_times_energy_commutes(self):
+        assert (CarbonIntensity(200.0) * Energy(10.0)).grams == (
+            Energy(10.0) * CarbonIntensity(200.0)
+        ).grams
+
+    def test_reference_points(self):
+        assert CarbonIntensity.hydro().g_per_kwh == 20.0
+        assert CarbonIntensity.coal().g_per_kwh > 800.0 - 1e-9
+
+    def test_ratio(self):
+        assert CarbonIntensity(400.0) / CarbonIntensity(20.0) == pytest.approx(20.0)
+
+    @given(kwh=finite_nonneg, intensity=finite_nonneg)
+    def test_eq6_never_negative(self, kwh, intensity):
+        assert (Energy(kwh) * CarbonIntensity(intensity)).grams >= 0.0
+
+
+class TestFormatting:
+    def test_format_co2_scales(self):
+        assert format_co2(500.0) == "500.0 gCO2"
+        assert format_co2(2500.0) == "2.50 kgCO2"
+        assert format_co2(3.2e6) == "3.20 tCO2"
+
+    def test_format_energy_scales(self):
+        assert format_energy(0.5).endswith("Wh")
+        assert "kWh" in format_energy(5.0)
+        assert "MWh" in format_energy(5000.0)
+        assert "GWh" in format_energy(5e6)
+
+    def test_str_representations(self):
+        assert "kgCO2" in str(CarbonMass(2000.0))
+        assert "MW" in str(Power.from_megawatts(29.0))
+        assert "yr" in str(Duration.from_years(2.0))
+        assert "gCO2/kWh" in str(CarbonIntensity(200.0))

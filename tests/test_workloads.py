@@ -1,0 +1,191 @@
+"""Workload zoo, performance calibration (Table 6), and scaling (Fig. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CalibrationError, WorkloadError
+from repro.workloads.models import ALL_MODELS, Suite, get_model
+from repro.workloads.performance import (
+    GENERATIONS,
+    average_time_reduction,
+    generation_speedup,
+    model_speedup,
+    model_throughput_sps,
+    suite_time_reduction,
+    upgrade_options,
+)
+from repro.workloads.scaling import (
+    SCALING_PARAMS,
+    communication_overhead_fraction,
+    scaled_performance,
+    scaling_efficiency,
+)
+from repro.workloads.suites import SUITES, suite_models, suite_of, table4_rows
+
+
+class TestModelZoo:
+    def test_fifteen_models(self):
+        assert len(ALL_MODELS) == 15
+
+    def test_five_per_suite(self):
+        for suite in Suite:
+            assert len(suite_models(suite)) == 5
+
+    def test_table4_membership(self):
+        assert {m.name for m in suite_models(Suite.NLP)} == {
+            "BERT", "DistilBERT", "MPNet", "RoBERTa", "BART",
+        }
+        assert {m.name for m in suite_models(Suite.VISION)} == {
+            "ResNet50", "ResNeXt50", "ShuffleNetV2", "VGG19", "ViT",
+        }
+        assert {m.name for m in suite_models(Suite.CANDLE)} == {
+            "Combo", "NT3", "P1B1", "ST1", "TC1",
+        }
+
+    def test_suite_of(self):
+        assert suite_of("BERT") is Suite.NLP
+        assert suite_of("ViT") is Suite.VISION
+        with pytest.raises(WorkloadError):
+            suite_of("GPT-4")
+
+    def test_get_model_unknown(self):
+        with pytest.raises(WorkloadError):
+            get_model("AlexNet")
+
+    def test_table4_rows_structure(self):
+        rows = table4_rows()
+        assert len(rows) == 3
+        assert rows[0][0].startswith("Natural Language")
+        assert "BERT" in rows[0][1]
+
+
+class TestGenerationSpeedups:
+    def test_p100_is_reference(self):
+        for suite in Suite:
+            assert generation_speedup(suite, "P100") == 1.0
+
+    def test_monotone_across_generations(self):
+        for suite in Suite:
+            assert (
+                generation_speedup(suite, "P100")
+                < generation_speedup(suite, "V100")
+                < generation_speedup(suite, "A100")
+            )
+
+    def test_unknown_generation_rejected(self):
+        with pytest.raises(CalibrationError):
+            generation_speedup(Suite.NLP, "H100")
+
+    def test_candle_gains_most(self):
+        # Table 6: CANDLE shows the largest improvements everywhere.
+        for old, new in upgrade_options():
+            candle = suite_time_reduction(Suite.CANDLE, old, new)
+            assert candle >= suite_time_reduction(Suite.NLP, old, new)
+            assert candle >= suite_time_reduction(Suite.VISION, old, new)
+
+
+class TestTable6Calibration:
+    PAPER = {
+        ("P100", "V100"): (0.444, 0.412, 0.455),
+        ("P100", "A100"): (0.590, 0.602, 0.683),
+        ("V100", "A100"): (0.256, 0.358, 0.444),
+    }
+
+    @pytest.mark.parametrize("upgrade", list(PAPER))
+    def test_within_two_points_of_paper(self, upgrade):
+        old, new = upgrade
+        targets = self.PAPER[upgrade]
+        for suite, target in zip((Suite.NLP, Suite.VISION, Suite.CANDLE), targets):
+            measured = suite_time_reduction(suite, old, new)
+            assert measured == pytest.approx(target, abs=0.02), (suite, upgrade)
+
+    def test_average_column(self):
+        assert average_time_reduction("P100", "V100") == pytest.approx(0.434, abs=0.02)
+        assert average_time_reduction("P100", "A100") == pytest.approx(0.625, abs=0.02)
+        assert average_time_reduction("V100", "A100") == pytest.approx(0.359, abs=0.02)
+
+    def test_downgrade_rejected(self):
+        with pytest.raises(CalibrationError):
+            suite_time_reduction(Suite.NLP, "A100", "P100")
+
+    def test_upgrade_options_paper_order(self):
+        assert upgrade_options() == (("P100", "V100"), ("P100", "A100"), ("V100", "A100"))
+
+
+class TestModelLevelSpeedups:
+    def test_jitter_geometric_mean_is_suite_factor(self):
+        for suite in Suite:
+            for gen in ("V100", "A100"):
+                speedups = [model_speedup(m, gen) for m in suite_models(suite)]
+                geo = float(np.exp(np.mean(np.log(speedups))))
+                assert geo == pytest.approx(generation_speedup(suite, gen), rel=1e-9)
+
+    def test_jitter_bounded(self):
+        for model in ALL_MODELS:
+            for gen in ("V100", "A100"):
+                ratio = model_speedup(model, gen) / generation_speedup(model.suite, gen)
+                assert 0.8 <= ratio <= 1.25
+
+    def test_deterministic(self):
+        assert model_speedup("BERT", "A100") == model_speedup("BERT", "A100")
+
+    def test_throughput_uses_base(self):
+        bert = get_model("BERT")
+        assert model_throughput_sps(bert, "P100") == pytest.approx(
+            bert.base_throughput_sps
+        )
+
+    def test_multi_gpu_delegates_to_scaling(self):
+        single = model_throughput_sps("BERT", "V100", n_gpus=1)
+        quad = model_throughput_sps("BERT", "V100", n_gpus=4)
+        assert quad == pytest.approx(single * scaled_performance(Suite.NLP, 4))
+
+    def test_bad_gpu_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            model_throughput_sps("BERT", "V100", n_gpus=0)
+
+
+class TestScaling:
+    def test_one_gpu_is_unity(self):
+        for suite in Suite:
+            assert scaled_performance(suite, 1) == 1.0
+
+    def test_fig4_two_gpu_band(self):
+        # Paper: 2 GPUs gain ~30-40%.
+        for suite in Suite:
+            perf = scaled_performance(suite, 2)
+            assert 1.30 <= perf <= 1.40
+
+    def test_fig4_four_gpu_ratios(self):
+        # Performance-to-embodied at 4 GPUs: 0.88 / 0.79 / 0.88.
+        embodied_rel_4 = 2.218  # V100-node processors, 4 vs 1 GPU
+        targets = {Suite.NLP: 0.88, Suite.VISION: 0.79, Suite.CANDLE: 0.88}
+        for suite, target in targets.items():
+            ratio = scaled_performance(suite, 4) / embodied_rel_4
+            assert ratio == pytest.approx(target, abs=0.02)
+
+    def test_throughput_increases_with_gpus(self):
+        for suite in Suite:
+            perf = [scaled_performance(suite, n) for n in (1, 2, 4, 8)]
+            assert perf == sorted(perf)
+
+    def test_efficiency_decreases_with_gpus(self):
+        for suite in Suite:
+            eff = [scaling_efficiency(suite, n) for n in (1, 2, 4, 8)]
+            assert eff == sorted(eff, reverse=True)
+            assert all(0.0 < e <= 1.0 for e in eff)
+
+    def test_vision_most_communication_bound_at_4(self):
+        overheads = {
+            suite: communication_overhead_fraction(suite, 4) for suite in Suite
+        }
+        assert overheads[Suite.VISION] == max(overheads.values())
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(WorkloadError):
+            scaled_performance(Suite.NLP, 0)
+
+    def test_params_cover_all_suites(self):
+        assert set(SCALING_PARAMS) == set(Suite)
