@@ -2,7 +2,8 @@
 
 Generates a month of GPU training jobs submitted to an ESO-region (UK)
 HPC center, then compares four scheduling policies on the calibrated
-2021 regional traces:
+2021 regional traces — declared through the :class:`repro.Scenario`
+facade, whose policy backends come from the session registry:
 
 * carbon-oblivious FCFS (baseline),
 * temporal shifting inside each job's slack window,
@@ -16,27 +17,17 @@ priority boost for economical users.
 Run:  python examples/carbon_aware_scheduling.py
 """
 
+from repro import Scenario
 from repro.analysis.render import format_table
 from repro.cluster import WorkloadParams, generate_workload
 from repro.core import format_co2
-from repro.hardware import v100_node
-from repro.intensity import CarbonIntensityService
-from repro.scheduler import (
-    CarbonBudgetLedger,
-    CarbonObliviousPolicy,
-    GeographicPolicy,
-    TemporalGeographicPolicy,
-    TemporalShiftingPolicy,
-    compare_policies,
-    priority_order,
-)
+from repro.scheduler import CarbonBudgetLedger, priority_order
 
 HOME = "ESO"
 REGIONS = ["ESO", "CISO", "ERCOT"]
 
 
 def main() -> None:
-    service = CarbonIntensityService(forecast_error=0.03)
     params = WorkloadParams(
         horizon_h=24.0 * 28,
         total_gpus=64,
@@ -51,26 +42,34 @@ def main() -> None:
         f"home region {HOME}"
     )
 
-    policies = [
-        CarbonObliviousPolicy(service, HOME),
-        TemporalShiftingPolicy(service, HOME),
-        GeographicPolicy(service, HOME, regions=REGIONS),
-        TemporalGeographicPolicy(service, HOME, regions=REGIONS),
-    ]
-    results = compare_policies(jobs, policies, service, v100_node())
-    base = results["carbon-oblivious"].total_carbon.grams
-
-    rows = []
-    for name, evaluation in results.items():
-        rows.append(
-            (
-                name,
-                format_co2(evaluation.total_carbon.grams),
-                f"{1.0 - evaluation.total_carbon.grams / base:+.1%}",
-                f"{evaluation.mean_delay_h():.1f} h",
-                evaluation.migration_count(),
-            )
+    result = (
+        Scenario()
+        .node("V100")
+        .region(HOME)
+        .regions(REGIONS)
+        .workload(jobs)
+        .policies(
+            [
+                "carbon-oblivious",
+                "temporal-shifting",
+                "geographic",
+                "temporal+geographic",
+            ]
         )
+        .run()
+    )
+    scheduling = result.scheduling
+
+    rows = [
+        (
+            outcome.policy,
+            format_co2(outcome.carbon_g),
+            f"{outcome.savings_fraction:+.1%}",
+            f"{outcome.mean_delay_h:.1f} h",
+            outcome.migrations,
+        )
+        for outcome in scheduling.outcomes
+    ]
     print("\nPolicy comparison (true 2021-trace accounting, noisy forecasts):")
     print(
         format_table(
@@ -81,7 +80,7 @@ def main() -> None:
     # --- RQ6 incentives: carbon budgets and queue priority -----------------
     ledger = CarbonBudgetLedger()
     users = sorted({job.user for job in jobs})
-    aware = results["temporal+geographic"]
+    aware = scheduling.evaluations["temporal+geographic"]
     per_user_allocation = 1.25 * aware.total_carbon.grams / len(users)
     for user in users:
         ledger.allocate(user, per_user_allocation)

@@ -17,17 +17,14 @@ hydropower.
 Run:  python examples/full_center_audit.py
 """
 
-from repro.analysis.audit import CenterAuditor
+from repro import Scenario, Session
 from repro.analysis.render import format_table
 from repro.core import format_co2
 from repro.core.lifecycle import LifecyclePhases, TransportMode
-from repro.hardware import estimate_fat_tree_interconnect, frontier, perlmutter
-from repro.intensity import generate_all_traces
+from repro.hardware import estimate_fat_tree_interconnect
 
 
 def main() -> None:
-    traces = generate_all_traces()
-
     shipments = {
         # Domestic road freight for the US systems.
         "Perlmutter": LifecyclePhases(
@@ -42,25 +39,26 @@ def main() -> None:
         ),
     }
     centers = [
-        (perlmutter(), 1536 + 3072, traces["CISO"], "CISO"),
-        (frontier(), 9408, traces["MISO"], "MISO"),
+        ("Perlmutter", 1536 + 3072, 1, "CISO"),
+        ("Frontier", 9408, 4, "MISO"),
     ]
 
-    for system, n_nodes, trace, grid in centers:
-        auditor = CenterAuditor(
-            intensity=trace,
-            n_nodes=n_nodes,
-            nics_per_node=4 if system.name == "Frontier" else 1,
-            lifecycle=shipments[system.name],
-        )
-        audit = auditor.audit(system, service_years=5.0)
-        print(f"\n=== {system.name} on the {grid} grid ===")
-        for line in audit.summary_lines():
+    results = Session.run_many(
+        Scenario()
+        .system(name)
+        .region(grid)
+        .n_nodes(n_nodes)
+        .nics_per_node(nics)
+        .lifecycle(shipments[name])
+        .lifetime(years=5.0)
+        for name, n_nodes, nics, grid in centers
+    )
+    for (name, n_nodes, nics, grid), result in zip(centers, results):
+        print(f"\n=== {result.audit.system_name} on the {grid} grid ===")
+        for line in result.audit.summary_lines():
             print(line)
 
-        fabric = estimate_fat_tree_interconnect(
-            n_nodes, nics_per_node=4 if system.name == "Frontier" else 1
-        )
+        fabric = estimate_fat_tree_interconnect(n_nodes, nics_per_node=nics)
         print(
             f"  interconnect estimate: {fabric.nics} NICs + {fabric.switches} "
             f"switches = {format_co2(fabric.mid_g)} "
@@ -70,16 +68,23 @@ def main() -> None:
     # --- the same center on renewables -----------------------------------------
     print("\n=== Perlmutter-class center: grid sensitivity (5-year account) ===")
     rows = []
-    for label, intensity in (
-        ("MISO (~510 g/kWh)", traces["MISO"]),
-        ("CISO (~240 g/kWh)", traces["CISO"]),
-        ("ESO (~180 g/kWh)", traces["ESO"]),
-        ("Hydro PPA (20 g/kWh)", 20.0),
+    for label, region, constant in (
+        ("MISO (~510 g/kWh)", "MISO", None),
+        ("CISO (~240 g/kWh)", "CISO", None),
+        ("ESO (~180 g/kWh)", "ESO", None),
+        ("Hydro PPA (20 g/kWh)", "CISO", 20.0),
     ):
-        auditor = CenterAuditor(
-            intensity=intensity, n_nodes=4608, lifecycle=shipments["Perlmutter"]
+        scenario = (
+            Scenario()
+            .system("perlmutter")
+            .region(region)
+            .n_nodes(4608)
+            .lifecycle(shipments["Perlmutter"])
+            .lifetime(years=5.0)
         )
-        audit = auditor.audit(perlmutter(), service_years=5.0)
+        if constant is not None:
+            scenario.constant_intensity(constant)
+        audit = scenario.run().audit
         rows.append(
             (
                 label,

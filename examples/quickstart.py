@@ -1,20 +1,20 @@
 """Quickstart: the carbon footprint of one GPU node, end to end.
 
-Covers the library's core loop in ~40 lines:
+Covers the library's core loop in ~40 lines, driven through the
+canonical :class:`repro.Scenario` facade:
 
 1. look up hardware in the catalog (paper Table 1 / Table 5),
-2. compute embodied carbon (Eq. 2-5),
-3. simulate a training benchmark and meter its operational carbon
-   (Eq. 6, carbontracker-style),
-4. combine both into the Eq. 1 total with a ledger.
+2. declare a scenario — an A100 node on the UK grid training BERT —
+   and run it: embodied carbon (Eq. 2-5) and metered operational
+   carbon (Eq. 6, carbontracker-style) come back in one typed result,
+3. combine both into the Eq. 1 total.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import CarbonLedger, format_co2
+from repro import Scenario
+from repro.core import FootprintReport, format_co2
 from repro.hardware import GPU_A100, a100_node
-from repro.intensity import generate_trace
-from repro.workloads import simulate_training_run
 
 # --- 1. one part's embodied carbon ---------------------------------------
 breakdown = GPU_A100.embodied()
@@ -24,26 +24,31 @@ print(f"  packaging     : {format_co2(breakdown.packaging_g)}")
 print(f"  total embodied: {format_co2(breakdown.total_g)}")
 print(f"  per FP64 TFLOPS: {format_co2(GPU_A100.embodied_per_tflop())}")
 
-# --- 2. a whole node ----------------------------------------------------------
-node = a100_node()
-print(f"\nNode '{node.name}' ({node.gpu_count} GPUs, {node.cpu_count} CPUs):")
-for cls, part_breakdown in node.embodied_by_class().items():
-    print(f"  {cls.value:5s} {format_co2(part_breakdown.total_g)}")
+# --- 2+3. one scenario: the node, its grid, and a training run -------------
+result = (
+    Scenario()
+    .node("A100")                 # node backend from the registry
+    .region("ESO")                # hourly 2021 carbon intensity, Great Britain
+    .training("BERT", epochs=3)
+    .run()
+)
 
-# --- 3. operational carbon of a training run ------------------------------
-trace = generate_trace("ESO")  # hourly 2021 carbon intensity, Great Britain
-run = simulate_training_run("BERT", "A100", epochs=3, intensity=trace)
+node = a100_node()
+print(f"\nNode '{result.embodied.subject}' ({node.gpu_count} GPUs, {node.cpu_count} CPUs):")
+for cls, grams in result.embodied.by_class_g.items():
+    print(f"  {cls:5s} {format_co2(grams)}")
+
+run = result.training.result
 print(
     f"\nTraining {run.model_name} for {run.epochs} epochs on {run.n_gpus} GPUs: "
     f"{run.duration_h:.2f} h, {run.energy}, {run.carbon}"
 )
 
 # --- 4. the Eq. 1 total ----------------------------------------------------
-ledger = CarbonLedger()
-for cls, part_breakdown in node.embodied_by_class().items():
-    ledger.add_embodied(cls.value, part_breakdown)
-ledger.add_operational("bert-training", run.carbon.grams)
-report = ledger.report()
+report = FootprintReport(
+    embodied_g=result.embodied.total_g,
+    operational_g=result.training.operational_g,
+)
 print(f"\n{report}")
 print(
     f"Embodied share {report.embodied_share:.1%} — one training run barely "

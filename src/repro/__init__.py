@@ -7,38 +7,64 @@ carbon-intensity analysis, operational-carbon characterization of deep
 learning workloads, carbon-aware scheduling, and upgrade decision
 analysis.
 
-Quickstart::
+Quickstart — the :class:`Scenario` facade is the canonical entry point::
 
-    from repro.hardware import GPU_A100, frontier
-    print(GPU_A100.embodied().total)          # embodied carbon of one A100
-    print(frontier().embodied_shares())       # Fig. 5 ring chart
+    from repro import Scenario
 
+    # Whole-center study: embodied build + 5-year operational audit.
+    result = Scenario().system("frontier").region("ESO").run()
+    print("\\n".join(result.summary_lines()))
+
+    # Sweep regions x policies in one batch (traces generated once).
+    from repro import Session
+    from repro.cluster import WorkloadParams
+
+    results = Session.run_many(
+        Scenario()
+        .node("V100")
+        .region(region)
+        .policy("carbon_aware")
+        .workload(WorkloadParams(home_region=region), seed=2021)
+        for region in ("ESO", "CISO", "ERCOT")
+    )
+
+Swappable backends (hardware systems, intensity sources, scheduling
+policies, simulators, renderers) live in the string-keyed registry —
+see :mod:`repro.session` and :func:`register_backend` for plugging in
+your own without touching core.
+
+Model-wide constants are configured with :class:`ModelConfig` /
+:func:`use_config`; estimation primitives live in :mod:`repro.core`.
 See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 per-figure/table regeneration harness.
 """
 
-__version__ = "1.0.0"
+import warnings as _warnings
+
+__version__ = "1.1.0"
 
 from repro.core import (
-    CarbonIntensity,
-    CarbonLedger,
-    CarbonMass,
-    Duration,
-    Energy,
-    FootprintReport,
     ModelConfig,
-    Power,
     ReproError,
     default_config,
     get_config,
-    operational_carbon,
-    operational_carbon_trace,
     set_config,
     use_config,
 )
+from repro.session import (
+    Scenario,
+    ScenarioResult,
+    Session,
+    available_backends,
+    register_backend,
+    registry,
+    resolve_backend,
+    run_scenario,
+)
 
-__all__ = [
-    "__version__",
+#: Primitives that used to be re-exported here; their canonical home is
+#: :mod:`repro.core`.  Top-level access still works but warns.
+_DEPRECATED_CORE_EXPORTS = (
     "CarbonMass",
     "Energy",
     "Power",
@@ -46,12 +72,43 @@ __all__ = [
     "CarbonIntensity",
     "CarbonLedger",
     "FootprintReport",
+    "operational_carbon",
+    "operational_carbon_trace",
+)
+
+__all__ = [
+    "__version__",
+    # facade
+    "Scenario",
+    "Session",
+    "ScenarioResult",
+    "run_scenario",
+    "registry",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+    # configuration
     "ModelConfig",
     "default_config",
     "get_config",
     "set_config",
     "use_config",
-    "operational_carbon",
-    "operational_carbon_trace",
     "ReproError",
+    # deprecated re-exports (canonical: repro.core)
+    *_DEPRECATED_CORE_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    """Deprecation shim: serve the old top-level re-exports with a warning."""
+    if name in _DEPRECATED_CORE_EXPORTS:
+        _warnings.warn(
+            f"importing {name!r} from 'repro' is deprecated; "
+            f"use 'from repro.core import {name}'",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import repro.core as _core
+
+        return getattr(_core, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -98,3 +98,27 @@ __all__ = [
     "InsightResult",
     "check_all_insights",
 ]
+
+
+# --- session-facade backends ------------------------------------------------
+def register_backends(registry) -> None:
+    """Self-register result renderers and corpus reports for the facade.
+
+    ``renderer`` backends take a :class:`~repro.session.ScenarioResult`
+    and return a string; the ``report`` kind serves whole-corpus
+    generators (``experiments`` is the EXPERIMENTS.md content behind
+    ``repro-hpc report``).
+    """
+    from repro.analysis.render import (
+        render_scenario_json,
+        render_scenario_markdown,
+        render_scenario_text,
+    )
+
+    registry.add("renderer", "text", render_scenario_text, aliases=("plain",))
+    registry.add("renderer", "json", render_scenario_json)
+    registry.add("renderer", "markdown", render_scenario_markdown, aliases=("md",))
+    registry.add("report", "experiments", generate_report)
+
+
+__all__.append("register_backends")

@@ -20,7 +20,14 @@ from repro.analysis import figures, tables
 from repro.core.errors import ExperimentError
 from repro.workloads.models import Suite
 
-__all__ = ["experiment_data", "write_csv", "write_json", "export_all"]
+__all__ = [
+    "experiment_data",
+    "write_csv",
+    "write_json",
+    "export_all",
+    "write_scenario",
+    "read_scenario",
+]
 
 PathLike = Union[str, pathlib.Path]
 
@@ -184,6 +191,29 @@ def write_json(experiment: str, path: PathLike) -> pathlib.Path:
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(data, indent=2), encoding="utf-8")
     return target
+
+
+def write_scenario(result, path: PathLike) -> pathlib.Path:
+    """Serialize a :class:`~repro.session.ScenarioResult` to a JSON file.
+
+    Round-trips through :func:`read_scenario`: every section and the
+    full provenance record survive; live objects (the raw training run,
+    per-job evaluations) are intentionally dropped.
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(result.to_dict(), indent=2, sort_keys=True), encoding="utf-8"
+    )
+    return target
+
+
+def read_scenario(path: PathLike):
+    """Load a :func:`write_scenario` file back into a ScenarioResult."""
+    from repro.session.result import ScenarioResult
+
+    data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    return ScenarioResult.from_dict(data)
 
 
 def export_all(directory: PathLike, *, fmt: str = "csv") -> List[pathlib.Path]:

@@ -18,8 +18,9 @@ on fossil energy) become directly testable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
+from repro.core.config import effective_pue as resolve_pue
 from repro.core.errors import ExperimentError
 from repro.core.units import HOURS_PER_YEAR
 from repro.hardware.node import NodeSpec
@@ -38,17 +39,21 @@ class Deployment:
     n_nodes: int
     intensity: Union[float, IntensityTrace]
     usage: float = 0.40
-    pue: float = 1.2
+    #: ``None`` uses the active :class:`~repro.core.config.ModelConfig`'s PUE.
+    pue: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ExperimentError(f"{self.name}: fleet must have >= 1 node")
         if not (0.0 < self.usage <= 1.0):
             raise ExperimentError(f"{self.name}: usage must be in (0, 1]")
-        if self.pue < 1.0:
+        if self.pue is not None and self.pue < 1.0:
             raise ExperimentError(f"{self.name}: PUE must be >= 1.0")
         if isinstance(self.intensity, (int, float)) and float(self.intensity) < 0.0:
             raise ExperimentError(f"{self.name}: intensity must be non-negative")
+
+    def effective_pue(self) -> float:
+        return resolve_pue(self.pue)
 
     def mean_intensity(self) -> float:
         if isinstance(self.intensity, IntensityTrace):
@@ -86,7 +91,7 @@ def evaluate_deployment(
         deployment.n_nodes * avg_node_w / 1000.0 * HOURS_PER_YEAR
     )
     operational_per_year = (
-        fleet_kwh_per_year * deployment.mean_intensity() * deployment.pue
+        fleet_kwh_per_year * deployment.mean_intensity() * deployment.effective_pue()
     )
     embodied = deployment.n_nodes * node.embodied().total_g
     total = embodied + service_years * operational_per_year

@@ -118,3 +118,45 @@ def series_panel(
             f"{label.ljust(label_width)}  {sparkline(arr)}  {first} -> {last}"
         )
     return "\n".join(lines)
+
+
+# --- Scenario/Session facade renderers -------------------------------------
+def render_scenario_text(result) -> str:
+    """Plain-text rendering of a :class:`~repro.session.ScenarioResult`."""
+    return "\n".join(result.summary_lines())
+
+
+def render_scenario_json(result) -> str:
+    """JSON rendering of a :class:`~repro.session.ScenarioResult`."""
+    import json
+
+    return json.dumps(result.to_dict(), indent=2, sort_keys=True)
+
+
+def render_scenario_markdown(result) -> str:
+    """Markdown rendering of a :class:`~repro.session.ScenarioResult`."""
+    lines = [f"## Scenario `{result.name}`", ""]
+    if result.region:
+        lines.append(f"*Region:* **{result.region}** · *seed:* {result.seed}")
+        lines.append("")
+    for line in result.summary_lines()[1:]:
+        lines.append(f"- {line.strip()}")
+    lines.append("")
+    lines.append("<details><summary>Provenance</summary>")
+    lines.append("")
+    lines.append("| knob | value | source | backend |")
+    lines.append("|---|---|---|---|")
+    for p in result.provenance:
+        lines.append(
+            f"| {p.knob} | `{p.value}` | {p.source} | {p.backend or ''} |"
+        )
+    lines.append("")
+    lines.append("</details>")
+    return "\n".join(lines)
+
+
+__all__ += [
+    "render_scenario_text",
+    "render_scenario_json",
+    "render_scenario_markdown",
+]

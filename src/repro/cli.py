@@ -7,8 +7,12 @@ Usage::
     repro-hpc table6
     repro-hpc checks               # paper-vs-measured shape checks
     repro-hpc report [-o FILE]     # full EXPERIMENTS.md content
+    repro-hpc scenario --system Frontier --region ESO   # facade studies
 
-``python -m repro ...`` is equivalent.
+``python -m repro ...`` is equivalent.  The ``report``/``audit``/
+``advise`` subcommands and the ``scenario`` study runner are thin
+wrappers over :mod:`repro.session` — the same
+:class:`~repro.session.Scenario` facade the library exposes in Python.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ import numpy as np
 
 from repro.analysis import figures, tables
 from repro.analysis.render import format_table, series_panel, share_table
-from repro.analysis.report import generate_report, run_all_checks
+from repro.analysis.report import run_all_checks
 from repro.workloads.models import Suite
 
 __all__ = ["main"]
@@ -199,6 +203,90 @@ def _print_insights() -> None:
 _EXPERIMENTS["insights"] = _print_insights
 
 
+def _run_scenario_command(args) -> int:
+    """The ``scenario`` subcommand: CLI surface of the session facade."""
+    from repro.session import (
+        BACKEND_KINDS,
+        Scenario,
+        Session,
+        available_backends,
+        resolve_backend,
+    )
+
+    if args.list_backends:
+        for kind in BACKEND_KINDS:
+            print(f"{kind}: {', '.join(available_backends(kind))}")
+        return 0
+
+    if args.sweep_regions and args.region:
+        print(
+            "scenario error: --region and --sweep-regions are mutually "
+            "exclusive; the sweep supplies the regions",
+            file=sys.stderr,
+        )
+        return 2
+
+    candidates = (
+        [code.strip() for code in args.regions.split(",")] if args.regions else None
+    )
+    renderer_key = args.renderer if args.renderer is not None else "text"
+
+    def build(region: Optional[str]) -> Scenario:
+        # Only call a setter when the operator passed the flag, so the
+        # result's provenance keeps its explicit-vs-default distinction.
+        scenario = Scenario()
+        if args.seed is not None:
+            scenario.seed(args.seed)
+        if args.usage is not None:
+            scenario.usage(args.usage)
+        if args.years is not None:
+            scenario.lifetime(years=args.years)
+        if args.renderer is not None:
+            scenario.renderer(args.renderer)
+        if args.system:
+            scenario.system(args.system)
+        if args.node:
+            scenario.node(args.node)
+        if region:
+            scenario.region(region)
+        if candidates:
+            scenario.regions(candidates)
+        if args.policies:
+            from repro.cluster import WorkloadParams
+
+            scenario.policies(args.policies.split(","))
+            # seed=None keeps the facade's default workload seed, so the
+            # CLI and the equivalent Python call draw the same jobs.
+            scenario.workload(
+                WorkloadParams(
+                    horizon_h=24.0 * args.days,
+                    total_gpus=args.gpus,
+                    home_region=region,
+                ),
+                seed=args.seed,
+            )
+        if args.upgrade:
+            scenario.upgrade(args.upgrade[0], args.upgrade[1], suite=args.suite)
+        return scenario
+
+    from repro.core.errors import ReproError
+
+    try:
+        render = resolve_backend("renderer", renderer_key)
+        if args.sweep_regions:
+            sweep = [code.strip() for code in args.sweep_regions.split(",")]
+            results = Session.run_many([build(code) for code in sweep])
+            for result in results:
+                print(render(result))
+                print()
+            return 0
+        print(render(build(args.region).run()))
+        return 0
+    except ReproError as error:
+        print(f"scenario error: {error}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return _main(argv)
@@ -252,6 +340,44 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     advise_parser.add_argument("--region", default="CISO")
     advise_parser.add_argument("--usage", type=float, default=0.40)
     advise_parser.add_argument("--lifetime", type=float, default=5.0)
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="run a Scenario through the session facade"
+    )
+    scenario_parser.add_argument("--system", default=None, help="system backend key")
+    scenario_parser.add_argument("--node", default=None, help="node backend key")
+    scenario_parser.add_argument("--region", default=None, help="Table 3 region code")
+    scenario_parser.add_argument(
+        "--regions", default=None,
+        help="comma-separated candidate regions for geographic policies",
+    )
+    scenario_parser.add_argument(
+        "--policies", default=None,
+        help="comma-separated policy backend keys (implies a workload)",
+    )
+    scenario_parser.add_argument("--days", type=float, default=28.0)
+    scenario_parser.add_argument("--gpus", type=int, default=64)
+    scenario_parser.add_argument(
+        "--upgrade", nargs=2, metavar=("OLD", "NEW"), default=None
+    )
+    scenario_parser.add_argument(
+        "--suite", choices=("NLP", "Vision", "CANDLE"), default="NLP"
+    )
+    # Defaults are None sentinels so provenance can tell a flag the
+    # operator passed from a facade default.
+    scenario_parser.add_argument("--years", type=float, default=None)
+    scenario_parser.add_argument("--usage", type=float, default=None)
+    scenario_parser.add_argument("--seed", type=int, default=None)
+    scenario_parser.add_argument(
+        "--renderer", default=None, help="renderer backend key (text/json/markdown)"
+    )
+    scenario_parser.add_argument(
+        "--sweep-regions", default=None,
+        help="comma-separated regions: run one scenario per region (batch)",
+    )
+    scenario_parser.add_argument(
+        "--list-backends", action="store_true",
+        help="print every registered backend and exit",
+    )
     models_parser = subparsers.add_parser(
         "models", help="training footprint cards for a benchmark suite"
     )
@@ -268,7 +394,9 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
 
     args = parser.parse_args(argv)
     if args.command == "list":
-        for name in list(_EXPERIMENTS) + ["report", "export", "audit", "advise", "models"]:
+        for name in list(_EXPERIMENTS) + [
+            "report", "export", "audit", "advise", "models", "scenario"
+        ]:
             print(name)
         return 0
     if args.command == "export":
@@ -279,33 +407,33 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"wrote {path}")
         return 0
     if args.command == "audit":
-        from repro.analysis.audit import CenterAuditor
-        from repro.hardware.systems import get_system
-        from repro.intensity.generator import generate_trace
+        from repro.session import Scenario
 
-        system = get_system(args.system)
-        node_counts = {"Frontier": 9408, "LUMI": 5026, "Perlmutter": 4608}
-        auditor = CenterAuditor(
-            intensity=generate_trace(args.region),
-            n_nodes=node_counts[args.system],
+        result = (
+            Scenario()
+            .system(args.system)
+            .region(args.region)
+            .lifetime(years=args.years)
+            .run()
         )
-        audit = auditor.audit(system, service_years=args.years)
-        for line in audit.summary_lines():
+        for line in result.audit.summary_lines():
             print(line)
         return 0
     if args.command == "advise":
-        from repro.intensity.generator import generate_trace
-        from repro.upgrade.advisor import UpgradeAdvisor
+        from repro.session import Scenario
 
-        intensity = (
-            args.intensity if args.intensity is not None
-            else generate_trace(args.region)
+        scenario = (
+            Scenario()
+            .upgrade(args.old, args.new, suite=args.suite)
+            .usage(args.usage)
+            .lifetime(years=args.lifetime)
         )
-        advisor = UpgradeAdvisor(intensity, usage=args.usage)
-        decision = advisor.evaluate(
-            args.old, args.new, args.suite, lifetime_years=args.lifetime
-        )
-        print(f"Upgrade {decision.old} -> {decision.new} ({decision.suite.value}):")
+        if args.intensity is not None:
+            scenario.constant_intensity(args.intensity)
+        else:
+            scenario.region(args.region)
+        decision = scenario.run().upgrade
+        print(f"Upgrade {decision.old} -> {decision.new} ({decision.suite}):")
         print(f"  performance gain : {decision.performance_gain:.1%}")
         breakeven = (
             "never" if decision.breakeven_years is None
@@ -313,9 +441,11 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         )
         print(f"  carbon breakeven : {breakeven}")
         print(f"  savings at EOL   : {decision.savings_at_lifetime:+.1%}")
-        print(f"  verdict          : {decision.verdict.value}")
+        print(f"  verdict          : {decision.verdict}")
         print(f"  rationale        : {decision.rationale}")
         return 0
+    if args.command == "scenario":
+        return _run_scenario_command(args)
     if args.command == "models":
         from repro.intensity.generator import generate_trace
         from repro.workloads.energy import model_card_table
@@ -351,7 +481,9 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 0
     if args.command == "report":
-        content = generate_report()
+        from repro.session import resolve_backend
+
+        content = resolve_backend("report", "experiments")()
         if args.output:
             with open(args.output, "w", encoding="utf-8") as handle:
                 handle.write(content)

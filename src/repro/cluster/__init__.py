@@ -32,3 +32,18 @@ __all__ = [
     "save_jobs",
     "load_jobs",
 ]
+
+
+# --- session-facade backends ------------------------------------------------
+def register_backends(registry) -> None:
+    """Self-register cluster simulators for the Scenario/Session facade.
+
+    A simulator backend is the simulation callable itself:
+    ``(jobs, cluster, *, horizon_h, intensity, pue, config)`` returning a
+    :class:`SimulationResult`.  ``fcfs`` is the paper-faithful
+    FCFS-with-earliest-fit engine.
+    """
+    registry.add("simulator", "fcfs", simulate_cluster, aliases=("default",))
+
+
+__all__.append("register_backends")

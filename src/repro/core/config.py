@@ -29,6 +29,7 @@ __all__ = [
     "get_config",
     "set_config",
     "use_config",
+    "effective_pue",
     "PAPER_FAB_YIELD",
     "PAPER_PACKAGING_GCO2_PER_IC",
     "DEFAULT_PUE",
@@ -106,6 +107,21 @@ def set_config(config: ModelConfig) -> None:
         )
     global _active_config
     _active_config = config
+
+
+def effective_pue(override: "float | None" = None) -> float:
+    """Resolve a PUE override against the active configuration.
+
+    The single place that encodes "an explicit ``pue=`` wins, otherwise
+    the active :class:`ModelConfig` supplies it" — use this instead of
+    re-implementing the fallback at every call site.
+    """
+    if override is None:
+        return get_config().pue
+    value = float(override)
+    if value < 1.0:
+        raise ConfigurationError(f"PUE must be >= 1.0, got {override!r}")
+    return value
 
 
 @contextmanager

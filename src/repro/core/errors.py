@@ -23,6 +23,8 @@ __all__ = [
     "BudgetError",
     "UpgradeAnalysisError",
     "ExperimentError",
+    "SessionError",
+    "UnknownBackendError",
 ]
 
 
@@ -116,3 +118,30 @@ class UpgradeAnalysisError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment (figure/table reproduction) could not be assembled."""
+
+
+class SessionError(ReproError):
+    """A scenario/session facade request is invalid.
+
+    Examples: a :class:`~repro.session.Scenario` missing a required knob
+    (no system/node/region for a grid-dependent study), conflicting
+    knobs (constant intensity and a synthetic source), or running an
+    already-invalidated builder.
+    """
+
+
+class UnknownBackendError(SessionError):
+    """A backend-registry lookup failed.
+
+    Carries the registry ``kind`` and the known keys so callers (and
+    error messages) can point at the available choices.
+    """
+
+    def __init__(self, kind: str, key: str, known: "tuple[str, ...]") -> None:
+        self.kind = kind
+        self.key = key
+        self.known = tuple(known)
+        choices = ", ".join(self.known) if self.known else "(none registered)"
+        super().__init__(
+            f"unknown {kind} backend {key!r}; registered: {choices}"
+        )

@@ -139,3 +139,44 @@ __all__ = [
     "DEFAULT_ANNUAL_REPLACEMENT_RATES",
     "SystemBuilder",
 ]
+
+
+# --- session-facade backends ------------------------------------------------
+#: Deployment facts for the studied systems: fabric-sizing node counts
+#: (Table 2 / the paper's audit scale) used when a scenario does not
+#: override them.
+_SYSTEM_NODE_COUNTS = {"Frontier": 9408, "LUMI": 5026, "Perlmutter": 4608}
+
+
+def register_backends(registry) -> None:
+    """Self-register hardware backends (``system`` and ``node`` kinds).
+
+    Called once by :func:`repro.session.registry.ensure_default_backends`;
+    third-party hardware plugs into the same registry the same way.
+    """
+    from repro.session.types import SystemDeployment
+
+    def system_factory(build, nics: int):
+        def factory() -> SystemDeployment:
+            spec = build()
+            return SystemDeployment(
+                spec=spec,
+                n_nodes=_SYSTEM_NODE_COUNTS[spec.name],
+                nics_per_node=nics,
+            )
+
+        return factory
+
+    # Frontier nodes carry 4 Slingshot NICs; LUMI/Perlmutter GPU nodes
+    # are modeled with 1 (consistent with the audit example/benchmarks).
+    registry.add("system", "frontier", system_factory(frontier, nics=4))
+    registry.add("system", "lumi", system_factory(lumi, nics=1))
+    registry.add("system", "perlmutter", system_factory(perlmutter, nics=1))
+    for generation in ("P100", "V100", "A100"):
+        registry.add(
+            "node", generation,
+            lambda generation=generation: get_node_generation(generation),
+        )
+
+
+__all__.append("register_backends")

@@ -19,6 +19,8 @@ from repro.intensity.generator import (
     ar1_noise,
     generate_all_traces,
     generate_trace,
+    trace_cache_clear,
+    trace_cache_info,
 )
 from repro.intensity.mix import (
     SOURCE_INTENSITY_G_PER_KWH,
@@ -53,6 +55,8 @@ __all__ = [
     "generate_all_traces",
     "ar1_noise",
     "DEFAULT_SEED",
+    "trace_cache_info",
+    "trace_cache_clear",
     "RegionStats",
     "annual_summary",
     "rank_by_median",
@@ -72,3 +76,44 @@ __all__ = [
     "DecarbonizationScenario",
     "upgrade_breakeven_with_decarbonization",
 ]
+
+
+# --- session-facade backends ------------------------------------------------
+def register_backends(registry) -> None:
+    """Self-register intensity sources for the Scenario/Session facade.
+
+    * ``synthetic`` (alias ``table3``) — the calibrated 2021 trace set
+      behind a :class:`CarbonIntensityService` (memoized per seed).
+    * ``oracle`` — the same traces with perfect forecasts.
+    * ``constant`` — a flat grid for exactness studies; takes ``value``
+      and the ``regions`` codes to serve.
+    """
+
+    def synthetic(*, seed=DEFAULT_SEED, forecast_error=0.03, **_):
+        return CarbonIntensityService(forecast_error=forecast_error, seed=seed)
+
+    def oracle(*, seed=DEFAULT_SEED, forecast_error=0.0, **_):
+        del forecast_error  # an oracle never errs
+        return CarbonIntensityService(forecast_error=0.0, seed=seed)
+
+    def constant(*, value, regions, seed=DEFAULT_SEED, forecast_error=0.0, **_):
+        import numpy as _np
+
+        traces = {
+            code: IntensityTrace(
+                region_code=code,
+                tz_offset_hours=0,
+                values=_np.full(HOURS_PER_STUDY_YEAR, float(value)),
+            )
+            for code in regions
+        }
+        return CarbonIntensityService(
+            traces, forecast_error=forecast_error, seed=seed
+        )
+
+    registry.add("intensity", "synthetic", synthetic, aliases=("table3",))
+    registry.add("intensity", "oracle", oracle)
+    registry.add("intensity", "constant", constant)
+
+
+__all__.append("register_backends")

@@ -21,7 +21,8 @@ independent across regions.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, Optional
+from functools import lru_cache
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -35,6 +36,8 @@ __all__ = [
     "generate_all_traces",
     "ar1_noise",
     "DEFAULT_SEED",
+    "trace_cache_info",
+    "trace_cache_clear",
 ]
 
 #: Library-wide default seed for the 2021 study traces.
@@ -137,14 +140,45 @@ def generate_trace(
     )
 
 
+@lru_cache(maxsize=64)
+def _cached_traces(
+    codes: Tuple[str, ...], n_hours: int, seed: int
+) -> Tuple[IntensityTrace, ...]:
+    """Memoized trace set for one (regions, n_hours, seed) signature.
+
+    Every :class:`~repro.intensity.api.CarbonIntensityService` (and each
+    batch :meth:`~repro.session.Session.run_many` sweep) used to
+    regenerate the full Table 3 set from scratch; the LRU makes repeat
+    construction O(dict-copy).  Traces are immutable records sharing one
+    ndarray, so handing the same objects to every caller is safe.
+    """
+    return tuple(
+        generate_trace(code, n_hours=n_hours, seed=seed) for code in codes
+    )
+
+
 def generate_all_traces(
     *,
     regions: Optional[Iterable[str]] = None,
     n_hours: int = HOURS_PER_STUDY_YEAR,
     seed: int = DEFAULT_SEED,
 ) -> Dict[str, IntensityTrace]:
-    """Generate traces for several regions (default: all of Table 3)."""
-    codes = list(regions) if regions is not None else list(REGIONS)
-    return {
-        code: generate_trace(code, n_hours=n_hours, seed=seed) for code in codes
-    }
+    """Generate traces for several regions (default: all of Table 3).
+
+    Results are memoized module-wide on ``(regions, n_hours, seed)``;
+    the returned dict is a fresh copy each call, the traces themselves
+    are shared.  Use :func:`trace_cache_info` / :func:`trace_cache_clear`
+    to observe or reset the cache (benchmarks and tests do).
+    """
+    codes = tuple(regions) if regions is not None else tuple(REGIONS)
+    return dict(zip(codes, _cached_traces(codes, int(n_hours), int(seed))))
+
+
+def trace_cache_info():
+    """``functools.lru_cache`` statistics of the memoized trace sets."""
+    return _cached_traces.cache_info()
+
+
+def trace_cache_clear() -> None:
+    """Drop every memoized trace set (tests and ablations)."""
+    _cached_traces.cache_clear()

@@ -21,6 +21,7 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
+from repro.core.config import effective_pue
 from repro.core.errors import TraceError, UpgradeAnalysisError
 from repro.core.units import HOURS_PER_YEAR
 from repro.upgrade.scenario import UpgradeScenario
@@ -147,7 +148,7 @@ def upgrade_breakeven_with_decarbonization(
     scenario: DecarbonizationScenario,
     *,
     usage: float = 0.40,
-    pue: float = 1.2,
+    pue: Optional[float] = None,
     horizon_years: float = 15.0,
 ) -> Optional[float]:
     """Fig. 8 breakeven under a decarbonizing grid.
@@ -155,10 +156,13 @@ def upgrade_breakeven_with_decarbonization(
     The savings rate is proportional to the *future* intensity, so a
     declining grid stretches amortization beyond the constant-intensity
     answer (tests assert the ordering).  Returns ``None`` if the upgrade
-    never amortizes within ``horizon_years``.
+    never amortizes within ``horizon_years``.  ``pue`` defaults to the
+    active :class:`~repro.core.config.ModelConfig`'s value, so
+    ``use_config(...)`` reaches this analysis too.
     """
     if horizon_years <= 0.0:
         raise UpgradeAnalysisError("horizon must be positive")
+    pue = effective_pue(pue)
     base = UpgradeScenario.from_generations(
         old, new, Suite(suite) if isinstance(suite, str) else suite,
         usage=usage, intensity=scenario.start_intensity_g_per_kwh, pue=pue,

@@ -51,3 +51,44 @@ __all__ = [
     "transfer_energy_kwh",
     "transfer_carbon_g",
 ]
+
+
+# --- session-facade backends ------------------------------------------------
+def register_backends(registry) -> None:
+    """Self-register scheduling policies for the Scenario/Session facade.
+
+    Policy factories take ``(service, default_region, regions=None)`` and
+    return a :class:`SchedulingPolicy`.  ``carbon_aware`` is the paper's
+    headline joint policy (alias of ``temporal+geographic``).
+    """
+
+    def oblivious(service, default_region, regions=None):
+        del regions
+        return CarbonObliviousPolicy(service, default_region)
+
+    def temporal(service, default_region, regions=None):
+        del regions
+        return TemporalShiftingPolicy(service, default_region)
+
+    def geographic(service, default_region, regions=None):
+        return GeographicPolicy(service, default_region, regions=regions)
+
+    def temporal_geographic(service, default_region, regions=None):
+        return TemporalGeographicPolicy(service, default_region, regions=regions)
+
+    registry.add(
+        "policy", "carbon-oblivious", oblivious, aliases=("baseline", "oblivious")
+    )
+    registry.add(
+        "policy", "temporal-shifting", temporal, aliases=("temporal",)
+    )
+    registry.add("policy", "geographic", geographic, aliases=("geo",))
+    registry.add(
+        "policy",
+        "temporal+geographic",
+        temporal_geographic,
+        aliases=("carbon_aware", "carbon-aware", "temporal_geographic"),
+    )
+
+
+__all__.append("register_backends")

@@ -1,0 +1,47 @@
+"""Built-in backend loading.
+
+Each layer subpackage owns a ``register_backends(registry)`` hook that
+adds its backends; this module only orchestrates the one-time load (see
+:func:`repro.session.registry.ensure_default_backends`).  Factory
+calling conventions, per kind:
+
+``system``
+    ``factory() -> SystemDeployment`` — the BOM plus deployment facts
+    (node count, NICs per node) used by audits.
+``node``
+    ``factory() -> NodeSpec`` — a Table 5 node generation.
+``intensity``
+    ``factory(*, seed, forecast_error, **opts) -> CarbonIntensityService``.
+    The ``constant`` backend additionally takes ``value`` and ``regions``.
+``policy``
+    ``factory(service, default_region, regions=None) -> policy`` — an
+    object satisfying :class:`~repro.scheduler.policies.SchedulingPolicy`.
+``simulator``
+    the callable itself: ``(jobs, cluster, *, horizon_h, intensity,
+    pue, config) -> SimulationResult``.
+``renderer``
+    ``factory(result) -> str`` for a :class:`ScenarioResult`.
+``report``
+    ``factory() -> str`` — a whole-corpus report (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.registry import BackendRegistry
+
+__all__ = ["load_builtin_backends"]
+
+
+def load_builtin_backends(registry: "BackendRegistry") -> None:
+    """Invoke every layer's ``register_backends`` hook exactly once."""
+    import repro.analysis as analysis
+    import repro.cluster as cluster
+    import repro.hardware as hardware
+    import repro.intensity as intensity
+    import repro.scheduler as scheduler
+
+    for layer in (hardware, intensity, scheduler, cluster, analysis):
+        layer.register_backends(registry)

@@ -1,0 +1,283 @@
+"""Typed results of a facade run.
+
+A :class:`ScenarioResult` is the single return value of
+:meth:`~repro.session.Session.run`: every section the scenario asked for
+(embodied inventory, whole-center audit, training characterization,
+scheduling comparison, cluster simulation, upgrade advice) plus the
+*provenance* of every configuration knob — whether it was set
+explicitly, inherited from a default, and which registry backend
+resolved it.
+
+Sections hold plain floats/strings/dicts so the whole result serializes
+losslessly through :func:`repro.analysis.export.write_scenario` /
+:func:`~repro.analysis.export.read_scenario`; rich library objects that
+back a section (the :class:`~repro.workloads.runner.TrainingResult`, the
+per-job :class:`~repro.scheduler.evaluation.PolicyEvaluation`) ride
+along in non-compared fields for callers that need them live.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.analysis.audit import CenterAudit
+from repro.core.errors import SessionError
+from repro.core.units import format_co2
+
+__all__ = [
+    "Provenance",
+    "EmbodiedSection",
+    "TrainingSection",
+    "PolicyOutcome",
+    "SchedulingSection",
+    "ClusterSection",
+    "UpgradeSection",
+    "ScenarioResult",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Provenance:
+    """Where one configuration knob's value came from.
+
+    ``source`` is ``"explicit"`` (set on the builder) or ``"default"``;
+    ``backend`` names the registry entry that resolved the value
+    (``"system:frontier"``) when one was involved.
+    """
+
+    knob: str
+    value: str
+    source: str
+    backend: Optional[str] = None
+
+
+@dataclass(frozen=True, slots=True)
+class EmbodiedSection:
+    """Embodied carbon of the scenario's hardware subject."""
+
+    subject: str
+    manufacturing_g: float
+    packaging_g: float
+    by_class_g: Dict[str, float]
+
+    @property
+    def total_g(self) -> float:
+        return self.manufacturing_g + self.packaging_g
+
+    def shares(self) -> Dict[str, float]:
+        total = sum(self.by_class_g.values())
+        if total == 0.0:
+            return {cls: 0.0 for cls in self.by_class_g}
+        return {cls: g / total for cls, g in self.by_class_g.items()}
+
+
+@dataclass(frozen=True)
+class TrainingSection:
+    """One simulated training run, with the Eq. 1 embodied/operational split."""
+
+    model: str
+    node: str
+    n_gpus: int
+    epochs: int
+    duration_h: float
+    energy_kwh: float
+    operational_g: float
+    node_embodied_g: float
+    #: The live run object (meter samples, throughput); not serialized.
+    result: Any = field(default=None, compare=False, repr=False)
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyOutcome:
+    """Aggregate outcome of one scheduling policy over the workload."""
+
+    policy: str
+    carbon_g: float
+    energy_kwh: float
+    savings_fraction: float
+    mean_delay_h: float
+    migrations: int
+
+
+@dataclass(frozen=True)
+class SchedulingSection:
+    """Policy comparison on one workload (savings vs the baseline)."""
+
+    baseline: str
+    n_jobs: int
+    gpu_hours: float
+    outcomes: Tuple[PolicyOutcome, ...]
+    #: Live per-job evaluations keyed by policy name; not serialized.
+    evaluations: Any = field(default=None, compare=False, repr=False)
+
+    def best(self) -> PolicyOutcome:
+        if not self.outcomes:
+            raise SessionError("scheduling section has no outcomes")
+        return min(self.outcomes, key=lambda o: o.carbon_g)
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSection:
+    """Capacity-constrained cluster simulation of the workload."""
+
+    simulator: str
+    n_nodes: int
+    horizon_h: float
+    n_jobs: int
+    ic_energy_kwh: float
+    carbon_g: float
+    average_usage: float
+    mean_wait_h: float
+
+
+@dataclass(frozen=True, slots=True)
+class UpgradeSection:
+    """Carbon-aware upgrade recommendation."""
+
+    old: str
+    new: str
+    suite: str
+    performance_gain: float
+    breakeven_years: Optional[float]
+    savings_at_lifetime: float
+    verdict: str
+    rationale: str
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one scenario produced, plus how it was configured."""
+
+    name: str
+    region: Optional[str]
+    seed: int
+    embodied: Optional[EmbodiedSection] = None
+    audit: Optional[CenterAudit] = None
+    training: Optional[TrainingSection] = None
+    scheduling: Optional[SchedulingSection] = None
+    cluster: Optional[ClusterSection] = None
+    upgrade: Optional[UpgradeSection] = None
+    provenance: Tuple[Provenance, ...] = ()
+
+    # --- presentation -----------------------------------------------------
+    def summary_lines(self) -> list[str]:
+        """Human-readable digest (the ``text`` renderer's body)."""
+        lines = [f"Scenario {self.name!r}" + (f" — region {self.region}" if self.region else "")]
+        if self.embodied is not None:
+            lines.append(
+                f"  embodied ({self.embodied.subject}): "
+                f"{format_co2(self.embodied.total_g)}"
+            )
+            for cls, share in self.embodied.shares().items():
+                lines.append(f"    {cls:5s} {share:6.1%}")
+        if self.audit is not None:
+            lines.extend("  " + line for line in self.audit.summary_lines())
+        if self.training is not None:
+            t = self.training
+            lines.append(
+                f"  training {t.model} x{t.epochs} epochs on {t.node}: "
+                f"{t.duration_h:.2f} h, {t.energy_kwh:.1f} kWh, "
+                f"{format_co2(t.operational_g)} operational"
+            )
+        if self.scheduling is not None:
+            s = self.scheduling
+            lines.append(
+                f"  scheduling ({s.n_jobs} jobs, {s.gpu_hours:,.0f} GPU-hours, "
+                f"baseline {s.baseline}):"
+            )
+            for outcome in s.outcomes:
+                lines.append(
+                    f"    {outcome.policy:22s} {format_co2(outcome.carbon_g):>12s} "
+                    f"({outcome.savings_fraction:+.1%}, "
+                    f"delay {outcome.mean_delay_h:.1f} h, "
+                    f"{outcome.migrations} migrated)"
+                )
+        if self.cluster is not None:
+            c = self.cluster
+            lines.append(
+                f"  cluster sim ({c.simulator}, {c.n_nodes} nodes, "
+                f"{c.horizon_h:.0f} h): {c.ic_energy_kwh:,.0f} kWh, "
+                f"{format_co2(c.carbon_g)}, usage {c.average_usage:.1%}, "
+                f"wait {c.mean_wait_h:.1f} h"
+            )
+        if self.upgrade is not None:
+            u = self.upgrade
+            breakeven = (
+                "never" if u.breakeven_years is None else f"{u.breakeven_years:.2f} yr"
+            )
+            lines.append(
+                f"  upgrade {u.old} -> {u.new} ({u.suite}): breakeven {breakeven}, "
+                f"EOL savings {u.savings_at_lifetime:+.1%} — {u.verdict}"
+            )
+        return lines
+
+    # --- serialization ----------------------------------------------------
+    @staticmethod
+    def _plain(obj):
+        """JSON-able view of a section, skipping non-compared fields.
+
+        Unlike ``dataclasses.asdict``, this never recurses into the live
+        payloads (``result``, ``evaluations``), so serializing a result
+        stays O(summary) instead of deep-copying the whole workload.
+        """
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            return {
+                f.name: ScenarioResult._plain(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+                if f.compare
+            }
+        if isinstance(obj, (list, tuple)):
+            return [ScenarioResult._plain(item) for item in obj]
+        if isinstance(obj, dict):
+            return {key: ScenarioResult._plain(value) for key, value in obj.items()}
+        return obj
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able dict (live objects in non-compared fields dropped)."""
+
+        def section(value) -> Optional[Dict[str, Any]]:
+            return None if value is None else self._plain(value)
+
+        return {
+            "name": self.name,
+            "region": self.region,
+            "seed": self.seed,
+            "embodied": section(self.embodied),
+            "audit": section(self.audit),
+            "training": section(self.training),
+            "scheduling": section(self.scheduling),
+            "cluster": section(self.cluster),
+            "upgrade": section(self.upgrade),
+            "provenance": [self._plain(p) for p in self.provenance],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output (JSON round-trip)."""
+
+        def load(section_cls, payload, **post):
+            if payload is None:
+                return None
+            payload = dict(payload, **post)
+            if section_cls is SchedulingSection:
+                payload["outcomes"] = tuple(
+                    PolicyOutcome(**o) for o in payload.get("outcomes", ())
+                )
+            return section_cls(**payload)
+
+        return cls(
+            name=str(data["name"]),
+            region=data.get("region"),
+            seed=int(data["seed"]),
+            embodied=load(EmbodiedSection, data.get("embodied")),
+            audit=load(CenterAudit, data.get("audit")),
+            training=load(TrainingSection, data.get("training")),
+            scheduling=load(SchedulingSection, data.get("scheduling")),
+            cluster=load(ClusterSection, data.get("cluster")),
+            upgrade=load(UpgradeSection, data.get("upgrade")),
+            provenance=tuple(
+                Provenance(**p) for p in data.get("provenance", ())
+            ),
+        )

@@ -1,0 +1,360 @@
+"""The fluent :class:`Scenario` builder.
+
+A scenario declares *what to study* — a system or node, a region, a
+workload, policies, an upgrade — with string keys resolved through the
+backend registry, then :meth:`Scenario.build` freezes it into an
+immutable :class:`~repro.session.session.Session`:
+
+    from repro.session import Scenario
+
+    result = (
+        Scenario()
+        .system("frontier")
+        .region("ESO")
+        .policy("carbon_aware")
+        .workload(WorkloadParams(horizon_h=24 * 28), seed=2021)
+        .node("V100")
+        .run()
+    )
+    print(result.scheduling.best().policy)
+
+Every setter records provenance, so the resulting
+:class:`~repro.session.result.ScenarioResult` can say for each knob
+whether it was explicit or defaulted and which backend served it.
+Validation happens at :meth:`build` time: missing requirements
+(a system without a region, training without a node) and conflicting
+knobs (a constant intensity *and* a synthetic source) raise
+:class:`~repro.core.errors.SessionError` before any computation runs.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Union
+
+from repro.core.config import ModelConfig
+from repro.core.errors import SessionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.result import ScenarioResult
+    from repro.session.session import Session
+
+__all__ = ["Scenario"]
+
+#: Registry key of the always-evaluated scheduling baseline.
+BASELINE_POLICY = "carbon-oblivious"
+
+_DEFAULT_SEED = 2021  # repro.intensity.generator.DEFAULT_SEED (kept literal
+# here so importing the builder does not pull the intensity stack).
+_DEFAULT_FORECAST_ERROR = 0.03
+_DEFAULT_USAGE = 0.40
+_DEFAULT_LIFETIME_YEARS = 5.0
+_DEFAULT_WORKLOAD_SEED = 7
+
+
+class Scenario:
+    """Mutable builder; every setter returns ``self`` for chaining."""
+
+    def __init__(self) -> None:
+        self._explicit: set[str] = set()
+        self._name: Optional[str] = None
+        self._system: Optional[Union[str, Any]] = None
+        self._node: Optional[Union[str, Any]] = None
+        self._region: Optional[str] = None
+        self._regions: Optional[List[str]] = None
+        self._intensity_source: str = "synthetic"
+        self._constant_intensity: Optional[float] = None
+        self._seed: int = _DEFAULT_SEED
+        self._forecast_error: float = _DEFAULT_FORECAST_ERROR
+        self._policies: List[Union[str, Any]] = []
+        self._workload: Optional[Any] = None
+        self._workload_seed: int = _DEFAULT_WORKLOAD_SEED
+        self._training: Optional[dict] = None
+        self._upgrade: Optional[dict] = None
+        self._cluster_nodes: Optional[int] = None
+        self._simulator: str = "fcfs"
+        self._window_h: Optional[float] = None
+        self._lifetime_years: float = _DEFAULT_LIFETIME_YEARS
+        self._usage: float = _DEFAULT_USAGE
+        self._pue: Optional[float] = None
+        self._config: Optional[ModelConfig] = None
+        self._lifecycle: Optional[Any] = None
+        self._n_nodes: Optional[int] = None
+        self._nics_per_node: Optional[int] = None
+        self._renderer: str = "text"
+
+    # --- internals --------------------------------------------------------
+    def _set(self, knob: str, value) -> "Scenario":
+        setattr(self, f"_{knob}", value)
+        self._explicit.add(knob)
+        return self
+
+    # --- subject ---------------------------------------------------------
+    def name(self, name: str) -> "Scenario":
+        """Label carried into the result (default: derived from knobs)."""
+        return self._set("name", str(name))
+
+    def system(self, system: Union[str, Any]) -> "Scenario":
+        """Study a whole system: a ``system`` registry key (``"frontier"``)
+        or an explicit :class:`~repro.hardware.systems.SystemSpec`."""
+        return self._set("system", system)
+
+    def node(self, node: Union[str, Any]) -> "Scenario":
+        """Node generation for workloads/training: a ``node`` registry key
+        (``"A100"``) or an explicit :class:`~repro.hardware.node.NodeSpec`."""
+        return self._set("node", node)
+
+    # --- grid ------------------------------------------------------------
+    def region(self, code: str) -> "Scenario":
+        """Home grid region (Table 3 code, e.g. ``"ESO"`` for the UK)."""
+        return self._set("region", str(code))
+
+    def regions(self, codes: Iterable[str]) -> "Scenario":
+        """Candidate regions for geographic policies (default: all served)."""
+        return self._set("regions", [str(c) for c in codes])
+
+    def intensity_source(self, key: str) -> "Scenario":
+        """``intensity`` registry key (default ``"synthetic"``)."""
+        return self._set("intensity_source", str(key))
+
+    def constant_intensity(self, g_per_kwh: float) -> "Scenario":
+        """Flat grid intensity instead of a generated trace."""
+        value = float(g_per_kwh)
+        if value < 0.0:
+            raise SessionError(
+                f"constant intensity must be non-negative, got {value!r}"
+            )
+        return self._set("constant_intensity", value)
+
+    def seed(self, seed: int) -> "Scenario":
+        """Trace-generation seed (default: the 2021 study seed)."""
+        return self._set("seed", int(seed))
+
+    def forecast_error(self, fraction: float) -> "Scenario":
+        """1-hour-ahead relative forecast error (0.0 = oracle)."""
+        if fraction < 0.0:
+            raise SessionError("forecast error must be non-negative")
+        return self._set("forecast_error", float(fraction))
+
+    # --- work ------------------------------------------------------------
+    def workload(self, workload: Any, *, seed: Optional[int] = None) -> "Scenario":
+        """Jobs to schedule: :class:`~repro.cluster.WorkloadParams` (drawn
+        with ``seed``) or an explicit job sequence."""
+        self._set("workload", workload)
+        if seed is not None:
+            self._set("workload_seed", int(seed))
+        return self
+
+    def policy(self, policy: Union[str, Any]) -> "Scenario":
+        """Add one scheduling policy (``policy`` registry key or object)."""
+        self._policies = [*self._policies, policy]
+        self._explicit.add("policies")
+        return self
+
+    def policies(self, policies: Sequence[Union[str, Any]]) -> "Scenario":
+        """Replace the policy list (evaluated in order, baseline first)."""
+        self._policies = list(policies)
+        self._explicit.add("policies")
+        return self
+
+    def training(
+        self,
+        model: str,
+        *,
+        epochs: int = 1,
+        n_gpus: Optional[int] = None,
+    ) -> "Scenario":
+        """Characterize one training run (Table 4 model on the node)."""
+        if epochs < 1:
+            raise SessionError(f"epochs must be >= 1, got {epochs}")
+        return self._set(
+            "training", {"model": str(model), "epochs": int(epochs), "n_gpus": n_gpus}
+        )
+
+    def upgrade(self, old: str, new: str, *, suite: str = "NLP") -> "Scenario":
+        """Ask for a carbon-aware upgrade recommendation."""
+        if str(old) == str(new):
+            raise SessionError("upgrade endpoints must differ")
+        return self._set(
+            "upgrade", {"old": str(old), "new": str(new), "suite": str(suite)}
+        )
+
+    def cluster(self, n_nodes: int, *, simulator: str = "fcfs") -> "Scenario":
+        """Also run the workload through a capacity-constrained cluster
+        simulator (``simulator`` registry key)."""
+        if int(n_nodes) < 1:
+            raise SessionError("cluster needs >= 1 node")
+        self._set("cluster_nodes", int(n_nodes))
+        return self._set("simulator", str(simulator))
+
+    # --- horizons and knobs ----------------------------------------------
+    def window(
+        self, *, hours: Optional[float] = None, days: Optional[float] = None
+    ) -> "Scenario":
+        """Scheduling/simulation horizon (default: the workload's)."""
+        if (hours is None) == (days is None):
+            raise SessionError("window takes exactly one of hours= or days=")
+        value = float(hours) if hours is not None else float(days) * 24.0
+        if value <= 0.0:
+            raise SessionError(f"window must be positive, got {value!r}")
+        return self._set("window_h", value)
+
+    def lifetime(self, years: float) -> "Scenario":
+        """Service life for audits and upgrade analyses (default 5)."""
+        if float(years) <= 0.0:
+            raise SessionError(f"lifetime must be positive, got {years!r}")
+        return self._set("lifetime_years", float(years))
+
+    def usage(self, fraction: float) -> "Scenario":
+        """GPU duty cycle (paper medium: 0.40)."""
+        if not (0.0 < float(fraction) <= 1.0):
+            raise SessionError(f"usage must be in (0, 1], got {fraction!r}")
+        return self._set("usage", float(fraction))
+
+    def pue(self, value: float) -> "Scenario":
+        """Override the configured facility PUE."""
+        if float(value) < 1.0:
+            raise SessionError(f"PUE must be >= 1.0, got {value!r}")
+        return self._set("pue", float(value))
+
+    def config(self, config: ModelConfig) -> "Scenario":
+        """Model constants for every layer this scenario touches."""
+        if not isinstance(config, ModelConfig):
+            raise SessionError(
+                f"expected ModelConfig, got {type(config).__name__}"
+            )
+        return self._set("config", config)
+
+    def lifecycle(self, phases: Any) -> "Scenario":
+        """Shipment/installation/EOL phases for the audit."""
+        return self._set("lifecycle", phases)
+
+    def n_nodes(self, count: int) -> "Scenario":
+        """Override the registered system's node count."""
+        if int(count) < 0:
+            raise SessionError("n_nodes must be non-negative")
+        return self._set("n_nodes", int(count))
+
+    def nics_per_node(self, count: int) -> "Scenario":
+        """Fabric endpoints per node for the interconnect estimate."""
+        if int(count) < 1:
+            raise SessionError("nics_per_node must be >= 1")
+        return self._set("nics_per_node", int(count))
+
+    def renderer(self, key: str) -> "Scenario":
+        """``renderer`` registry key for :meth:`Session.render`."""
+        return self._set("renderer", str(key))
+
+    # --- finalization -----------------------------------------------------
+    def _validate(self) -> None:
+        if not any(
+            (
+                self._system is not None,
+                self._node is not None,
+                self._training is not None,
+                self._workload is not None,
+                self._upgrade is not None,
+            )
+        ):
+            raise SessionError(
+                "scenario requests nothing to compute; set at least one of "
+                ".system(), .node(), .training(), .workload(), .upgrade()"
+            )
+        if (
+            "intensity_source" in self._explicit
+            and self._constant_intensity is not None
+        ):
+            raise SessionError(
+                "conflicting knobs: .intensity_source() and "
+                ".constant_intensity() are mutually exclusive"
+            )
+        if self._system is not None and self._region is None:
+            raise SessionError(
+                "a system study needs a grid: set .region(<Table 3 code>)"
+            )
+        if self._training is not None and self._node is None:
+            raise SessionError(".training() requires .node(<generation>)")
+        if self._workload is not None:
+            if self._node is None:
+                raise SessionError(".workload() requires .node(<generation>)")
+            if self._region is None:
+                raise SessionError(".workload() requires .region(<code>)")
+        if self._policies and self._workload is None:
+            raise SessionError("policies without a workload: set .workload(...)")
+        if self._cluster_nodes is not None and self._workload is None:
+            raise SessionError(".cluster() requires .workload(...)")
+        if self._window_h is not None and self._workload is None:
+            raise SessionError(".window() only applies to workload scenarios")
+        if (
+            self._training is not None
+            and self._region is None
+            and self._constant_intensity is None
+        ):
+            raise SessionError(
+                ".training() needs a grid: set .region() or "
+                ".constant_intensity()"
+            )
+        if (
+            self._upgrade is not None
+            and self._region is None
+            and self._constant_intensity is None
+        ):
+            raise SessionError(
+                ".upgrade() needs a grid: set .region() or "
+                ".constant_intensity()"
+            )
+
+    def _derived_name(self) -> str:
+        if self._name is not None:
+            return self._name
+        subject = None
+        if self._system is not None:
+            subject = self._system if isinstance(self._system, str) else getattr(
+                self._system, "name", "system"
+            )
+        elif self._training is not None:
+            subject = self._training["model"]
+        elif self._upgrade is not None:
+            subject = f"{self._upgrade['old']}->{self._upgrade['new']}"
+        elif self._node is not None:
+            subject = self._node if isinstance(self._node, str) else getattr(
+                self._node, "name", "node"
+            )
+        grid = self._region if self._region is not None else (
+            f"{self._constant_intensity:g}g" if self._constant_intensity is not None else None
+        )
+        parts = [p for p in (subject, grid) if p]
+        return "@".join(parts) if parts else "scenario"
+
+    def _snapshot(self) -> "Scenario":
+        """A builder clone the Session can keep without aliasing risk.
+
+        Containers the setters mutate are copied; payloads (workload
+        params, job lists' elements, policy objects, configs) are
+        immutable or caller-owned and shared by reference — deep-copying
+        a month-scale job list or a policy's trace set per build would
+        defeat the batch-sweep economics.
+        """
+        clone = copy.copy(self)
+        clone._explicit = set(self._explicit)
+        clone._policies = list(self._policies)
+        if self._regions is not None:
+            clone._regions = list(self._regions)
+        if self._training is not None:
+            clone._training = dict(self._training)
+        if self._upgrade is not None:
+            clone._upgrade = dict(self._upgrade)
+        if isinstance(self._workload, (list, tuple)):
+            clone._workload = list(self._workload)
+        return clone
+
+    def build(self) -> "Session":
+        """Validate, resolve every registry key, and freeze a Session."""
+        from repro.session.session import Session
+
+        self._validate()
+        return Session._from_scenario(self._snapshot())
+
+    def run(self) -> "ScenarioResult":
+        """Shorthand for ``.build().run()``."""
+        return self.build().run()

@@ -1,0 +1,468 @@
+"""Immutable, resolved sessions: the execution half of the facade.
+
+:meth:`Scenario.build` resolves every registry key against the backend
+registry and freezes the outcome here.  A :class:`Session` then runs the
+estimation/simulation pipeline — embodied inventory, whole-center audit,
+training characterization, scheduling comparison, cluster simulation,
+upgrade advice — and returns one typed
+:class:`~repro.session.result.ScenarioResult`.
+
+Batch evaluation (:meth:`Session.run_many`) sweeps N scenarios while
+constructing the regional intensity traces **once per unique seed**: the
+trace sets behind every
+:class:`~repro.intensity.api.CarbonIntensityService` come from the
+module-level memo in :mod:`repro.intensity.generator`, so a 5-region ×
+3-policy sweep pays for one generation, not fifteen.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.errors import SessionError
+from repro.session.registry import resolve_backend
+from repro.session.result import (
+    ClusterSection,
+    EmbodiedSection,
+    PolicyOutcome,
+    Provenance,
+    ScenarioResult,
+    SchedulingSection,
+    TrainingSection,
+    UpgradeSection,
+)
+from repro.session.scenario import BASELINE_POLICY, Scenario
+from repro.session.types import SystemDeployment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.intensity.api import CarbonIntensityService
+
+__all__ = ["Session", "run_scenario"]
+
+
+class Session:
+    """A frozen, fully resolved scenario, ready to run.
+
+    Construct via :meth:`Scenario.build` — the initializer is private.
+    Attribute writes after construction raise, keeping the resolved
+    state trustworthy as the provenance record claims it is.
+    """
+
+    _sealed = False
+
+    def __init__(self) -> None:  # pragma: no cover - guarded constructor
+        raise SessionError("Session is built via Scenario().build()")
+
+    def __setattr__(self, name: str, value) -> None:
+        if self._sealed:
+            raise SessionError("Session is immutable; build a new Scenario")
+        object.__setattr__(self, name, value)
+
+    # --- construction -----------------------------------------------------
+    @classmethod
+    def _from_scenario(cls, scenario: Scenario) -> "Session":
+        self = object.__new__(cls)
+        s = scenario
+        self._scenario = s
+        self._name = s._derived_name()
+        self._provenance: List[Provenance] = []
+
+        def note(knob: str, value, *, backend: Optional[str] = None) -> None:
+            source = "explicit" if knob in s._explicit else "default"
+            self._provenance.append(
+                Provenance(knob=knob, value=repr(value), source=source, backend=backend)
+            )
+
+        # Subject hardware.
+        self._deployment: Optional[SystemDeployment] = None
+        if s._system is not None:
+            if isinstance(s._system, str):
+                self._deployment = resolve_backend("system", s._system)()
+                if not isinstance(self._deployment, SystemDeployment):
+                    raise SessionError(
+                        f"system backend {s._system!r} returned "
+                        f"{type(self._deployment).__name__}, expected "
+                        "SystemDeployment"
+                    )
+                note("system", self._deployment.spec.name, backend=f"system:{s._system.lower()}")
+            else:
+                from repro.hardware.systems import SystemSpec
+
+                if not isinstance(s._system, SystemSpec):
+                    raise SessionError(
+                        f"system must be a registry key or SystemSpec, got "
+                        f"{type(s._system).__name__}"
+                    )
+                # An explicit spec whose name matches a registered system
+                # inherits that backend's deployment facts (node count,
+                # NICs), so spec-vs-key calls audit identically; unknown
+                # specs get no fabric unless .n_nodes() is set.
+                try:
+                    registered = resolve_backend("system", s._system.name)()
+                    facts = (registered.n_nodes, registered.nics_per_node)
+                except SessionError:
+                    facts = (0, 1)
+                self._deployment = SystemDeployment(
+                    spec=s._system, n_nodes=facts[0], nics_per_node=facts[1]
+                )
+                note("system", s._system.name)
+
+        self._node = None
+        if s._node is not None:
+            if isinstance(s._node, str):
+                self._node = resolve_backend("node", s._node)()
+                note("node", self._node.name, backend=f"node:{s._node.lower()}")
+            else:
+                self._node = s._node
+                note("node", getattr(s._node, "name", s._node))
+
+        # Grid service.
+        note("seed", s._seed)
+        self._service: Optional["CarbonIntensityService"] = None
+        if s._constant_intensity is not None:
+            note("intensity", f"constant {s._constant_intensity:g} gCO2/kWh",
+                 backend="intensity:constant")
+            if s._region is not None:
+                codes = {s._region, *(s._regions or ())}
+                self._service = resolve_backend("intensity", "constant")(
+                    value=s._constant_intensity,
+                    regions=tuple(sorted(codes)),
+                    seed=s._seed,
+                    forecast_error=s._forecast_error,
+                )
+        elif s._region is not None or s._workload is not None:
+            key = s._intensity_source
+            self._service = resolve_backend("intensity", key)(
+                seed=s._seed, forecast_error=s._forecast_error
+            )
+            note("intensity", key, backend=f"intensity:{key.lower()}")
+        if self._service is not None and s._region is not None:
+            if s._region not in self._service.regions:
+                known = ", ".join(sorted(self._service.regions))
+                raise SessionError(
+                    f"region {s._region!r} not served by intensity backend; "
+                    f"known regions: {known}"
+                )
+        note("region", s._region)
+        if s._regions is not None:
+            note("regions", s._regions)
+
+        # Policies: the carbon-oblivious baseline is always present so
+        # savings have a reference.  Detection is by the *constructed*
+        # policy's name, so registry aliases of the baseline count too.
+        self._policies: List[Tuple[str, Any]] = []
+        if s._workload is not None:
+            for key in s._policies:
+                if isinstance(key, str):
+                    factory = resolve_backend("policy", key)
+                    policy = factory(
+                        self._service, s._region, regions=s._regions
+                    )
+                    self._policies.append((policy.name, policy))
+                    note("policy", policy.name, backend=f"policy:{key.lower()}")
+                else:
+                    self._policies.append((key.name, key))
+                    note("policy", key.name)
+            if not any(name == BASELINE_POLICY for name, _ in self._policies):
+                baseline = resolve_backend("policy", BASELINE_POLICY)(
+                    self._service, s._region, regions=s._regions
+                )
+                self._policies.insert(0, (baseline.name, baseline))
+                note("policy", baseline.name, backend=f"policy:{BASELINE_POLICY}")
+
+        self._simulate = None
+        if s._cluster_nodes is not None:
+            self._simulate = resolve_backend("simulator", s._simulator)
+            note("simulator", s._simulator, backend=f"simulator:{s._simulator.lower()}")
+
+        self._render = resolve_backend("renderer", s._renderer)
+        note("renderer", s._renderer, backend=f"renderer:{s._renderer.lower()}")
+
+        for knob in (
+            "forecast_error",
+            "usage",
+            "lifetime_years",
+            "pue",
+            "window_h",
+            "workload_seed",
+        ):
+            note(knob, getattr(s, f"_{knob}"))
+        note("config", s._config if s._config is not None else "active ModelConfig")
+
+        self._result: Optional[ScenarioResult] = None
+        self._sealed = True
+        return self
+
+    # --- introspection ----------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def provenance(self) -> Tuple[Provenance, ...]:
+        return tuple(self._provenance)
+
+    @property
+    def service(self) -> Optional["CarbonIntensityService"]:
+        """The resolved intensity service (None for trace-free scenarios)."""
+        return self._service
+
+    # --- execution --------------------------------------------------------
+    def _region_intensity(self):
+        """The home grid as the estimation layers expect it."""
+        s = self._scenario
+        if s._constant_intensity is not None and self._service is None:
+            return s._constant_intensity
+        assert self._service is not None and s._region is not None
+        return self._service.trace(s._region)
+
+    def _run_embodied(self) -> Optional[EmbodiedSection]:
+        s = self._scenario
+        subject = None
+        if self._deployment is not None:
+            subject = self._deployment.spec
+        elif self._node is not None:
+            subject = self._node
+        if subject is None:
+            return None
+        by_class = subject.embodied_by_class(config=s._config)
+        manufacturing = sum(b.manufacturing_g for b in by_class.values())
+        packaging = sum(b.packaging_g for b in by_class.values())
+        return EmbodiedSection(
+            subject=subject.name,
+            manufacturing_g=manufacturing,
+            packaging_g=packaging,
+            by_class_g={cls.value: b.total_g for cls, b in by_class.items()},
+        )
+
+    def _run_audit(self):
+        s = self._scenario
+        if self._deployment is None or s._region is None:
+            return None
+        from repro.analysis.audit import CenterAuditor
+
+        n_nodes = (
+            s._n_nodes if s._n_nodes is not None else self._deployment.n_nodes
+        )
+        nics = (
+            s._nics_per_node
+            if s._nics_per_node is not None
+            else self._deployment.nics_per_node
+        )
+        auditor = CenterAuditor(
+            intensity=self._service.trace(s._region),
+            gpu_usage=s._usage,
+            n_nodes=n_nodes,
+            nics_per_node=nics,
+            lifecycle=s._lifecycle,
+            pue=s._pue,
+            config=s._config,
+        )
+        return auditor.audit(
+            self._deployment.spec, service_years=s._lifetime_years
+        )
+
+    def _run_training(self) -> Optional[TrainingSection]:
+        s = self._scenario
+        if s._training is None:
+            return None
+        from repro.workloads.runner import simulate_training_run
+
+        run = simulate_training_run(
+            s._training["model"],
+            self._node,
+            n_gpus=s._training["n_gpus"],
+            epochs=s._training["epochs"],
+            intensity=self._region_intensity(),
+            pue=s._pue,
+        )
+        return TrainingSection(
+            model=run.model_name,
+            node=run.node_name,
+            n_gpus=run.n_gpus,
+            epochs=run.epochs,
+            duration_h=run.duration_h,
+            energy_kwh=run.energy.kwh,
+            operational_g=run.carbon.grams,
+            node_embodied_g=self._node.embodied(config=s._config).total_g,
+            result=run,
+        )
+
+    def _jobs(self) -> List[Any]:
+        s = self._scenario
+        from repro.cluster.workload_gen import WorkloadParams, generate_workload
+
+        if isinstance(s._workload, WorkloadParams):
+            return generate_workload(s._workload, seed=s._workload_seed)
+        return list(s._workload)
+
+    def _run_scheduling(self, jobs) -> Optional[SchedulingSection]:
+        s = self._scenario
+        if s._workload is None or not self._policies:
+            return None
+        from repro.scheduler.evaluation import evaluate_policy
+
+        evaluations: Dict[str, Any] = {}
+        for policy_name, policy in self._policies:
+            if policy_name in evaluations:
+                raise SessionError(f"duplicate policy {policy_name!r}")
+            evaluations[policy_name] = evaluate_policy(
+                jobs, policy, self._service, self._node,
+                pue=s._pue, config=s._config,
+            )
+        baseline_name = (
+            BASELINE_POLICY
+            if BASELINE_POLICY in evaluations
+            else next(iter(evaluations))
+        )
+        base = evaluations[baseline_name].total_carbon.grams
+        outcomes = tuple(
+            PolicyOutcome(
+                policy=name,
+                carbon_g=ev.total_carbon.grams,
+                energy_kwh=ev.total_energy.kwh,
+                savings_fraction=(
+                    0.0 if base == 0.0 else 1.0 - ev.total_carbon.grams / base
+                ),
+                mean_delay_h=ev.mean_delay_h(),
+                migrations=ev.migration_count(),
+            )
+            for name, ev in evaluations.items()
+        )
+        return SchedulingSection(
+            baseline=baseline_name,
+            n_jobs=len(jobs),
+            gpu_hours=float(sum(j.gpu_hours for j in jobs)),
+            outcomes=outcomes,
+            evaluations=evaluations,
+        )
+
+    def _run_cluster(self, jobs) -> Optional[ClusterSection]:
+        s = self._scenario
+        if self._simulate is None:
+            return None
+        from repro.cluster.simulator import Cluster
+        from repro.cluster.workload_gen import WorkloadParams
+
+        horizon = s._window_h
+        if horizon is None:
+            if isinstance(s._workload, WorkloadParams):
+                horizon = s._workload.horizon_h
+            else:
+                horizon = max((j.submit_h + j.duration_h for j in jobs), default=1.0)
+        cluster = Cluster(self._node, s._cluster_nodes)
+        sim = self._simulate(
+            jobs,
+            cluster,
+            horizon_h=horizon,
+            intensity=self._region_intensity(),
+            pue=s._pue,
+            config=s._config,
+        )
+        return ClusterSection(
+            simulator=s._simulator,
+            n_nodes=s._cluster_nodes,
+            horizon_h=float(horizon),
+            n_jobs=sim.n_jobs,
+            ic_energy_kwh=sim.ic_energy_kwh,
+            carbon_g=sim.carbon_g,
+            average_usage=sim.average_usage(),
+            mean_wait_h=sim.mean_wait_h(),
+        )
+
+    def _run_upgrade(self) -> Optional[UpgradeSection]:
+        s = self._scenario
+        if s._upgrade is None:
+            return None
+        from repro.upgrade.advisor import UpgradeAdvisor
+
+        advisor = UpgradeAdvisor(
+            self._region_intensity(), usage=s._usage, pue=s._pue
+        )
+        decision = advisor.evaluate(
+            s._upgrade["old"],
+            s._upgrade["new"],
+            s._upgrade["suite"],
+            lifetime_years=s._lifetime_years,
+        )
+        return UpgradeSection(
+            old=decision.old,
+            new=decision.new,
+            suite=decision.suite.value,
+            performance_gain=decision.performance_gain,
+            breakeven_years=decision.breakeven_years,
+            savings_at_lifetime=decision.savings_at_lifetime,
+            verdict=decision.verdict.value,
+            rationale=decision.rationale,
+        )
+
+    def run(self) -> ScenarioResult:
+        """Execute every requested section and assemble the result.
+
+        Idempotent: the first call computes and caches the result and
+        every later call returns the same object.  (The forecast RNG
+        inside the resolved intensity service is consumed by a run, so
+        re-executing would yield different noisy-forecast numbers —
+        caching is what keeps a frozen Session trustworthy.)
+        """
+        if self._result is not None:
+            return self._result
+        s = self._scenario
+        jobs = self._jobs() if s._workload is not None else []
+        result = ScenarioResult(
+            name=self._name,
+            region=s._region,
+            seed=s._seed,
+            embodied=self._run_embodied(),
+            audit=self._run_audit(),
+            training=self._run_training(),
+            scheduling=self._run_scheduling(jobs),
+            cluster=self._run_cluster(jobs),
+            upgrade=self._run_upgrade(),
+            provenance=self.provenance,
+        )
+        object.__setattr__(self, "_result", result)
+        return result
+
+    def render(self, result: Optional[ScenarioResult] = None) -> str:
+        """Run (if needed) and render through the scenario's renderer."""
+        if result is None:
+            result = self.run()
+        return self._render(result)
+
+    # --- batch ------------------------------------------------------------
+    @classmethod
+    def run_many(
+        cls, scenarios: Iterable[Union["Scenario", "Session"]]
+    ) -> List[ScenarioResult]:
+        """Evaluate many scenarios, sharing memoized trace generation.
+
+        All sessions draw their trace sets from the module-level memo in
+        :mod:`repro.intensity.generator`, so sweeping N regions × M
+        policies generates each unique seed's traces exactly once.
+        Results come back in input order; each scenario still gets its
+        own freshly seeded forecast stream, so a batch run of a scenario
+        equals its standalone run.
+        """
+        results: List[ScenarioResult] = []
+        for item in scenarios:
+            if isinstance(item, Scenario):
+                session = item.build()
+            elif isinstance(item, Session):
+                session = item
+            else:
+                raise SessionError(
+                    f"run_many takes Scenario/Session items, got "
+                    f"{type(item).__name__}"
+                )
+            results.append(session.run())
+        return results
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Function-style entry point: ``run_scenario(Scenario().system(...))``."""
+    if not isinstance(scenario, Scenario):
+        raise SessionError(
+            f"run_scenario takes a Scenario, got {type(scenario).__name__}"
+        )
+    return scenario.build().run()

@@ -17,10 +17,11 @@ per-quarter replacement-capacity limit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.config import effective_pue
 from repro.core.errors import UpgradeAnalysisError
 from repro.core.units import HOURS_PER_YEAR
 from repro.hardware.node import NodeSpec, get_node_generation
@@ -69,7 +70,8 @@ class FleetUpgradePlan:
     horizon_years:
         Accounting horizon from the first replacement.
     pue:
-        Facility PUE.
+        Facility PUE; ``None`` (the default) uses the active
+        :class:`~repro.core.config.ModelConfig`'s value.
     """
 
     old: Union[str, NodeSpec]
@@ -79,7 +81,7 @@ class FleetUpgradePlan:
     usage: float = 0.40
     intensity: Union[float, IntensityTrace] = 200.0
     horizon_years: float = 5.0
-    pue: float = 1.2
+    pue: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -88,8 +90,11 @@ class FleetUpgradePlan:
             raise UpgradeAnalysisError("usage must be in (0, 1]")
         if self.horizon_years <= 0.0:
             raise UpgradeAnalysisError("horizon must be positive")
-        if self.pue < 1.0:
+        if self.pue is not None and self.pue < 1.0:
             raise UpgradeAnalysisError("PUE must be >= 1.0")
+
+    def _effective_pue(self) -> float:
+        return effective_pue(self.pue)
 
     # --- pieces -----------------------------------------------------------
     def _nodes(self) -> Tuple[NodeSpec, NodeSpec]:
@@ -149,6 +154,7 @@ class FleetUpgradePlan:
         old_node, new_node = self._nodes()
         old_w, new_w = self._per_node_powers()
         intensity = self._mean_intensity()
+        pue = self._effective_pue()
         horizon_h = self.horizon_years * HOURS_PER_YEAR
 
         padded = np.zeros(self.n_quarters, dtype=int)
@@ -165,7 +171,7 @@ class FleetUpgradePlan:
             new_count = replaced_before[quarter] + padded[quarter]
             old_count = self.n_nodes - new_count
             fleet_w = old_count * old_w + new_count * new_w
-            operational_g += fleet_w / 1000.0 * quarter_hours * intensity * self.pue
+            operational_g += fleet_w / 1000.0 * quarter_hours * intensity * pue
 
         embodied_g = float(counts.sum()) * new_node.embodied().total_g
         return RolloutResult(

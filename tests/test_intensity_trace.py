@@ -11,10 +11,17 @@ from hypothesis.extra import numpy as hnp
 from repro.core.errors import TraceError
 from repro.intensity.trace import IntensityTrace
 
+# Values below ~1e-154 make variance computation underflow into
+# subnormals, where the scale-invariance properties below cannot hold
+# at rel=1e-9; real grid intensities are either exactly zero or well
+# above 1e-6 g/kWh, so restrict the domain accordingly.
 trace_values = hnp.arrays(
     dtype=float,
     shape=st.integers(min_value=24, max_value=240).map(lambda d: d - d % 24),
-    elements=st.floats(min_value=0.0, max_value=2000.0, allow_nan=False),
+    elements=st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-6, max_value=2000.0, allow_nan=False),
+    ),
 )
 
 
