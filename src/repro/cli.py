@@ -275,7 +275,11 @@ def _run_scenario_command(args) -> int:
         render = resolve_backend("renderer", renderer_key)
         if args.sweep_regions:
             sweep = [code.strip() for code in args.sweep_regions.split(",")]
-            results = Session.run_many([build(code) for code in sweep])
+            results = Session.run_many(
+                [build(code) for code in sweep],
+                executor=args.executor,
+                max_workers=args.max_workers,
+            )
             for result in results:
                 print(render(result))
                 print()
@@ -373,6 +377,14 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     scenario_parser.add_argument(
         "--sweep-regions", default=None,
         help="comma-separated regions: run one scenario per region (batch)",
+    )
+    scenario_parser.add_argument(
+        "--executor", default=None,
+        help="executor backend key for --sweep-regions (serial/process)",
+    )
+    scenario_parser.add_argument(
+        "--max-workers", type=int, default=None,
+        help="worker count for parallel sweep executors",
     )
     scenario_parser.add_argument(
         "--list-backends", action="store_true",

@@ -11,7 +11,7 @@ carbon budget).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.errors import SimulationError

@@ -15,7 +15,8 @@ degradable information rather than an oracle.  Pass
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional
+import zlib
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +25,10 @@ from repro.intensity.generator import DEFAULT_SEED, generate_all_traces
 from repro.intensity.trace import IntensityTrace
 
 __all__ = ["CarbonIntensityService"]
+
+#: Lead-time chunk width for noisy score-table construction: caps the
+#: dense per-chunk work arrays at (trace length × this) elements.
+_SCORE_CHUNK_HOURS = 512
 
 
 class CarbonIntensityService:
@@ -59,7 +64,10 @@ class CarbonIntensityService:
         if not self._traces:
             raise TraceError("service needs at least one region trace")
         self._forecast_error = forecast_error
+        self._seed = int(seed)
         self._rng = np.random.default_rng(seed + 777)
+        self._score_tables: Dict[Tuple[str, int], np.ndarray] = {}
+        self._score_matrices: Dict[Tuple[Tuple[str, ...], int], np.ndarray] = {}
 
     # --- catalog ------------------------------------------------------------
     @property
@@ -111,11 +119,95 @@ class CarbonIntensityService:
             raise TraceError("no regions to compare")
         return min(codes, key=lambda code: self.intensity_at(code, hour))
 
+    # --- placement score tables -------------------------------------------
+    def window_score_table(self, region: str, window_hours: int) -> np.ndarray:
+        """Per-start-hour forecast window means: the placement score table.
+
+        ``table[t]`` is the mean *forecast* intensity over ``[t, t+window)``
+        for a forecast issued at hour ``t`` (lead times ``1..window``,
+        wrapping at the year boundary).  Built once per ``(region, window)``
+        from cumulative sums over the trace (oracle) plus a deterministic
+        per-``(seed, region, window)`` noise draw (imperfect forecasts),
+        then memoized — any candidate placement grid scores as a single
+        gather + ``argmin`` against this table instead of per-candidate
+        forecast calls.  Both the scalar policy ``place`` reference path
+        (via :meth:`forecast_window_mean`) and the vectorized
+        ``place_all`` kernels read the same table, which is what makes
+        their placements byte-identical.
+
+        The returned array is read-only and shared; copy before writing.
+        """
+        if window_hours < 1:
+            raise TraceError(f"window must be >= 1 hour, got {window_hours}")
+        window = int(window_hours)
+        key = (region, window)
+        table = self._score_tables.get(key)
+        if table is not None:
+            return table
+        trace = self.trace(region)
+        if self._forecast_error == 0.0:
+            table = trace.forward_window_mean(window)
+        else:
+            n = len(trace)
+            rng = np.random.default_rng(
+                (self._seed, zlib.crc32(region.encode("utf-8")), window)
+            )
+            base = np.arange(n)[:, None]
+            acc = np.zeros(n)
+            # Chunk the lead-time axis so the dense (n, chunk)
+            # intermediates stay bounded for multi-week windows; the
+            # chunk width is a fixed constant, so the noise stream (and
+            # therefore the table) is deterministic.
+            for k0 in range(0, window, _SCORE_CHUNK_HOURS):
+                k1 = min(k0 + _SCORE_CHUNK_HOURS, window)
+                lead = np.sqrt(np.arange(k0 + 1, k1 + 1, dtype=float))
+                idx = (base + np.arange(k0, k1)[None, :]) % n
+                factor = 1.0 + self._forecast_error * lead * rng.standard_normal(
+                    (n, k1 - k0)
+                )
+                acc += np.maximum(trace.values[idx] * factor, 0.0).sum(axis=1)
+            table = acc / window
+        table.setflags(write=False)
+        self._score_tables[key] = table
+        return table
+
+    def window_score_matrix(
+        self, regions: Sequence[str], window_hours: int
+    ) -> np.ndarray:
+        """Stacked score tables, shape ``(len(regions), horizon)``.
+
+        Row ``i`` is ``window_score_table(regions[i], window_hours)``;
+        the 2-D gather a joint (region, start) policy takes its
+        ``unravel_index(argmin)`` over.  Memoized per (regions, window);
+        requires every region's trace to share one length (the Table 3
+        sets do).  Read-only.
+        """
+        key = (tuple(regions), int(window_hours))
+        matrix = self._score_matrices.get(key)
+        if matrix is not None:
+            return matrix
+        rows = [self.window_score_table(code, window_hours) for code in key[0]]
+        lengths = {row.shape[0] for row in rows}
+        if len(lengths) > 1:
+            raise TraceError(
+                f"regions {list(key[0])} have unequal trace lengths "
+                f"{sorted(lengths)}; a joint score matrix needs one horizon"
+            )
+        matrix = np.vstack(rows)
+        matrix.setflags(write=False)
+        self._score_matrices[key] = matrix
+        return matrix
+
     def forecast_window_mean(
         self, region: str, start_hour: int, window_hours: int
     ) -> float:
         """Mean forecast intensity over a job-length window — the score a
-        temporal-shifting scheduler minimizes."""
-        if window_hours < 1:
-            raise TraceError(f"window must be >= 1 hour, got {window_hours}")
-        return float(self.forecast(region, start_hour, window_hours).mean())
+        temporal-shifting scheduler minimizes.
+
+        Served from :meth:`window_score_table`, so repeated queries for
+        one ``(region, hour, window)`` are deterministic and O(1); the
+        scalar and vectorized placement paths therefore score candidates
+        identically.
+        """
+        table = self.window_score_table(region, window_hours)
+        return float(table[int(start_hour) % table.shape[0]])

@@ -16,7 +16,7 @@ analysis under a declining-intensity trajectory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
 import numpy as np

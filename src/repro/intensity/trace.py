@@ -149,17 +149,26 @@ class IntensityTrace:
         ``t``; windows extending past the end wrap around (a job
         submitted in late December runs into January).  This is the
         quantity a carbon-aware scheduler minimizes when placing a job
-        of known duration."""
+        of known duration.
+
+        Windows longer than the trace wrap whole cycles: a window of
+        ``q * len + r`` hours sums ``q`` full traversals plus the
+        ``r``-hour partial window.  Built once from a cumulative sum, so
+        the full per-start-hour score vector costs O(n) — the kernel the
+        :class:`~repro.intensity.api.CarbonIntensityService` score
+        tables gather from.
+        """
         if window_hours < 1:
             raise TraceError(f"window must be >= 1 hour, got {window_hours}")
         window = int(window_hours)
-        if window > len(self):
-            raise TraceError(
-                f"window {window} h exceeds trace length {len(self)} h"
-            )
-        extended = np.concatenate([self.values, self.values[: window - 1]])
+        n = len(self)
+        full_cycles, partial = divmod(window, n)
+        base = full_cycles * float(self.values.sum())
+        if partial == 0:
+            return np.full(n, base / window)
+        extended = np.concatenate([self.values, self.values[: partial - 1]])
         csum = np.concatenate(([0.0], np.cumsum(extended)))
-        return (csum[window:] - csum[:-window])[: len(self)] / window
+        return (base + (csum[partial:] - csum[:-partial])[:n]) / window
 
     def slice_hours(self, start_hour: int, n_hours: int) -> np.ndarray:
         """Intensity for ``n_hours`` starting at UTC hour ``start_hour``,

@@ -1,4 +1,28 @@
-"""Carbon-aware job scheduling (paper RQ5/RQ6 implications)."""
+"""Carbon-aware job scheduling (paper RQ5/RQ6 implications).
+
+Placement contract (the score-table / ``place_all`` pact)
+---------------------------------------------------------
+Policies score candidate placements against precomputed *score tables*:
+:meth:`repro.intensity.api.CarbonIntensityService.window_score_table`
+builds, once per ``(region, window)``, the per-start-hour forecast
+window means (cumulative sums over the trace plus a deterministic
+per-``(seed, region, window)`` noise draw), and both placement paths
+read it:
+
+* ``policy.place(job)`` — the scalar reference path: per-candidate
+  table lookups via ``forecast_window_mean`` (deduped by floored hour).
+* ``policy.place_all(jobs)`` — the batched kernel: one gather +
+  ``argmin`` per job group (2-D region × start matrix and
+  ``unravel_index`` for the joint policy), returning placements in
+  input order that are **byte-identical** to per-job ``place`` calls
+  (pinned by the hypothesis tests in
+  ``tests/test_placement_vectorized.py``).
+
+Evaluation and capacity replay drive policies through
+:func:`repro.scheduler.policies.place_jobs`, which prefers ``place_all``
+and falls back to per-job ``place`` for minimal third-party policies —
+implementing ``place`` alone keeps a custom policy fully functional.
+"""
 
 from repro.scheduler.budget import BudgetAccount, CarbonBudgetLedger, priority_order
 from repro.scheduler.capacity import (
@@ -26,10 +50,12 @@ from repro.scheduler.policies import (
     SchedulingPolicy,
     TemporalGeographicPolicy,
     TemporalShiftingPolicy,
+    place_jobs,
 )
 
 __all__ = [
     "SchedulingPolicy",
+    "place_jobs",
     "CarbonObliviousPolicy",
     "TemporalShiftingPolicy",
     "GeographicPolicy",

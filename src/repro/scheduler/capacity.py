@@ -22,14 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Sequence
 
-import numpy as np
-
 from repro.core.errors import SchedulingError
 from repro.cluster.job import Job
 from repro.cluster.simulator import Cluster, SimulationResult, simulate_cluster
 from repro.intensity.api import CarbonIntensityService
 from repro.intensity.trace import IntensityTrace
-from repro.scheduler.policies import SchedulingPolicy
+from repro.scheduler.policies import SchedulingPolicy, place_jobs
 
 __all__ = [
     "CapacityAwareOutcome",
@@ -65,8 +63,7 @@ def _reshaped_jobs(jobs: Sequence[Job], policy: SchedulingPolicy) -> tuple[list[
     """
     reshaped: list[Job] = []
     total_delay = 0.0
-    for job in jobs:
-        placement = policy.place(job)
+    for job, placement in zip(jobs, place_jobs(policy, jobs)):
         if placement.start_h < job.submit_h - 1e-9:
             raise SchedulingError(
                 f"policy {policy.name!r} proposed starting job {job.job_id} "

@@ -24,7 +24,7 @@ realistically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -38,16 +38,55 @@ __all__ = [
     "TemporalShiftingPolicy",
     "GeographicPolicy",
     "TemporalGeographicPolicy",
+    "place_jobs",
 ]
 
 
 class SchedulingPolicy(Protocol):
-    """A policy maps one job to a placement decision."""
+    """A policy maps jobs to placement decisions.
+
+    ``place`` is the scalar reference path — one job, per-candidate
+    score lookups.  ``place_all`` is the batched kernel: one placement
+    per input job, in input order, byte-identical to calling ``place``
+    on each job (the built-in policies score both paths from the same
+    :meth:`~repro.intensity.api.CarbonIntensityService.window_score_table`).
+    Third-party policies that only implement ``place`` still work
+    everywhere — drive them through :func:`place_jobs`.
+    """
 
     name: str
 
     def place(self, job: Job) -> Placement:  # pragma: no cover - protocol
         ...
+
+    def place_all(self, jobs: Sequence[Job]) -> List[Placement]:  # pragma: no cover
+        ...
+
+
+def place_jobs(policy: SchedulingPolicy, jobs: Sequence[Job]) -> List[Placement]:
+    """Place a job stream, batched when the policy supports it.
+
+    Uses ``policy.place_all`` when present (the vectorized hot path) and
+    falls back to per-job ``place`` calls otherwise, so minimal policies
+    keep working unchanged.
+    """
+    batch = getattr(policy, "place_all", None)
+    if batch is None:
+        placements = [policy.place(job) for job in jobs]
+    else:
+        placements = list(batch(jobs))
+        if len(placements) != len(jobs):
+            raise SchedulingError(
+                f"policy {policy.name!r} returned {len(placements)} placements "
+                f"for {len(jobs)} jobs"
+            )
+    for job, placement in zip(jobs, placements):
+        if placement.job_id != job.job_id:
+            raise SchedulingError(
+                f"policy {policy.name!r} returned placement for job "
+                f"{placement.job_id}, expected {job.job_id}"
+            )
+    return placements
 
 
 def _job_region(job: Job, default_region: str) -> str:
@@ -56,6 +95,44 @@ def _job_region(job: Job, default_region: str) -> str:
 
 def _window_hours(duration_h: float) -> int:
     return max(int(np.ceil(duration_h)), 1)
+
+
+def _uniform_horizon(
+    service: CarbonIntensityService, regions: Sequence[str]
+) -> bool:
+    """Whether all candidate regions share one trace length.
+
+    The 2-D score matrix needs a single horizon; mixed-length trace sets
+    (legal on the service, which wraps each region modulo its own
+    length) are placed through the scalar reference path instead.
+    """
+    return len({len(service.trace(code)) for code in regions}) <= 1
+
+
+def _unique_floor_hours(starts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct floored hours of ascending candidate starts, plus the
+    index of each hour's first start.  Sub-hour ``step_h`` floods the
+    grid with starts that floor to the same hour; scoring each hour once
+    keeps the scalar path from re-asking the service for a value it
+    already has (the score is a pure table lookup per (hour, window))."""
+    hours = np.floor(starts).astype(np.int64)
+    return np.unique(hours, return_index=True)
+
+
+def _padded_starts(
+    starts_list: List[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stack ragged per-job candidate-start arrays into one matrix.
+
+    Returns ``(matrix, pad_mask, lengths)`` where padded cells (mask
+    True) hold 0.0 and must be score-masked before any argmin.
+    """
+    lengths = np.array([s.size for s in starts_list], dtype=np.int64)
+    matrix = np.zeros((len(starts_list), int(lengths.max())))
+    for row, starts in enumerate(starts_list):
+        matrix[row, : starts.size] = starts
+    pad_mask = np.arange(matrix.shape[1])[None, :] >= lengths[:, None]
+    return matrix, pad_mask, lengths
 
 
 @dataclass
@@ -79,6 +156,10 @@ class CarbonObliviousPolicy:
             start_h=job.submit_h,
             duration_h=job.duration_h,
         )
+
+    def place_all(self, jobs: Sequence[Job]) -> List[Placement]:
+        """Batch path: no scoring to vectorize, just per-job identity."""
+        return [self.place(job) for job in jobs]
 
 
 @dataclass
@@ -114,17 +195,50 @@ class TemporalShiftingPolicy:
         region = _job_region(job, self.default_region)
         window = _window_hours(job.duration_h)
         starts = self._candidate_starts(job)
+        hours, first_idx = _unique_floor_hours(starts)
         scores = [
-            self.service.forecast_window_mean(region, int(np.floor(s)), window)
-            for s in starts
+            self.service.forecast_window_mean(region, int(h), window)
+            for h in hours
         ]
-        best = starts[int(np.argmin(scores))]
+        best = starts[int(first_idx[int(np.argmin(scores))])]
         return Placement(
             job_id=job.job_id,
             region=region,
             start_h=float(best),
             duration_h=job.duration_h,
         )
+
+    def place_all(self, jobs: Sequence[Job]) -> List[Placement]:
+        """Vectorized batch placement, byte-identical to per-job ``place``.
+
+        Jobs group by (region, window); each group scores every
+        candidate start with one gather from the precomputed score table
+        and one row-wise ``argmin``.  First-occurrence argmin ties match
+        the scalar path's first-best scan exactly.
+        """
+        jobs = list(jobs)
+        placements: List[Optional[Placement]] = [None] * len(jobs)
+        groups: Dict[Tuple[str, int], List[int]] = {}
+        for i, job in enumerate(jobs):
+            key = (_job_region(job, self.default_region), _window_hours(job.duration_h))
+            groups.setdefault(key, []).append(i)
+        for (region, window), idxs in groups.items():
+            table = self.service.window_score_table(region, window)
+            n = table.shape[0]
+            starts_list = [self._candidate_starts(jobs[i]) for i in idxs]
+            matrix, pad_mask, _ = _padded_starts(starts_list)
+            scores = table[np.floor(matrix).astype(np.int64) % n]
+            scores[pad_mask] = np.inf
+            best_cols = np.argmin(scores, axis=1)
+            for row, i in enumerate(idxs):
+                job = jobs[i]
+                placements[i] = Placement(
+                    job_id=job.job_id,
+                    region=region,
+                    start_h=float(starts_list[row][best_cols[row]]),
+                    duration_h=job.duration_h,
+                )
+        return placements
 
 
 @dataclass
@@ -172,6 +286,41 @@ class GeographicPolicy:
             migrated=best_region != home,
         )
 
+    def place_all(self, jobs: Sequence[Job]) -> List[Placement]:
+        """Vectorized batch placement, byte-identical to per-job ``place``.
+
+        Jobs group by window; each group scores as one column gather
+        from the (region × hour) score matrix and one ``argmin`` down
+        the region axis (first occurrence, matching ``min``'s
+        keep-first tie-break over the candidate order).
+        """
+        jobs = list(jobs)
+        if not _uniform_horizon(self.service, self._candidates):
+            return [self.place(job) for job in jobs]
+        placements: List[Optional[Placement]] = [None] * len(jobs)
+        groups: Dict[int, List[int]] = {}
+        for i, job in enumerate(jobs):
+            groups.setdefault(_window_hours(job.duration_h), []).append(i)
+        for window, idxs in groups.items():
+            matrix = self.service.window_score_matrix(self._candidates, window)
+            n = matrix.shape[1]
+            hours = np.floor(
+                np.array([jobs[i].submit_h for i in idxs])
+            ).astype(np.int64) % n
+            region_rows = np.argmin(matrix[:, hours], axis=0)
+            for row, i in zip(region_rows, idxs):
+                job = jobs[i]
+                best_region = self._candidates[int(row)]
+                home = _job_region(job, self.default_region)
+                placements[i] = Placement(
+                    job_id=job.job_id,
+                    region=best_region,
+                    start_h=job.submit_h,
+                    duration_h=job.duration_h,
+                    migrated=best_region != home,
+                )
+        return placements
+
 
 @dataclass
 class TemporalGeographicPolicy:
@@ -195,14 +344,15 @@ class TemporalGeographicPolicy:
         home = _job_region(job, self.default_region)
         window = _window_hours(job.duration_h)
         starts = self._temporal._candidate_starts(job)
+        # Distinct starts flooring to one hour share a score; ask the
+        # service once per (region, hour) instead of once per start.
+        hours, first_idx = _unique_floor_hours(starts)
         best: tuple[float, str, float] | None = None
         for region in self._geo._candidates:
-            for start in starts:
-                score = self.service.forecast_window_mean(
-                    region, int(np.floor(start)), window
-                )
+            for k, hour in enumerate(hours):
+                score = self.service.forecast_window_mean(region, int(hour), window)
                 if best is None or score < best[0]:
-                    best = (score, region, float(start))
+                    best = (score, region, float(starts[first_idx[k]]))
         assert best is not None
         _score, region, start = best
         return Placement(
@@ -212,3 +362,47 @@ class TemporalGeographicPolicy:
             duration_h=job.duration_h,
             migrated=region != home,
         )
+
+    def place_all(self, jobs: Sequence[Job]) -> List[Placement]:
+        """Vectorized joint placement, byte-identical to per-job ``place``.
+
+        Jobs group by window; each group gathers a ``(region, job,
+        start)`` score tensor from the 2-D score matrix, masks padding,
+        and takes one flat ``argmin`` per job over the row-major
+        (region, start) block — ``unravel_index`` order matches the
+        scalar path's region-outer/start-inner first-best scan.
+        """
+        jobs = list(jobs)
+        candidates = self._geo._candidates
+        if not _uniform_horizon(self.service, candidates):
+            return [self.place(job) for job in jobs]
+        placements: List[Optional[Placement]] = [None] * len(jobs)
+        groups: Dict[int, List[int]] = {}
+        for i, job in enumerate(jobs):
+            groups.setdefault(_window_hours(job.duration_h), []).append(i)
+        for window, idxs in groups.items():
+            matrix = self.service.window_score_matrix(candidates, window)
+            n = matrix.shape[1]
+            starts_list = [
+                self._temporal._candidate_starts(jobs[i]) for i in idxs
+            ]
+            padded, pad_mask, _ = _padded_starts(starts_list)
+            hour_idx = np.floor(padded).astype(np.int64) % n
+            scores = matrix[:, hour_idx]  # (regions, jobs, starts)
+            scores[:, pad_mask] = np.inf
+            flat = scores.transpose(1, 0, 2).reshape(len(idxs), -1)
+            region_rows, start_cols = np.unravel_index(
+                np.argmin(flat, axis=1), (len(candidates), padded.shape[1])
+            )
+            for row, i in enumerate(idxs):
+                job = jobs[i]
+                region = candidates[int(region_rows[row])]
+                home = _job_region(job, self.default_region)
+                placements[i] = Placement(
+                    job_id=job.job_id,
+                    region=region,
+                    start_h=float(starts_list[row][start_cols[row]]),
+                    duration_h=job.duration_h,
+                    migrated=region != home,
+                )
+        return placements

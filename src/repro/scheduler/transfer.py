@@ -15,10 +15,11 @@ transfers (router + transport + amplification), scaled by hop count.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.errors import SchedulingError
-from repro.workloads.models import ModelSpec, Suite, get_model
+from repro.workloads.models import ModelSpec, get_model
 
 __all__ = [
     "TransferModel",
@@ -118,8 +119,14 @@ _DEFAULT_HOPS: Dict[Tuple[str, str], int] = {
 }
 
 
+@lru_cache(maxsize=1)
 def default_transfer_model() -> TransferModel:
-    """The Table 3 region topology with literature energy factors."""
+    """The Table 3 region topology with literature energy factors.
+
+    Memoized: evaluation charges every migrated job through this model,
+    so the hot loop must not rebuild (and re-validate) the hop table per
+    job.  The instance is frozen, so sharing it is safe.
+    """
     return TransferModel(hops=_DEFAULT_HOPS)
 
 

@@ -18,10 +18,12 @@ scheduling → upgrade analysis)::
 Swappable backends live in :data:`registry`
 (:class:`~repro.session.registry.BackendRegistry`): hardware systems,
 node generations, intensity sources, scheduling policies, cluster
-simulators, and report renderers all resolve by string key, and
-third-party backends plug in with :func:`register_backend` without
-touching core.  Batch sweeps go through :meth:`Session.run_many`, which
-shares memoized trace generation across scenarios.
+simulators, report renderers, and sweep executors all resolve by string
+key, and third-party backends plug in with :func:`register_backend`
+without touching core.  Batch sweeps go through
+:meth:`Session.run_many`, which shares memoized trace generation across
+scenarios and fans out over a process pool when a scenario selects
+``.executor("process", max_workers=N)``.
 """
 
 from repro.session.registry import (

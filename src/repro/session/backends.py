@@ -23,6 +23,11 @@ calling conventions, per kind:
     ``factory(result) -> str`` for a :class:`ScenarioResult`.
 ``report``
     ``factory() -> str`` — a whole-corpus report (EXPERIMENTS.md).
+``executor``
+    ``factory(**opts) -> callable(items) -> list[ScenarioResult]`` — a
+    sweep engine for :meth:`Session.run_many` (see
+    :mod:`repro.session.executors`).  ``serial`` and ``process`` ship
+    built-in; ``process`` takes ``max_workers`` and ``chunk_size``.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ def load_builtin_backends(registry: "BackendRegistry") -> None:
     import repro.hardware as hardware
     import repro.intensity as intensity
     import repro.scheduler as scheduler
+    import repro.session.executors as executors
 
-    for layer in (hardware, intensity, scheduler, cluster, analysis):
+    for layer in (hardware, intensity, scheduler, cluster, analysis, executors):
         layer.register_backends(registry)

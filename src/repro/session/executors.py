@@ -1,0 +1,144 @@
+"""Sweep executors: pluggable engines behind :meth:`Session.run_many`.
+
+A sweep executor is a callable ``(items) -> list[ScenarioResult]``
+taking the normalized list of :class:`~repro.session.scenario.Scenario`
+/ :class:`~repro.session.session.Session` items and returning their
+results *in input order*.  Executors register under the ``executor``
+registry kind; built-ins:
+
+* ``serial`` — run each scenario in this process, one after another.
+  This is the default and shares the parent's memoized trace sets, so a
+  5-region × 3-policy sweep still generates traces once per seed.
+* ``process`` — fan chunks of scenarios out to a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker's
+  trace memo is warmed once for every seed in the sweep (via the pool
+  initializer; under ``fork`` the parent's memo is inherited for free),
+  so workers never regenerate traces per scenario.  Scenario resolution
+  and execution happen inside the worker, which requires every item and
+  its payloads (workloads, configs, policy objects) to be picklable —
+  registry-keyed scenarios always are.
+
+Results are deterministic per scenario seed (each Session draws a
+freshly seeded forecast stream), so a ``process`` sweep returns results
+equal to the same sweep run serially.
+
+Select an executor per sweep with
+``Scenario.executor("process", max_workers=N)`` on any swept scenario,
+or explicitly via ``Session.run_many(..., executor="process")``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Callable, List, Sequence, Tuple, Union
+
+from repro.core.errors import SessionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.result import ScenarioResult
+    from repro.session.scenario import Scenario
+    from repro.session.session import Session
+
+__all__ = ["SweepExecutor", "serial_executor", "process_executor", "register_backends"]
+
+_SweepItem = Union["Scenario", "Session"]
+
+#: What an ``executor`` backend factory returns.
+SweepExecutor = Callable[[Sequence[_SweepItem]], List["ScenarioResult"]]
+
+
+def _run_one(item: _SweepItem) -> "ScenarioResult":
+    from repro.session.scenario import Scenario
+
+    if isinstance(item, Scenario):
+        return item.build().run()
+    return item.run()
+
+
+def _run_chunk(items: Sequence[_SweepItem]) -> List["ScenarioResult"]:
+    """Run a contiguous slice of a sweep (the process-pool work unit)."""
+    return [_run_one(item) for item in items]
+
+
+def _warm_worker(seeds: Tuple[int, ...]) -> None:
+    """Pool initializer: prime this worker's trace memo once per seed."""
+    from repro.intensity.generator import generate_all_traces
+
+    for seed in seeds:
+        generate_all_traces(seed=seed)
+
+
+def _sweep_seeds(items: Sequence[_SweepItem]) -> Tuple[int, ...]:
+    seeds = set()
+    for item in items:
+        # Scenarios carry _seed directly; built Sessions carry their
+        # builder snapshot under _scenario.
+        knobs = getattr(item, "_scenario", item)
+        seed = getattr(knobs, "_seed", None)
+        if seed is not None:
+            seeds.add(seed)
+    return tuple(sorted(seeds))
+
+
+def serial_executor(**_opts) -> "SweepExecutor":
+    """The in-process executor (default): scenarios run sequentially."""
+    return _run_chunk
+
+
+class _ProcessSweep:
+    """Chunked ProcessPoolExecutor sweep, order-preserving."""
+
+    def __init__(self, max_workers: int, chunk_size: int | None) -> None:
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+
+    def __call__(self, items: Sequence[_SweepItem]) -> List["ScenarioResult"]:
+        items = list(items)
+        workers = min(self.max_workers, len(items))
+        if workers <= 1:
+            return _run_chunk(items)
+        size = self.chunk_size or -(-len(items) // workers)
+        chunks = [items[i : i + size] for i in range(0, len(items), size)]
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_warm_worker,
+            initargs=(_sweep_seeds(items),),
+        ) as pool:
+            return [
+                result
+                for chunk_results in pool.map(_run_chunk, chunks)
+                for result in chunk_results
+            ]
+
+
+def process_executor(
+    *, max_workers: int | None = None, chunk_size: int | None = None
+) -> "SweepExecutor":
+    """Parallel sweep executor over a process pool.
+
+    ``max_workers`` defaults to the machine's CPU count; ``chunk_size``
+    defaults to an even split of the sweep across workers (one chunk
+    per worker), which amortizes worker startup and result pickling.
+    """
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    if int(max_workers) < 1:
+        raise SessionError(f"max_workers must be >= 1, got {max_workers!r}")
+    if chunk_size is not None and int(chunk_size) < 1:
+        raise SessionError(f"chunk_size must be >= 1, got {chunk_size!r}")
+    return _ProcessSweep(
+        int(max_workers), None if chunk_size is None else int(chunk_size)
+    )
+
+
+def register_backends(registry) -> None:
+    """Self-register the built-in sweep executors.
+
+    An ``executor`` backend is a factory ``(**opts) -> callable(items)``
+    returning the results of the swept scenarios in input order.
+    """
+    registry.add("executor", "serial", serial_executor, aliases=("inline",))
+    registry.add(
+        "executor", "process", process_executor, aliases=("processes", "parallel")
+    )

@@ -50,6 +50,7 @@ BACKEND_KINDS: Tuple[str, ...] = (
     "simulator",
     "renderer",
     "report",
+    "executor",
 )
 
 

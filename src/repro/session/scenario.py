@@ -82,6 +82,8 @@ class Scenario:
         self._n_nodes: Optional[int] = None
         self._nics_per_node: Optional[int] = None
         self._renderer: str = "text"
+        self._executor: str = "serial"
+        self._executor_opts: dict = {}
 
     # --- internals --------------------------------------------------------
     def _set(self, knob: str, value) -> "Scenario":
@@ -245,6 +247,34 @@ class Scenario:
         """``renderer`` registry key for :meth:`Session.render`."""
         return self._set("renderer", str(key))
 
+    def executor(
+        self,
+        key: str,
+        *,
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> "Scenario":
+        """``executor`` registry key for :meth:`Session.run_many` sweeps.
+
+        ``"serial"`` (default) runs scenarios in-process;
+        ``"process"`` fans chunks of scenarios out to a process pool of
+        ``max_workers`` workers with warmed trace memos.  The first
+        swept scenario carrying an explicit executor picks the engine
+        for the whole sweep; an explicit ``executor=`` argument to
+        ``run_many`` wins over any scenario knob.
+        """
+        if max_workers is not None and int(max_workers) < 1:
+            raise SessionError(f"max_workers must be >= 1, got {max_workers!r}")
+        if chunk_size is not None and int(chunk_size) < 1:
+            raise SessionError(f"chunk_size must be >= 1, got {chunk_size!r}")
+        opts: dict = {}
+        if max_workers is not None:
+            opts["max_workers"] = int(max_workers)
+        if chunk_size is not None:
+            opts["chunk_size"] = int(chunk_size)
+        self._executor_opts = opts
+        return self._set("executor", str(key))
+
     # --- finalization -----------------------------------------------------
     def _validate(self) -> None:
         if not any(
@@ -338,6 +368,7 @@ class Scenario:
         clone = copy.copy(self)
         clone._explicit = set(self._explicit)
         clone._policies = list(self._policies)
+        clone._executor_opts = dict(self._executor_opts)
         if self._regions is not None:
             clone._regions = list(self._regions)
         if self._training is not None:

@@ -178,6 +178,11 @@ class Session:
         self._render = resolve_backend("renderer", s._renderer)
         note("renderer", s._renderer, backend=f"renderer:{s._renderer.lower()}")
 
+        if "executor" in s._explicit:
+            # Sweep engine (consumed by run_many, recorded per session).
+            resolve_backend("executor", s._executor)  # validate the key early
+            note("executor", s._executor, backend=f"executor:{s._executor.lower()}")
+
         for knob in (
             "forecast_error",
             "usage",
@@ -433,30 +438,50 @@ class Session:
     # --- batch ------------------------------------------------------------
     @classmethod
     def run_many(
-        cls, scenarios: Iterable[Union["Scenario", "Session"]]
+        cls,
+        scenarios: Iterable[Union["Scenario", "Session"]],
+        *,
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
     ) -> List[ScenarioResult]:
-        """Evaluate many scenarios, sharing memoized trace generation.
+        """Evaluate many scenarios through a pluggable sweep executor.
 
         All sessions draw their trace sets from the module-level memo in
         :mod:`repro.intensity.generator`, so sweeping N regions × M
-        policies generates each unique seed's traces exactly once.
+        policies generates each unique seed's traces exactly once (the
+        ``process`` executor warms the same memo once per worker).
         Results come back in input order; each scenario still gets its
         own freshly seeded forecast stream, so a batch run of a scenario
-        equals its standalone run.
+        equals its standalone run — with any executor.
+
+        The engine resolves from the ``executor`` registry kind:
+        ``executor=`` here wins, else the first swept Scenario with an
+        explicit :meth:`Scenario.executor` knob picks it, else
+        ``serial``.  ``max_workers`` overrides the scenario knob's
+        worker count for parallel executors.
         """
-        results: List[ScenarioResult] = []
+        items: List[Union[Scenario, Session]] = []
+        key = executor
+        opts: dict = {}
         for item in scenarios:
-            if isinstance(item, Scenario):
-                session = item.build()
-            elif isinstance(item, Session):
-                session = item
-            else:
+            if not isinstance(item, (Scenario, Session)):
                 raise SessionError(
                     f"run_many takes Scenario/Session items, got "
                     f"{type(item).__name__}"
                 )
-            results.append(session.run())
-        return results
+            items.append(item)
+            # A built Session carries its builder snapshot, so the
+            # executor knob survives .build() too.
+            knobs = item if isinstance(item, Scenario) else item._scenario
+            if key is None and "executor" in knobs._explicit:
+                key = knobs._executor
+                opts = dict(knobs._executor_opts)
+        if key is None:
+            key = "serial"
+        if max_workers is not None:
+            opts["max_workers"] = int(max_workers)
+        sweep = resolve_backend("executor", key)(**opts)
+        return list(sweep(items))
 
 
 def run_scenario(scenario: Scenario) -> ScenarioResult:

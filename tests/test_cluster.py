@@ -194,6 +194,30 @@ class TestSimulator:
         result = simulate_cluster(jobs, cluster, horizon_h=24 * 4)
         assert float(result.busy_gpu_hours_per_hour.max(initial=0.0)) <= 8 + 1e-9
 
+    def test_placement_does_constant_sorts(self, cluster, monkeypatch):
+        """The incremental timeline must not re-sort events per job.
+
+        Placing a pre-sorted job stream is allowed exactly one ``sorted``
+        call (the FCFS submit-order sort) regardless of stream length —
+        the per-job re-sorts of the old event-sweep implementation are
+        the regression this guards against.
+        """
+        import repro.cluster.simulator as sim_module
+
+        calls = {"n": 0}
+        real_sorted = sorted
+
+        def counting_sorted(*args, **kwargs):
+            calls["n"] += 1
+            return real_sorted(*args, **kwargs)
+
+        monkeypatch.setattr(sim_module, "sorted", counting_sorted, raising=False)
+        params = WorkloadParams(horizon_h=24 * 7, total_gpus=8, target_usage=0.7)
+        jobs = generate_workload(params, seed=9)
+        result = sim_module.simulate_cluster(jobs, cluster, horizon_h=24 * 9)
+        assert result.n_jobs == len(jobs)
+        assert calls["n"] == 1, f"expected O(1) sorts, saw {calls['n']}"
+
     @settings(max_examples=25, deadline=None)
     @given(seed=st.integers(0, 1000))
     def test_every_job_scheduled_exactly_once(self, seed):

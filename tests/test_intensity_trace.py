@@ -126,9 +126,14 @@ class TestWindows:
         # Last start wraps to the beginning.
         assert means[47] == pytest.approx((47.0 + 0.0) / 2)
 
-    def test_forward_window_too_long_rejected(self, ramp_trace):
-        with pytest.raises(TraceError):
-            ramp_trace.forward_window_mean(49)
+    def test_forward_window_longer_than_trace_wraps_cycles(self, ramp_trace):
+        # 49 = one full 48-hour cycle + 1 wrapped hour from each start.
+        means = ramp_trace.forward_window_mean(49)
+        total = ramp_trace.values.sum()
+        for t in (0, 10, 47):
+            assert means[t] == pytest.approx((total + ramp_trace.values[t]) / 49)
+        # An exact multiple of the trace length is flat at the mean.
+        assert np.allclose(ramp_trace.forward_window_mean(96), ramp_trace.mean())
 
     def test_rolling_mean_matches_bruteforce(self, ramp_trace):
         rolling = ramp_trace.rolling_mean(5)
