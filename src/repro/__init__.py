@@ -29,7 +29,8 @@ Quickstart — the :class:`Scenario` facade is the canonical entry point::
     )
 
 Swappable backends (hardware systems, intensity sources, scheduling
-policies, simulators, renderers) live in the string-keyed registry —
+policies, simulators, carbon-accounting engines, renderers) live in the
+string-keyed registry —
 see :mod:`repro.session` and :func:`register_backend` for plugging in
 your own without touching core.
 

@@ -1,0 +1,75 @@
+"""Unified carbon accounting: one ledger behind every subsystem.
+
+The paper's contribution is *end-to-end* accounting — embodied
+manufacturing (Eq. 1-5) plus operational grid carbon (Eq. 6) in one
+currency.  This package is the library's single implementation of the
+charging side: the scheduler evaluator, the cluster simulator, the
+whole-center audit and the upgrade analysis all record their carbon
+into a :class:`CarbonLedger` instead of keeping bespoke sums, so
+per-job / per-region / per-policy attribution and Eq. 1 rollups come
+from one place.
+
+* :class:`CarbonLedger` / :class:`LedgerEntry` — typed, columnar
+  charge accounting with multi-axis attribution
+  (:mod:`repro.accounting.ledger`).
+* :class:`VectorizedChargingEngine` / :class:`ScalarReferenceChargingEngine`
+  — batched vs seed-loop charging of placed jobs, bit-identical
+  (:mod:`repro.accounting.engines`); swappable through the session
+  registry's ``accounting`` kind (``Scenario.accounting("vectorized")``).
+* :func:`resolve_pue` — scalar *or hourly-profile* facility overhead,
+  shared by every charge path (:mod:`repro.accounting.pue`).
+
+The decision side of scheduling was batched in the placement kernels
+(``window_score_table``); this package is the twin for the *charging*
+side (``truth_window_table``).
+"""
+
+from repro.accounting.engines import (
+    ENGINE_KEYS,
+    JobCharges,
+    ScalarReferenceChargingEngine,
+    VectorizedChargingEngine,
+    get_engine,
+)
+from repro.accounting.ledger import CarbonLedger, LedgerEntry, amortized_embodied_g
+from repro.accounting.pue import PUELike, pue_window_means, resolve_pue
+
+__all__ = [
+    "CarbonLedger",
+    "LedgerEntry",
+    "amortized_embodied_g",
+    "JobCharges",
+    "VectorizedChargingEngine",
+    "ScalarReferenceChargingEngine",
+    "get_engine",
+    "ENGINE_KEYS",
+    "PUELike",
+    "resolve_pue",
+    "pue_window_means",
+    "register_backends",
+]
+
+
+# --- session-facade backends ------------------------------------------------
+def register_backends(registry) -> None:
+    """Self-register charging engines under the ``accounting`` kind.
+
+    An accounting backend factory takes no required arguments and
+    returns an engine exposing ``charge(jobs, placements, *, service,
+    node, pue, config, transfer_overhead_fraction, transfer_model) ->
+    JobCharges``.  ``vectorized`` is the production path;
+    ``scalar-reference`` is the seed per-job loop kept as the semantics
+    oracle (and benchmark baseline).
+    """
+    registry.add(
+        "accounting",
+        "vectorized",
+        VectorizedChargingEngine,
+        aliases=("default", "ledger"),
+    )
+    registry.add(
+        "accounting",
+        "scalar-reference",
+        ScalarReferenceChargingEngine,
+        aliases=("scalar",),
+    )

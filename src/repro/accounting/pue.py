@@ -1,0 +1,92 @@
+"""PUE resolution for the accounting subsystem.
+
+Historically every layer resolved ``pue=None`` against the active
+:class:`~repro.core.config.ModelConfig` with its own copy of the
+fallback; :func:`repro.core.config.effective_pue` is now the single
+scalar resolver.  The ledger additionally accepts *hourly PUE profiles*
+(the paper's Sec. 6 threat-to-validity: PUE varies with weather and
+load), so time-varying facility overhead can be charged without
+touching call sites that pass plain floats.
+
+:func:`resolve_pue` normalizes every accepted spelling — ``None``, a
+float, a :class:`~repro.power.pue.SeasonalPUE` model, or an hourly
+array — into ``(scalar, profile)``.  A profile with no variation
+collapses to its scalar, which is what keeps a constant profile
+byte-identical to today's numbers: the scalar path multiplies by the
+PUE once, and a degenerate "profile" never forces the (mathematically
+equal but float-different) per-hour weighting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import ModelConfig, effective_pue
+from repro.core.errors import AccountingError
+
+__all__ = ["PUELike", "resolve_pue", "pue_window_means"]
+
+PUELike = Union[None, float, int, "np.ndarray", "object"]
+
+
+def resolve_pue(
+    pue: PUELike,
+    *,
+    config: Optional[ModelConfig] = None,
+    error: type = AccountingError,
+) -> Tuple[float, Optional[np.ndarray]]:
+    """Normalize a PUE spec into ``(scalar, hourly_profile_or_None)``.
+
+    * ``None`` — the configured PUE (``config`` or the active one).
+    * a number — that PUE, validated ``>= 1``.
+    * a ``SeasonalPUE`` (anything with a ``profile(n_hours)`` method) —
+      one study year of hourly values.
+    * an array-like — an hourly profile, validated ``>= 1``; constant
+      profiles collapse to their scalar so they reproduce the legacy
+      single-multiply arithmetic exactly.
+
+    When a profile survives, the returned scalar is its mean (the
+    number a facility would report); charging code should prefer the
+    profile when present.
+    """
+    if pue is None or isinstance(pue, (int, float)):
+        return effective_pue(pue, config=config, error=error), None
+    profile_method = getattr(pue, "profile", None)
+    if callable(profile_method):
+        from repro.intensity.trace import HOURS_PER_STUDY_YEAR
+
+        profile = np.asarray(profile_method(HOURS_PER_STUDY_YEAR), dtype=float)
+    else:
+        profile = np.asarray(pue, dtype=float)
+    if profile.ndim != 1 or profile.size == 0:
+        raise error(
+            f"hourly PUE profile must be a non-empty 1-D array, got shape "
+            f"{profile.shape}"
+        )
+    if not np.all(np.isfinite(profile)):
+        raise error("hourly PUE profile contains non-finite samples")
+    if float(profile.min()) < 1.0:
+        raise error("hourly PUE profile dips below 1.0")
+    first = float(profile[0])
+    if np.all(profile == first):
+        return first, None
+    return float(profile.mean()), profile
+
+
+def pue_window_means(
+    profile: np.ndarray, start_hours: np.ndarray, window_hours: int
+) -> np.ndarray:
+    """Mean PUE over ``[start, start+window)`` per start hour (wrapping).
+
+    The job-charging analogue of the intensity truth-table gather: a job
+    spanning ``window`` hours is charged the mean facility overhead of
+    those hours.  Rows reduce with the same pairwise summation as a 1-D
+    slice, keeping scalar- and batch-path charges bit-identical.
+    """
+    if window_hours < 1:
+        raise AccountingError(f"window must be >= 1 hour, got {window_hours}")
+    n = profile.shape[0]
+    idx = (np.asarray(start_hours)[:, None] + np.arange(int(window_hours))[None, :]) % n
+    return profile[idx].mean(axis=1)

@@ -16,15 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
-import numpy as np
-
-from repro.core.config import ModelConfig, get_config
+from repro.accounting import CarbonLedger
+from repro.core.config import ModelConfig, effective_pue
 from repro.core.errors import ExperimentError
 from repro.core.lifecycle import LifecyclePhases, assess_lifecycle
-from repro.core.model import CarbonLedger, FootprintReport
+from repro.core.model import FootprintReport
 from repro.core.units import HOURS_PER_YEAR, format_co2
 from repro.hardware.network import estimate_fat_tree_interconnect
-from repro.hardware.parts import ComponentClass, ProcessorSpec
+from repro.hardware.parts import ProcessorSpec
 from repro.hardware.replacement import ReplacementModel
 from repro.hardware.systems import SystemSpec
 from repro.intensity.trace import IntensityTrace
@@ -43,6 +42,7 @@ class CenterAudit:
     logistics_g: float                 # transport + installation + EOL
     replacement_g: float
     operational_g: float
+    region: Optional[str] = None       # grid region, when audited on a trace
 
     @property
     def embodied_total_g(self) -> float:
@@ -56,6 +56,21 @@ class CenterAudit:
         return FootprintReport(
             embodied_g=self.embodied_total_g, operational_g=self.operational_g
         )
+
+    def to_ledger(self) -> CarbonLedger:
+        """The audit as typed :class:`~repro.accounting.CarbonLedger`
+        entries — the same currency scheduling evaluations and cluster
+        simulations charge into, so center-scale embodied totals and
+        job-scale operational charges roll up together."""
+        ledger = CarbonLedger()
+        for label, grams in self.build_g.items():
+            ledger.charge_embodied(label, grams, region=self.region)
+        ledger.charge_embodied("Logistics/EOL", self.logistics_g, region=self.region)
+        ledger.charge_embodied("Replacements", self.replacement_g, region=self.region)
+        ledger.add(
+            "operational", "Operation", self.operational_g, region=self.region
+        )
+        return ledger
 
     def shares(self) -> Dict[str, float]:
         """Every line item as a fraction of the grand total."""
@@ -152,8 +167,7 @@ class CenterAuditor:
     def audit(self, system: SystemSpec, *, service_years: float = 5.0) -> CenterAudit:
         if service_years <= 0.0:
             raise ExperimentError("service life must be positive")
-        cfg = self.config if self.config is not None else get_config()
-        pue = cfg.pue if self.pue is None else float(self.pue)
+        pue = effective_pue(self.pue, config=self.config, error=ExperimentError)
 
         build: Dict[str, float] = {
             cls.value: breakdown.total_g
@@ -186,6 +200,7 @@ class CenterAuditor:
 
         avg_power_w = self._system_average_power_w(system)
         energy_kwh = avg_power_w / 1000.0 * service_years * HOURS_PER_YEAR
+        # Eq. 6 lump charge; CenterAudit.to_ledger() is the itemized view.
         operational = energy_kwh * self._mean_intensity() * pue
 
         return CenterAudit(
@@ -195,4 +210,9 @@ class CenterAuditor:
             logistics_g=logistics,
             replacement_g=replacements,
             operational_g=operational,
+            region=(
+                self.intensity.region_code
+                if isinstance(self.intensity, IntensityTrace)
+                else None
+            ),
         )

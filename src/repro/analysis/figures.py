@@ -10,7 +10,7 @@ the integration tests assert the paper's shape criteria on them
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -22,12 +22,7 @@ from repro.hardware.catalog import (
     TABLE1_PROCESSORS,
 )
 from repro.hardware.node import PROCESSOR_CLASSES, v100_node
-from repro.hardware.parts import (
-    ComponentClass,
-    MemorySpec,
-    ProcessorSpec,
-    StorageSpec,
-)
+from repro.hardware.parts import ComponentClass
 from repro.hardware.systems import studied_systems
 from repro.intensity.analysis import WinnerCounts, hourly_winner_counts
 from repro.intensity.generator import DEFAULT_SEED, generate_all_traces

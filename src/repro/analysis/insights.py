@@ -14,8 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-import numpy as np
-
 from repro.hardware.catalog import (
     DRAM_64GB,
     TABLE1_CPUS,

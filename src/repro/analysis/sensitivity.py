@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Tuple
 
-from repro.core.config import ModelConfig, default_config, use_config
+from repro.core.config import default_config, use_config
 from repro.core.errors import ExperimentError
 from repro.hardware.catalog import GPU_A100
 from repro.hardware.parts import ComponentClass

@@ -243,6 +243,8 @@ def _run_scenario_command(args) -> int:
             scenario.lifetime(years=args.years)
         if args.renderer is not None:
             scenario.renderer(args.renderer)
+        if args.accounting is not None:
+            scenario.accounting(args.accounting)
         if args.system:
             scenario.system(args.system)
         if args.node:
@@ -373,6 +375,10 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     scenario_parser.add_argument("--seed", type=int, default=None)
     scenario_parser.add_argument(
         "--renderer", default=None, help="renderer backend key (text/json/markdown)"
+    )
+    scenario_parser.add_argument(
+        "--accounting", default=None,
+        help="carbon-charging backend key (vectorized/scalar-reference)",
     )
     scenario_parser.add_argument(
         "--sweep-regions", default=None,

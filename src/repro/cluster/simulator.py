@@ -30,7 +30,8 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.config import ModelConfig, get_config
+from repro.accounting import CarbonLedger
+from repro.core.config import ModelConfig, effective_pue
 from repro.core.errors import SimulationError
 from repro.core.units import CarbonMass, Energy
 from repro.cluster.job import Job
@@ -165,6 +166,9 @@ class SimulationResult:
     ic_energy_kwh: float
     carbon_g: float
     pue: float
+    #: Itemized charge behind ``carbon_g`` (shared accounting currency);
+    #: not part of equality.
+    ledger: Optional[CarbonLedger] = field(default=None, compare=False, repr=False)
 
     # --- service metrics -------------------------------------------------
     @property
@@ -260,10 +264,7 @@ def simulate_cluster(
     """
     if horizon_h <= 0.0:
         raise SimulationError(f"horizon must be positive, got {horizon_h!r}")
-    cfg = config if config is not None else get_config()
-    eff_pue = cfg.pue if pue is None else float(pue)
-    if eff_pue < 1.0:
-        raise SimulationError(f"PUE must be >= 1.0, got {eff_pue!r}")
+    eff_pue = effective_pue(pue, config=config, error=SimulationError)
 
     scheduled = _place_fcfs(jobs, cluster)
     n_hours = int(np.ceil(horizon_h))
@@ -295,11 +296,21 @@ def simulate_cluster(
     ic_energy_kwh = float(power_w.sum()) / 1000.0
     if isinstance(intensity, IntensityTrace):
         profile = intensity.slice_hours(0, n_hours)
+        region = intensity.region_code
     else:
         if float(intensity) < 0.0:
             raise SimulationError("carbon intensity must be non-negative")
         profile = np.full(n_hours, float(intensity))
-    carbon_g = float(np.dot(power_w, profile)) / 1000.0 * eff_pue
+        region = None
+
+    # Charge the simulated horizon through the shared carbon ledger (the
+    # exact historical dot product — see CarbonLedger.charge_power_profile's
+    # exactness contract), so cluster results speak the same accounting
+    # currency as scheduling evaluations and audits.
+    ledger = CarbonLedger()
+    carbon_g = ledger.charge_power_profile(
+        "cluster", power_w, profile, pue=eff_pue, region=region
+    )
 
     return SimulationResult(
         cluster=cluster,
@@ -309,4 +320,5 @@ def simulate_cluster(
         ic_energy_kwh=ic_energy_kwh,
         carbon_g=carbon_g,
         pue=eff_pue,
+        ledger=ledger,
     )

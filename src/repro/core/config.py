@@ -109,18 +109,28 @@ def set_config(config: ModelConfig) -> None:
     _active_config = config
 
 
-def effective_pue(override: "float | None" = None) -> float:
-    """Resolve a PUE override against the active configuration.
+def effective_pue(
+    override: "float | None" = None,
+    *,
+    config: "ModelConfig | None" = None,
+    error: type = ConfigurationError,
+) -> float:
+    """Resolve a PUE override against a configuration.
 
     The single place that encodes "an explicit ``pue=`` wins, otherwise
-    the active :class:`ModelConfig` supplies it" — use this instead of
-    re-implementing the fallback at every call site.
+    ``config`` (or the active :class:`ModelConfig`) supplies it" — use
+    this instead of re-implementing the fallback at every call site.
+    ``error`` lets subsystems keep their own exception class for an
+    out-of-domain override (the hierarchy is organized by subsystem, so
+    the scheduler raises ``SchedulingError``, the simulator
+    ``SimulationError``, and so on).
     """
     if override is None:
-        return get_config().pue
+        cfg = config if config is not None else get_config()
+        return cfg.pue
     value = float(override)
     if value < 1.0:
-        raise ConfigurationError(f"PUE must be >= 1.0, got {override!r}")
+        raise error(f"PUE must be >= 1.0, got {override!r}")
     return value
 
 

@@ -20,6 +20,7 @@ __all__ = [
     "WorkloadError",
     "SimulationError",
     "SchedulingError",
+    "AccountingError",
     "BudgetError",
     "UpgradeAnalysisError",
     "ExperimentError",
@@ -104,6 +105,11 @@ class SimulationError(ReproError):
 
 class SchedulingError(ReproError):
     """A scheduling policy produced an invalid placement."""
+
+
+class AccountingError(ReproError):
+    """Carbon-ledger misuse (mismatched batch shapes, an unknown
+    charging engine, or a PUE profile outside its valid domain)."""
 
 
 class BudgetError(ReproError):

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping
 
 from repro.core.embodied import EmbodiedBreakdown
 from repro.core.errors import ConfigurationError, UnitError

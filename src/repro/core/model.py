@@ -9,7 +9,7 @@ to components (Fig. 5) or to phases of the system life cycle (Figs. 8-9).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping, Tuple
 
 from repro.core.embodied import EmbodiedBreakdown

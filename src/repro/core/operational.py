@@ -25,9 +25,9 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.config import ModelConfig, get_config
+from repro.core.config import ModelConfig, effective_pue
 from repro.core.errors import UnitError
-from repro.core.units import CarbonIntensity, CarbonMass, Energy
+from repro.core.units import CarbonMass, Energy
 
 __all__ = [
     "apply_pue",
@@ -45,11 +45,7 @@ def apply_pue(
     """Scale IC-component energy to facility energy using the PUE."""
     if ic_energy_kwh < 0.0:
         raise UnitError(f"energy must be non-negative, got {ic_energy_kwh!r}")
-    cfg = config if config is not None else get_config()
-    eff_pue = cfg.pue if pue is None else pue
-    if eff_pue < 1.0:
-        raise UnitError(f"PUE must be >= 1.0, got {eff_pue!r}")
-    return ic_energy_kwh * eff_pue
+    return ic_energy_kwh * effective_pue(pue, config=config, error=UnitError)
 
 
 def operational_carbon(
@@ -121,9 +117,6 @@ def operational_carbon_trace(
             raise UnitError("power profile contains negative samples")
         if float(intensity.min()) < 0.0:
             raise UnitError("intensity trace contains negative samples")
-    cfg = config if config is not None else get_config()
-    eff_pue = cfg.pue if pue is None else pue
-    if eff_pue < 1.0:
-        raise UnitError(f"PUE must be >= 1.0, got {eff_pue!r}")
+    eff_pue = effective_pue(pue, config=config, error=UnitError)
     grams = float(np.dot(power, intensity)) * step_hours / 1000.0 * eff_pue
     return CarbonMass(grams)

@@ -68,6 +68,7 @@ class CarbonIntensityService:
         self._rng = np.random.default_rng(seed + 777)
         self._score_tables: Dict[Tuple[str, int], np.ndarray] = {}
         self._score_matrices: Dict[Tuple[Tuple[str, ...], int], np.ndarray] = {}
+        self._truth_tables: Dict[Tuple[str, int], np.ndarray] = {}
 
     # --- catalog ------------------------------------------------------------
     @property
@@ -197,6 +198,55 @@ class CarbonIntensityService:
         matrix.setflags(write=False)
         self._score_matrices[key] = matrix
         return matrix
+
+    # --- accounting truth tables -------------------------------------------
+    def truth_table_cached(self, region: str, window_hours: int) -> bool:
+        """Whether :meth:`truth_window_table` has already been built for
+        ``(region, window)`` — charging engines use this to prefer a
+        free gather over a fresh table build for small job groups."""
+        return (region, int(window_hours)) in self._truth_tables
+
+    def truth_window_table(self, region: str, window_hours: int) -> np.ndarray:
+        """Per-start-hour *true* window means: the charging truth table.
+
+        ``table[t]`` is the mean ground-truth intensity over
+        ``[t, t+window)`` (wrapping at the year boundary) — exactly
+        ``history(region, t, window).mean()`` for every start hour.  The
+        accounting twin of :meth:`window_score_table`: policies decide
+        against the forecast score tables, the carbon ledger charges
+        realized placements against these.  Built once per ``(region,
+        window)`` and memoized, so charging a batch of placed jobs is a
+        single gather instead of a per-job slice-and-mean.
+
+        Each row is reduced with the same pairwise summation ``numpy``
+        applies to a 1-D slice, so table entries are *bit-identical* to
+        the scalar ``float(history(...).mean())`` reference — a cumsum
+        formulation would be O(n) cheaper to build but drifts in the
+        last float bits, and the ledger's contract is byte-identical
+        totals.  The build is chunked over start hours to bound the
+        dense ``(chunk, window)`` intermediate.
+
+        The returned array is read-only and shared; copy before writing.
+        """
+        if window_hours < 1:
+            raise TraceError(f"window must be >= 1 hour, got {window_hours}")
+        window = int(window_hours)
+        key = (region, window)
+        table = self._truth_tables.get(key)
+        if table is not None:
+            return table
+        values = self.trace(region).values
+        n = values.shape[0]
+        table = np.empty(n)
+        offsets = np.arange(window)[None, :]
+        chunk = max(_SCORE_CHUNK_HOURS * 512 // max(window, 1), 1)
+        for t0 in range(0, n, chunk):
+            t1 = min(t0 + chunk, n)
+            idx = (np.arange(t0, t1)[:, None] + offsets) % n
+            table[t0:t1] = values[idx].mean(axis=1)
+        table.setflags(write=False)
+        self._truth_tables[key] = table
+        return table
 
     def forecast_window_mean(
         self, region: str, start_hour: int, window_hours: int

@@ -17,8 +17,6 @@ catalog idle/active wattages.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
-
 from repro.core.errors import PowerModelError
 from repro.hardware.parts import MemorySpec, PartSpec, ProcessorSpec, StorageSpec
 

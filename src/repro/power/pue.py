@@ -12,7 +12,7 @@ the error of the constant-PUE simplification can be measured.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 

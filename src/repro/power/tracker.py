@@ -15,7 +15,7 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
-from repro.core.config import ModelConfig, get_config
+from repro.core.config import ModelConfig, effective_pue
 from repro.core.errors import PowerModelError
 from repro.core.units import CarbonMass, Energy
 from repro.hardware.node import NodeSpec
@@ -87,13 +87,10 @@ class CarbonTracker:
             raise PowerModelError(f"sample step must be positive, got {sample_step_h!r}")
         if isinstance(intensity, (int, float)) and float(intensity) < 0.0:
             raise PowerModelError("carbon intensity must be non-negative")
-        cfg = config if config is not None else get_config()
         self._node = node
         self._power = NodePowerModel(node)
         self._intensity = intensity
-        self._pue = cfg.pue if pue is None else float(pue)
-        if self._pue < 1.0:
-            raise PowerModelError(f"PUE must be >= 1.0, got {self._pue!r}")
+        self._pue = effective_pue(pue, config=config, error=PowerModelError)
         self._step_h = sample_step_h
 
     # --- intensity lookup ------------------------------------------------

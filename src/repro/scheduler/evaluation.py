@@ -6,22 +6,30 @@ against the ground-truth traces and accounts operational carbon per job
 same GPU-centric scope as the paper's Figs. 8-9 — plus a data-transfer
 overhead for migrated jobs (the paper's Insight 7 notes distribution is
 not free).
+
+Charging goes through :mod:`repro.accounting`: the old per-job
+slice-and-mean loop is now one call into a charging engine (the
+``vectorized`` truth-table engine by default, byte-identical to the
+``scalar-reference`` seed loop), and every evaluation carries a
+:class:`~repro.accounting.CarbonLedger` with per-job / per-region
+attribution.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.config import ModelConfig, get_config
+from repro.accounting import CarbonLedger, get_engine
+from repro.accounting.pue import PUELike, resolve_pue
+from repro.core.config import ModelConfig
 from repro.core.errors import SchedulingError
 from repro.core.units import CarbonMass, Energy
 from repro.cluster.job import Job, Placement
 from repro.hardware.node import NodeSpec
 from repro.intensity.api import CarbonIntensityService
-from repro.power.node import NodePowerModel
 from repro.scheduler.policies import SchedulingPolicy, place_jobs
 
 __all__ = ["JobOutcome", "PolicyEvaluation", "evaluate_policy", "compare_policies"]
@@ -44,6 +52,9 @@ class PolicyEvaluation:
 
     policy_name: str
     outcomes: tuple[JobOutcome, ...]
+    #: Itemized charges behind the outcomes (per-job/region attribution);
+    #: not part of equality.
+    ledger: Optional[CarbonLedger] = field(default=None, compare=False, repr=False)
 
     @property
     def total_carbon(self) -> CarbonMass:
@@ -61,6 +72,35 @@ class PolicyEvaluation:
     def migration_count(self) -> int:
         return sum(1 for o in self.outcomes if o.placement.migrated)
 
+    def carbon_by_region(self) -> Dict[str, float]:
+        """Realized grams per placement region (ledger attribution)."""
+        if self.ledger is None:
+            return {}
+        return self.ledger.by_region()
+
+
+def _validate_placements(
+    jobs: Sequence[Job], placements: Sequence[Placement], policy_name: str
+) -> None:
+    """The placement sanity contract the seed evaluator enforced.
+
+    (Job/placement id pairing is already enforced by ``place_jobs``,
+    the single chokepoint every evaluation path goes through.)
+    """
+    seen: set[int] = set()
+    for job, placement in zip(jobs, placements):
+        if placement.job_id in seen:
+            raise SchedulingError(f"job {job.job_id} placed twice")
+        seen.add(placement.job_id)
+        if placement.start_h < job.submit_h - 1e-9:
+            raise SchedulingError(
+                f"policy {policy_name!r} started job {job.job_id} before submit"
+            )
+        if placement.start_h > job.latest_start_h + 1e-9:
+            raise SchedulingError(
+                f"policy {policy_name!r} violated slack for job {job.job_id}"
+            )
+
 
 def evaluate_policy(
     jobs: Sequence[Job],
@@ -70,8 +110,10 @@ def evaluate_policy(
     *,
     transfer_overhead_fraction: float = 0.02,
     transfer_model: Optional["TransferModel"] = None,
-    pue: Optional[float] = None,
+    pue: PUELike = None,
     config: Optional[ModelConfig] = None,
+    accounting: Union[str, object] = "vectorized",
+    ledger: Optional[CarbonLedger] = None,
 ) -> PolicyEvaluation:
     """Place every job with ``policy`` and charge true intensities.
 
@@ -82,83 +124,57 @@ def evaluate_policy(
     * physical — pass a :class:`~repro.scheduler.transfer.TransferModel`
       to charge the job's actual dataset size over the region-pair hop
       count, with the transfer's carbon split between both grids.
+
+    ``pue`` takes a float (the legacy exact path) or an hourly profile /
+    :class:`~repro.power.pue.SeasonalPUE`; ``accounting`` selects the
+    charging engine (``"vectorized"`` / ``"scalar-reference"`` or an
+    engine instance).  When ``ledger`` is given, the evaluation's
+    charges are also folded into it (policy-attributed).
     """
     if transfer_overhead_fraction < 0.0:
         raise SchedulingError("transfer overhead must be non-negative")
-    cfg = config if config is not None else get_config()
-    eff_pue = cfg.pue if pue is None else float(pue)
-    if eff_pue < 1.0:
-        raise SchedulingError(f"PUE must be >= 1.0, got {eff_pue!r}")
-
-    power = NodePowerModel(node)
-    per_gpu_busy_w = power.gpu_power_w(busy=True) / node.gpu_count
-    if transfer_model is not None:
-        from repro.scheduler.transfer import transfer_carbon_g, transfer_energy_kwh
+    # Resolve the PUE once, with this layer's error type; the engine
+    # receives the already-normalized scalar or hourly profile (its own
+    # re-resolution of either form is a cheap no-op).
+    eff_pue, pue_profile = resolve_pue(pue, config=config, error=SchedulingError)
+    resolved_pue = eff_pue if pue_profile is None else pue_profile
+    engine = get_engine(accounting)
 
     # Batched placement: one vectorized place_all call for the built-in
     # policies (scored off the shared window score tables), per-job
     # place for minimal third-party ones.
     placements = place_jobs(policy, jobs)
+    _validate_placements(jobs, placements, policy.name)
 
-    outcomes: List[JobOutcome] = []
-    seen: set[int] = set()
-    for job, placement in zip(jobs, placements):
-        if placement.job_id != job.job_id:
-            raise SchedulingError(
-                f"policy {policy.name!r} returned placement for job "
-                f"{placement.job_id}, expected {job.job_id}"
-            )
-        if placement.job_id in seen:
-            raise SchedulingError(f"job {job.job_id} placed twice")
-        seen.add(placement.job_id)
-        if placement.start_h < job.submit_h - 1e-9:
-            raise SchedulingError(
-                f"policy {policy.name!r} started job {job.job_id} before submit"
-            )
-        if placement.start_h > job.latest_start_h + 1e-9:
-            raise SchedulingError(
-                f"policy {policy.name!r} violated slack for job {job.job_id}"
-            )
+    # Charging: the whole per-job accounting loop is one engine call.
+    charges = engine.charge(
+        jobs,
+        placements,
+        service=service,
+        node=node,
+        pue=resolved_pue,
+        config=config,
+        transfer_overhead_fraction=transfer_overhead_fraction,
+        transfer_model=transfer_model,
+    )
+    own_ledger = CarbonLedger()
+    charges.record(own_ledger, policy=policy.name)
+    if ledger is not None:
+        ledger.merge(own_ledger)
 
-        energy_kwh = job.n_gpus * per_gpu_busy_w * job.duration_h / 1000.0
-        transfer_g = 0.0
-        if placement.migrated:
-            if transfer_model is not None:
-                home = job.home_region if job.home_region is not None else placement.region
-                hour = int(np.floor(placement.start_h))
-                transfer_g = transfer_carbon_g(
-                    job.model,
-                    home,
-                    placement.region,
-                    service.intensity_at(home, hour),
-                    service.intensity_at(placement.region, hour),
-                    transfer=transfer_model,
-                )
-                energy_kwh += transfer_energy_kwh(
-                    job.model, home, placement.region, transfer=transfer_model
-                )
-            else:
-                energy_kwh *= 1.0 + transfer_overhead_fraction
-        window = max(int(np.ceil(job.duration_h)), 1)
-        truth = service.history(
-            placement.region, int(np.floor(placement.start_h)), window
+    outcomes = tuple(
+        JobOutcome(
+            job_id=job.job_id,
+            placement=placement,
+            energy_kwh=float(charges.energy_kwh[i]),
+            carbon_g=float(charges.carbon_g[i]),
+            delay_h=placement.start_h - job.submit_h,
         )
-        compute_energy = (
-            job.n_gpus * per_gpu_busy_w * job.duration_h / 1000.0
-            if transfer_model is not None
-            else energy_kwh
-        )
-        carbon_g = compute_energy * float(truth.mean()) * eff_pue + transfer_g
-        outcomes.append(
-            JobOutcome(
-                job_id=job.job_id,
-                placement=placement,
-                energy_kwh=energy_kwh,
-                carbon_g=carbon_g,
-                delay_h=placement.start_h - job.submit_h,
-            )
-        )
-    return PolicyEvaluation(policy_name=policy.name, outcomes=tuple(outcomes))
+        for i, (job, placement) in enumerate(zip(jobs, placements))
+    )
+    return PolicyEvaluation(
+        policy_name=policy.name, outcomes=outcomes, ledger=own_ledger
+    )
 
 
 def compare_policies(

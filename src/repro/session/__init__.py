@@ -36,6 +36,7 @@ from repro.session.registry import (
     resolve_backend,
 )
 from repro.session.result import (
+    CarbonSection,
     ClusterSection,
     EmbodiedSection,
     PolicyOutcome,
@@ -60,6 +61,7 @@ __all__ = [
     "PolicyOutcome",
     "ClusterSection",
     "UpgradeSection",
+    "CarbonSection",
     "Provenance",
     "SystemDeployment",
     "BackendRegistry",

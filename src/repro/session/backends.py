@@ -19,6 +19,13 @@ calling conventions, per kind:
 ``simulator``
     the callable itself: ``(jobs, cluster, *, horizon_h, intensity,
     pue, config) -> SimulationResult``.
+``accounting``
+    ``factory(**opts) -> engine`` — a charging engine exposing
+    ``charge(jobs, placements, *, service, node, pue, config,
+    transfer_overhead_fraction, transfer_model) -> JobCharges`` (see
+    :mod:`repro.accounting.engines`).  ``vectorized`` is the production
+    truth-table path; ``scalar-reference`` is the seed per-job loop kept
+    as the byte-identical oracle.
 ``renderer``
     ``factory(result) -> str`` for a :class:`ScenarioResult`.
 ``report``
@@ -42,6 +49,7 @@ __all__ = ["load_builtin_backends"]
 
 def load_builtin_backends(registry: "BackendRegistry") -> None:
     """Invoke every layer's ``register_backends`` hook exactly once."""
+    import repro.accounting as accounting
     import repro.analysis as analysis
     import repro.cluster as cluster
     import repro.hardware as hardware
@@ -49,5 +57,6 @@ def load_builtin_backends(registry: "BackendRegistry") -> None:
     import repro.scheduler as scheduler
     import repro.session.executors as executors
 
-    for layer in (hardware, intensity, scheduler, cluster, analysis, executors):
+    layers = (hardware, intensity, scheduler, cluster, accounting, analysis, executors)
+    for layer in layers:
         layer.register_backends(registry)

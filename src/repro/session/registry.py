@@ -48,6 +48,7 @@ BACKEND_KINDS: Tuple[str, ...] = (
     "intensity",
     "policy",
     "simulator",
+    "accounting",
     "renderer",
     "report",
     "executor",

@@ -34,6 +34,7 @@ __all__ = [
     "SchedulingSection",
     "ClusterSection",
     "UpgradeSection",
+    "CarbonSection",
     "ScenarioResult",
 ]
 
@@ -147,6 +148,41 @@ class UpgradeSection:
 
 
 @dataclass(frozen=True)
+class CarbonSection:
+    """The unified Eq. 1 rollup: one carbon account for the scenario.
+
+    Every requested section charges into the shared accounting
+    subsystem (:mod:`repro.accounting`); this section is the rollup.
+    ``source`` names the *primary* account — the most complete model the
+    scenario ran (best scheduling policy > cluster simulation > training
+    run > audit > upgrade recommendation) — whose operational carbon and
+    (amortized) embodied carbon make up ``total_g``.  ``by_source``
+    keeps every contributing section's realized grams side by side
+    *without* summing them: scheduling and cluster simulation are two
+    models of the same jobs, not additive accounts.
+
+    ``by_region`` and ``by_policy`` are the primary account's ledger
+    attributions; ``backend`` records which charging engine produced
+    the numbers (per-knob provenance carries its registry key too).
+    """
+
+    backend: str
+    source: str
+    operational_g: float
+    embodied_g: float
+    by_region: Dict[str, float]
+    by_policy: Dict[str, float]
+    by_source: Dict[str, float]
+    #: The live primary-account ledger; not serialized.
+    ledger: Any = field(default=None, compare=False, repr=False)
+
+    @property
+    def total_g(self) -> float:
+        """Eq. 1 over the primary account."""
+        return self.operational_g + self.embodied_g
+
+
+@dataclass(frozen=True)
 class ScenarioResult:
     """Everything one scenario produced, plus how it was configured."""
 
@@ -159,6 +195,7 @@ class ScenarioResult:
     scheduling: Optional[SchedulingSection] = None
     cluster: Optional[ClusterSection] = None
     upgrade: Optional[UpgradeSection] = None
+    carbon: Optional[CarbonSection] = None
     provenance: Tuple[Provenance, ...] = ()
 
     # --- presentation -----------------------------------------------------
@@ -211,6 +248,19 @@ class ScenarioResult:
                 f"  upgrade {u.old} -> {u.new} ({u.suite}): breakeven {breakeven}, "
                 f"EOL savings {u.savings_at_lifetime:+.1%} — {u.verdict}"
             )
+        if self.carbon is not None:
+            c = self.carbon
+            lines.append(
+                f"  carbon ledger ({c.backend}, primary {c.source}): "
+                f"{format_co2(c.total_g)} = {format_co2(c.operational_g)} "
+                f"operational + {format_co2(c.embodied_g)} embodied"
+            )
+            if len(c.by_region) > 1:
+                regions = ", ".join(
+                    f"{code} {format_co2(grams)}"
+                    for code, grams in c.by_region.items()
+                )
+                lines.append(f"    by region: {regions}")
         return lines
 
     # --- serialization ----------------------------------------------------
@@ -250,6 +300,7 @@ class ScenarioResult:
             "scheduling": section(self.scheduling),
             "cluster": section(self.cluster),
             "upgrade": section(self.upgrade),
+            "carbon": section(self.carbon),
             "provenance": [self._plain(p) for p in self.provenance],
         }
 
@@ -277,6 +328,7 @@ class ScenarioResult:
             scheduling=load(SchedulingSection, data.get("scheduling")),
             cluster=load(ClusterSection, data.get("cluster")),
             upgrade=load(UpgradeSection, data.get("upgrade")),
+            carbon=load(CarbonSection, data.get("carbon")),
             provenance=tuple(
                 Provenance(**p) for p in data.get("provenance", ())
             ),

@@ -84,6 +84,8 @@ class Scenario:
         self._renderer: str = "text"
         self._executor: str = "serial"
         self._executor_opts: dict = {}
+        self._accounting: str = "vectorized"
+        self._accounting_opts: dict = {}
 
     # --- internals --------------------------------------------------------
     def _set(self, knob: str, value) -> "Scenario":
@@ -247,6 +249,18 @@ class Scenario:
         """``renderer`` registry key for :meth:`Session.render`."""
         return self._set("renderer", str(key))
 
+    def accounting(self, key: str, **opts) -> "Scenario":
+        """``accounting`` registry key: the carbon-charging engine.
+
+        ``"vectorized"`` (default) charges placed jobs from the
+        per-(region, window) truth tables in one gather;
+        ``"scalar-reference"`` is the seed per-job loop kept as the
+        byte-identical oracle.  Extra keyword options are passed to the
+        backend factory.
+        """
+        self._accounting_opts = dict(opts)
+        return self._set("accounting", str(key))
+
     def executor(
         self,
         key: str,
@@ -369,6 +383,7 @@ class Scenario:
         clone._explicit = set(self._explicit)
         clone._policies = list(self._policies)
         clone._executor_opts = dict(self._executor_opts)
+        clone._accounting_opts = dict(self._accounting_opts)
         if self._regions is not None:
             clone._regions = list(self._regions)
         if self._training is not None:

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple, Un
 from repro.core.errors import SessionError
 from repro.session.registry import resolve_backend
 from repro.session.result import (
+    CarbonSection,
     ClusterSection,
     EmbodiedSection,
     PolicyOutcome,
@@ -178,6 +179,15 @@ class Session:
         self._render = resolve_backend("renderer", s._renderer)
         note("renderer", s._renderer, backend=f"renderer:{s._renderer.lower()}")
 
+        # Carbon-charging engine: every section that accounts carbon does
+        # so through this backend (the unified ledger subsystem).
+        self._accounting_factory = resolve_backend("accounting", s._accounting)
+        note(
+            "accounting",
+            s._accounting,
+            backend=f"accounting:{s._accounting.lower()}",
+        )
+
         if "executor" in s._explicit:
             # Sweep engine (consumed by run_many, recorded per session).
             resolve_backend("executor", s._executor)  # validate the key early
@@ -307,13 +317,14 @@ class Session:
             return None
         from repro.scheduler.evaluation import evaluate_policy
 
+        engine = self._accounting_factory(**s._accounting_opts)
         evaluations: Dict[str, Any] = {}
         for policy_name, policy in self._policies:
             if policy_name in evaluations:
                 raise SessionError(f"duplicate policy {policy_name!r}")
             evaluations[policy_name] = evaluate_policy(
                 jobs, policy, self._service, self._node,
-                pue=s._pue, config=s._config,
+                pue=s._pue, config=s._config, accounting=engine,
             )
         baseline_name = (
             BASELINE_POLICY
@@ -342,10 +353,10 @@ class Session:
             evaluations=evaluations,
         )
 
-    def _run_cluster(self, jobs) -> Optional[ClusterSection]:
+    def _run_cluster(self, jobs) -> Tuple[Optional[ClusterSection], Any]:
         s = self._scenario
         if self._simulate is None:
-            return None
+            return None, None
         from repro.cluster.simulator import Cluster
         from repro.cluster.workload_gen import WorkloadParams
 
@@ -364,7 +375,7 @@ class Session:
             pue=s._pue,
             config=s._config,
         )
-        return ClusterSection(
+        section = ClusterSection(
             simulator=s._simulator,
             n_nodes=s._cluster_nodes,
             horizon_h=float(horizon),
@@ -374,11 +385,12 @@ class Session:
             average_usage=sim.average_usage(),
             mean_wait_h=sim.mean_wait_h(),
         )
+        return section, sim
 
-    def _run_upgrade(self) -> Optional[UpgradeSection]:
+    def _run_upgrade(self) -> Tuple[Optional[UpgradeSection], Any]:
         s = self._scenario
         if s._upgrade is None:
-            return None
+            return None, None
         from repro.upgrade.advisor import UpgradeAdvisor
 
         advisor = UpgradeAdvisor(
@@ -390,7 +402,7 @@ class Session:
             s._upgrade["suite"],
             lifetime_years=s._lifetime_years,
         )
-        return UpgradeSection(
+        section = UpgradeSection(
             old=decision.old,
             new=decision.new,
             suite=decision.suite.value,
@@ -399,6 +411,155 @@ class Session:
             savings_at_lifetime=decision.savings_at_lifetime,
             verdict=decision.verdict.value,
             rationale=decision.rationale,
+        )
+        return section, decision
+
+    def _run_carbon(
+        self,
+        jobs,
+        embodied: Optional[EmbodiedSection],
+        audit,
+        training: Optional[TrainingSection],
+        scheduling: Optional[SchedulingSection],
+        cluster_sim,
+        upgrade_decision,
+    ) -> Optional[CarbonSection]:
+        """Roll every charged section up into the unified carbon account.
+
+        The primary account is the most complete model the scenario ran
+        (scheduling best policy > cluster simulation > training > audit
+        > upgrade); alternatives stay side by side in ``by_source``.
+        Workload-scale primaries add the amortized embodied share of
+        the hardware they occupied (the model-card LCA attribution), so
+        scheduling results and audits finally speak one Eq. 1 currency.
+        """
+        import numpy as np
+
+        from repro.accounting import CarbonLedger
+
+        s = self._scenario
+        by_source: Dict[str, float] = {}
+        primary: Optional[CarbonLedger] = None
+        source = ""
+        operational = 0.0
+        embodied_g = 0.0
+
+        if scheduling is not None and scheduling.outcomes:
+            best = scheduling.best()
+            for outcome in scheduling.outcomes:
+                by_source[f"scheduling:{outcome.policy}"] = outcome.carbon_g
+            evaluation = scheduling.evaluations[best.policy]
+            primary = CarbonLedger()
+            if evaluation.ledger is not None:
+                primary.merge(evaluation.ledger)
+            operational = primary.operational_g + primary.transfer_g
+            # The model-card LCA proration (amortized_embodied_g), applied
+            # per job over its occupied GPU share, vectorized.
+            from repro.accounting import amortized_embodied_g
+
+            node_embodied = self._node.embodied(config=s._config).total_g
+            gpu_count = self._node.gpu_count
+            gpus = np.array([job.n_gpus for job in jobs], dtype=float)
+            durations = np.array([job.duration_h for job in jobs], dtype=float)
+            per_hour = amortized_embodied_g(
+                node_embodied, 1.0, s._lifetime_years
+            )
+            amortized = per_hour * (gpus / gpu_count) * durations
+            primary.add_batch(
+                "embodied",
+                carbon_g=amortized,
+                regions=[o.placement.region for o in evaluation.outcomes],
+                policy=best.policy,
+                job_ids=np.array([job.job_id for job in jobs], dtype=np.int64),
+            )
+            embodied_g = primary.embodied_g
+            source = f"scheduling:{best.policy}"
+
+        if cluster_sim is not None:
+            by_source["cluster"] = cluster_sim.carbon_g
+            if primary is None:
+                primary = CarbonLedger()
+                if cluster_sim.ledger is not None:
+                    primary.merge(cluster_sim.ledger)
+                operational = primary.operational_g
+                primary.charge_amortized_embodied(
+                    f"cluster:{s._cluster_nodes}x{self._node.name}",
+                    self._node.embodied(config=s._config).total_g
+                    * s._cluster_nodes,
+                    duration_h=cluster_sim.horizon_h,
+                    lifetime_years=s._lifetime_years,
+                    region=s._region,
+                )
+                embodied_g = primary.embodied_g
+                source = "cluster"
+
+        if training is not None:
+            by_source["training"] = training.operational_g
+            if primary is None:
+                primary = CarbonLedger()
+                primary.add(
+                    "operational",
+                    f"training:{training.model}",
+                    training.operational_g,
+                    energy_kwh=training.energy_kwh,
+                    region=s._region,
+                )
+                operational = training.operational_g
+                primary.charge_amortized_embodied(
+                    f"node:{training.node}",
+                    training.node_embodied_g,
+                    duration_h=training.duration_h,
+                    lifetime_years=s._lifetime_years,
+                    region=s._region,
+                )
+                embodied_g = primary.embodied_g
+                source = "training"
+
+        if audit is not None:
+            by_source["audit"] = audit.total_g
+            if primary is None:
+                primary = audit.to_ledger()
+                operational = audit.operational_g
+                embodied_g = audit.embodied_total_g
+                source = "audit"
+
+        if upgrade_decision is not None and upgrade_decision.ledger is not None:
+            for policy, grams in upgrade_decision.ledger.by_policy().items():
+                by_source[f"upgrade:{policy}"] = grams
+            if primary is None:
+                # The recommendation's own account: the upgrade
+                # alternative (embodied tax + new-node operation).
+                primary = upgrade_decision.ledger
+                operational = sum(
+                    e.carbon_g
+                    for e in primary
+                    if e.policy == "upgrade" and e.kind == "operational"
+                )
+                embodied_g = sum(
+                    e.carbon_g
+                    for e in primary
+                    if e.policy == "upgrade" and e.kind == "embodied"
+                )
+                source = "upgrade"
+
+        if primary is None and embodied is not None:
+            primary = CarbonLedger()
+            for cls, grams in embodied.by_class_g.items():
+                primary.charge_embodied(cls, grams, region=s._region)
+            embodied_g = primary.embodied_g
+            source = "embodied"
+
+        if primary is None:
+            return None
+        return CarbonSection(
+            backend=s._accounting,
+            source=source,
+            operational_g=operational,
+            embodied_g=embodied_g,
+            by_region=primary.by_region(),
+            by_policy=primary.by_policy(),
+            by_source=by_source,
+            ledger=primary,
         )
 
     def run(self) -> ScenarioResult:
@@ -414,16 +575,26 @@ class Session:
             return self._result
         s = self._scenario
         jobs = self._jobs() if s._workload is not None else []
+        embodied = self._run_embodied()
+        audit = self._run_audit()
+        training = self._run_training()
+        scheduling = self._run_scheduling(jobs)
+        cluster, cluster_sim = self._run_cluster(jobs)
+        upgrade, upgrade_decision = self._run_upgrade()
         result = ScenarioResult(
             name=self._name,
             region=s._region,
             seed=s._seed,
-            embodied=self._run_embodied(),
-            audit=self._run_audit(),
-            training=self._run_training(),
-            scheduling=self._run_scheduling(jobs),
-            cluster=self._run_cluster(jobs),
-            upgrade=self._run_upgrade(),
+            embodied=embodied,
+            audit=audit,
+            training=training,
+            scheduling=scheduling,
+            cluster=cluster,
+            upgrade=upgrade,
+            carbon=self._run_carbon(
+                jobs, embodied, audit, training, scheduling, cluster_sim,
+                upgrade_decision,
+            ),
             provenance=self.provenance,
         )
         object.__setattr__(self, "_result", result)

@@ -3,6 +3,7 @@
 from repro.upgrade.advisor import UpgradeAdvisor, UpgradeDecision, Verdict
 from repro.upgrade.amortization import (
     SavingsGrid,
+    attribution_sweep,
     breakeven_table,
     intensity_scaling_check,
     sweep_intensities,
@@ -29,6 +30,7 @@ __all__ = [
     "sweep_usages",
     "breakeven_table",
     "intensity_scaling_check",
+    "attribution_sweep",
     "UpgradeAdvisor",
     "UpgradeDecision",
     "Verdict",

@@ -12,11 +12,12 @@ savings at end of life, and a recommendation with the reasons.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.accounting import CarbonLedger
 from repro.core.errors import UpgradeAnalysisError
 from repro.intensity.trace import IntensityTrace
 from repro.upgrade.scenario import UpgradeScenario
@@ -48,6 +49,9 @@ class UpgradeDecision:
     savings_at_lifetime: float
     verdict: Verdict
     rationale: str
+    #: Itemized keep-vs-upgrade charges behind the numbers (shared
+    #: accounting currency); not part of equality.
+    ledger: Optional[CarbonLedger] = field(default=None, compare=False, repr=False)
 
 
 class UpgradeAdvisor:
@@ -103,9 +107,17 @@ class UpgradeAdvisor:
             pue=self._pue,
         )
         breakeven = scenario.breakeven_years(horizon_years=max(lifetime_years * 4, 30.0))
-        savings_at_lifetime = float(
-            scenario.savings_curve(np.array([lifetime_years]))[0]
-        )
+        # Savings come off the scenario's carbon ledger: the keep/upgrade
+        # attribution totals are the two alternatives' Eq. 1 accounts
+        # (identical to savings_curve at the same horizon).  numpy
+        # division keeps the zero-carbon-grid case (Insight 8) finite
+        # semantics: keep == 0 yields -inf savings, not an exception.
+        ledger = scenario.to_ledger(lifetime_years)
+        alternatives = ledger.by_policy()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            savings_at_lifetime = float(
+                1.0 - np.float64(alternatives["upgrade"]) / np.float64(alternatives["keep"])
+            )
         performance_gain = suite_time_reduction(suite_key, old, new)
 
         if breakeven is not None and breakeven <= self._quick:
@@ -141,6 +153,7 @@ class UpgradeAdvisor:
             savings_at_lifetime=savings_at_lifetime,
             verdict=verdict,
             rationale=rationale,
+            ledger=ledger,
         )
 
     def best_option(

@@ -13,6 +13,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.accounting import CarbonLedger
 from repro.core.errors import UpgradeAnalysisError
 from repro.upgrade.scenario import UpgradeScenario
 from repro.workloads.models import Suite
@@ -23,6 +24,7 @@ __all__ = [
     "sweep_usages",
     "breakeven_table",
     "intensity_scaling_check",
+    "attribution_sweep",
 ]
 
 
@@ -114,6 +116,36 @@ def breakeven_table(
                 )
                 table[(old, new, label, suite)] = scenario.breakeven_years()
     return table
+
+
+def attribution_sweep(
+    old: str,
+    new: str,
+    intensity_levels: Mapping[str, float],
+    suite: Suite | str,
+    *,
+    usage: float = 0.40,
+    at_years: float = 5.0,
+    pue: Optional[float] = None,
+) -> Dict[str, CarbonLedger]:
+    """Keep-vs-upgrade carbon ledgers per intensity level.
+
+    The ledger-attribution view of a Fig. 8 row: for each level, the
+    returned :class:`~repro.accounting.CarbonLedger` itemizes the old
+    fleet's operational carbon (``policy="keep"``) against the new
+    node's embodied + operational account (``policy="upgrade"``) at the
+    ``at_years`` horizon — ``ledger.by_policy()`` is the comparison
+    Fig. 8 plots as a savings fraction, and ``ledger.by_kind()`` shows
+    how much of the upgrade account is the embodied "tax".
+    """
+    suite_key = Suite(suite) if isinstance(suite, str) else suite
+    ledgers: Dict[str, CarbonLedger] = {}
+    for label, intensity in intensity_levels.items():
+        scenario = UpgradeScenario.from_generations(
+            old, new, suite_key, usage=usage, intensity=intensity, pue=pue
+        )
+        ledgers[label] = scenario.to_ledger(at_years)
+    return ledgers
 
 
 def intensity_scaling_check(

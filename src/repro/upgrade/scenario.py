@@ -32,7 +32,8 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.config import ModelConfig, get_config
+from repro.accounting import CarbonLedger
+from repro.core.config import ModelConfig, effective_pue
 from repro.core.errors import UpgradeAnalysisError
 from repro.core.units import HOURS_PER_YEAR
 from repro.hardware.node import NodeSpec, get_node_generation
@@ -138,8 +139,7 @@ class UpgradeScenario:
         return self.new_node.embodied(config=self.config).total_g
 
     def _pue(self) -> float:
-        cfg = self.config if self.config is not None else get_config()
-        return cfg.pue if self.pue is None else float(self.pue)
+        return effective_pue(self.pue, config=self.config, error=UpgradeAnalysisError)
 
     def old_power_w(self) -> float:
         """Duty-cycled average GPU-subsystem power of the old node."""
@@ -221,3 +221,51 @@ class UpgradeScenario:
     def asymptotic_savings(self) -> float:
         """Savings limit as the horizon grows: ``1 - P_new / P_old``."""
         return 1.0 - self.new_power_w() / self.old_power_w()
+
+    # --- unified accounting ------------------------------------------------
+    def to_ledger(self, at_years: float) -> CarbonLedger:
+        """The upgrade decision as typed carbon-ledger entries.
+
+        Two competing fleets share one ledger, distinguished by the
+        ``policy`` axis: ``"keep"`` carries only the old node's
+        operational carbon over ``at_years`` (its embodied cost is
+        sunk), ``"upgrade"`` carries the new node's embodied cost plus
+        its operational carbon.  ``ledger.by_policy()`` therefore *is*
+        the savings comparison: ``1 - upgrade / keep`` equals
+        :meth:`savings_curve` at the same horizon, bit for bit (the
+        entries are recorded in the curve's own addition order).
+        """
+        if at_years <= 0.0:
+            raise UpgradeAnalysisError(
+                f"ledger horizon must be positive, got {at_years!r}"
+            )
+        hours = np.asarray([float(at_years) * HOURS_PER_YEAR])
+        old_op = float(self._cumulative_operational_g(self.old_power_w(), hours)[0])
+        new_op = float(self._cumulative_operational_g(self.new_power_w(), hours)[0])
+        region = (
+            self.intensity.region_code
+            if isinstance(self.intensity, IntensityTrace)
+            else None
+        )
+        ledger = CarbonLedger()
+        ledger.add(
+            "operational",
+            f"keep:{self.old_node.name}",
+            old_op,
+            region=region,
+            policy="keep",
+        )
+        ledger.charge_embodied(
+            f"buy:{self.new_node.name}",
+            self.embodied_cost_g,
+            region=region,
+            policy="upgrade",
+        )
+        ledger.add(
+            "operational",
+            f"run:{self.new_node.name}",
+            new_op,
+            region=region,
+            policy="upgrade",
+        )
+        return ledger
