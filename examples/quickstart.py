@@ -55,3 +55,23 @@ print(
     "dents the node's manufacturing footprint; amortization takes years of "
     "sustained use (see examples/upgrade_planning.py)."
 )
+
+# --- 5. beyond a constant PUE ----------------------------------------------
+# Facility overhead varies with weather and load (paper Sec. 6); the
+# `pue` registry kind swaps the constant simplification for an hourly
+# model.  `.pue(1.2)` keeps the exact constant arithmetic, while
+# `.pue("seasonal", amplitude=0.08)` charges every section — audits,
+# scheduling, cluster sims — through a winter/summer cooling swing.
+constant = Scenario().system("perlmutter").region("CISO").pue(1.2).run()
+seasonal = (
+    Scenario()
+    .system("perlmutter")
+    .region("CISO")
+    .pue("seasonal", mean=1.2, amplitude=0.08)
+    .run()
+)
+drift = seasonal.audit.operational_g / constant.audit.operational_g - 1.0
+print(
+    f"\nSeasonal PUE (mean 1.2, swing +/-0.08) moves Perlmutter's 5-year "
+    f"operational audit by {drift:+.2%} vs the constant-PUE estimate."
+)

@@ -42,8 +42,6 @@ per-figure/table regeneration harness.
 
 import warnings as _warnings
 
-__version__ = "1.1.0"
-
 from repro.core import (
     ModelConfig,
     ReproError,
@@ -62,6 +60,8 @@ from repro.session import (
     resolve_backend,
     run_scenario,
 )
+
+__version__ = "1.1.0"
 
 #: Primitives that used to be re-exported here; their canonical home is
 #: :mod:`repro.core`.  Top-level access still works but warns.

@@ -32,7 +32,14 @@ from repro.accounting.engines import (
     get_engine,
 )
 from repro.accounting.ledger import CarbonLedger, LedgerEntry, amortized_embodied_g
-from repro.accounting.pue import PUELike, pue_window_means, resolve_pue
+from repro.accounting.pue import (
+    PUELike,
+    align_pue_profile,
+    cyclic_product_cycle,
+    cyclic_weighted_mean,
+    pue_window_means,
+    resolve_pue,
+)
 
 __all__ = [
     "CarbonLedger",
@@ -46,6 +53,9 @@ __all__ = [
     "PUELike",
     "resolve_pue",
     "pue_window_means",
+    "align_pue_profile",
+    "cyclic_product_cycle",
+    "cyclic_weighted_mean",
     "register_backends",
 ]
 

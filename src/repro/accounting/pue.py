@@ -26,7 +26,14 @@ import numpy as np
 from repro.core.config import ModelConfig, effective_pue
 from repro.core.errors import AccountingError
 
-__all__ = ["PUELike", "resolve_pue", "pue_window_means"]
+__all__ = [
+    "PUELike",
+    "resolve_pue",
+    "pue_window_means",
+    "align_pue_profile",
+    "cyclic_product_cycle",
+    "cyclic_weighted_mean",
+]
 
 PUELike = Union[None, float, int, "np.ndarray", "object"]
 
@@ -54,12 +61,15 @@ def resolve_pue(
     if pue is None or isinstance(pue, (int, float)):
         return effective_pue(pue, config=config, error=error), None
     profile_method = getattr(pue, "profile", None)
-    if callable(profile_method):
-        from repro.intensity.trace import HOURS_PER_STUDY_YEAR
+    try:
+        if callable(profile_method):
+            from repro.intensity.trace import HOURS_PER_STUDY_YEAR
 
-        profile = np.asarray(profile_method(HOURS_PER_STUDY_YEAR), dtype=float)
-    else:
-        profile = np.asarray(pue, dtype=float)
+            profile = np.asarray(profile_method(HOURS_PER_STUDY_YEAR), dtype=float)
+        else:
+            profile = np.asarray(pue, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise error(f"PUE spec is not an hourly number series: {exc}") from None
     if profile.ndim != 1 or profile.size == 0:
         raise error(
             f"hourly PUE profile must be a non-empty 1-D array, got shape "
@@ -73,6 +83,63 @@ def resolve_pue(
     if np.all(profile == first):
         return first, None
     return float(profile.mean()), profile
+
+
+def align_pue_profile(profile: np.ndarray, n_hours: int) -> np.ndarray:
+    """The profile's value at each of hours ``0..n_hours-1`` (wrapping).
+
+    The charge paths sample hourly series from hour 0 of the study;
+    profiles shorter than the request tile cyclically (a one-week
+    measured profile repeats across a year, like an intensity trace).
+    """
+    if n_hours < 1:
+        raise AccountingError(f"need >= 1 hour, got {n_hours}")
+    return profile[np.arange(int(n_hours)) % profile.shape[0]]
+
+
+#: Longest combined cycle the cyclic helpers materialize; one decade of
+#: hours covers every whole-year study at trivial cost.
+_MAX_CYCLE_HOURS = 10 * 8760
+
+
+def cyclic_product_cycle(values: np.ndarray, profile: np.ndarray) -> np.ndarray:
+    """One full cycle of ``values[h % len_v] * profile[h % len_p]``.
+
+    Both series wrap independently from hour 0 — the profile's phase
+    never resets at a ``values`` cycle boundary — so charging code can
+    tile the returned array and stay consistent with
+    :func:`align_pue_profile`'s wrap-over-the-study contract.  The
+    combined cycle is the lcm of the two lengths.  When that lcm
+    exceeds ten years of hours, the cycle falls back to a whole number
+    of ``values`` cycles: the intensity series stays exactly periodic
+    under tiling and only the PUE phase jumps once per repeat — a
+    documented approximation whose error is bounded by one profile
+    cycle's worth of overhead spread over >= 87k hours.
+    """
+    values = np.asarray(values, dtype=float)
+    profile = np.asarray(profile, dtype=float)
+    if values.ndim != 1 or values.size == 0 or profile.ndim != 1 or profile.size == 0:
+        raise AccountingError(
+            "cyclic alignment needs non-empty 1-D series, got shapes "
+            f"{values.shape} and {profile.shape}"
+        )
+    cycle = int(np.lcm(values.size, profile.size))
+    if cycle > _MAX_CYCLE_HOURS:
+        cycle = values.size * max(1, _MAX_CYCLE_HOURS // values.size)
+    hours = np.arange(cycle)
+    return values[hours % values.size] * profile[hours % profile.size]
+
+
+def cyclic_weighted_mean(
+    values: np.ndarray, profile: np.ndarray
+) -> float:
+    """Mean of ``values[h % len_v] * profile[h % len_p]`` over one cycle.
+
+    The audit's lump-charge analogue of the per-hour weighting: an
+    always-on load priced on a cyclic intensity series under a cyclic
+    PUE profile pays the mean of their aligned product.
+    """
+    return float(np.mean(cyclic_product_cycle(values, profile)))
 
 
 def pue_window_means(

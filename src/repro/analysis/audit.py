@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
 from repro.accounting import CarbonLedger
-from repro.core.config import ModelConfig, effective_pue
+from repro.accounting.pue import PUELike, cyclic_weighted_mean, resolve_pue
+from repro.core.config import ModelConfig
 from repro.core.errors import ExperimentError
 from repro.core.lifecycle import LifecyclePhases, assess_lifecycle
 from repro.core.model import FootprintReport
@@ -130,7 +131,7 @@ class CenterAuditor:
     replacement: Optional[ReplacementModel] = field(
         default_factory=ReplacementModel
     )
-    pue: Optional[float] = None
+    pue: PUELike = None
     config: Optional[ModelConfig] = None
 
     def __post_init__(self) -> None:
@@ -167,7 +168,9 @@ class CenterAuditor:
     def audit(self, system: SystemSpec, *, service_years: float = 5.0) -> CenterAudit:
         if service_years <= 0.0:
             raise ExperimentError("service life must be positive")
-        pue = effective_pue(self.pue, config=self.config, error=ExperimentError)
+        pue, pue_profile = resolve_pue(
+            self.pue, config=self.config, error=ExperimentError
+        )
 
         build: Dict[str, float] = {
             cls.value: breakdown.total_g
@@ -201,7 +204,16 @@ class CenterAuditor:
         avg_power_w = self._system_average_power_w(system)
         energy_kwh = avg_power_w / 1000.0 * service_years * HOURS_PER_YEAR
         # Eq. 6 lump charge; CenterAudit.to_ledger() is the itemized view.
-        operational = energy_kwh * self._mean_intensity() * pue
+        # An hourly PUE profile prices the always-on load on the mean of
+        # the aligned intensity x PUE product (for a constant grid that
+        # factorizes into mean intensity x mean PUE exactly — the scalar
+        # the collapse already produced).
+        if pue_profile is None or not isinstance(self.intensity, IntensityTrace):
+            operational = energy_kwh * self._mean_intensity() * pue
+        else:
+            operational = energy_kwh * cyclic_weighted_mean(
+                self.intensity.values, pue_profile
+            )
 
         return CenterAudit(
             system_name=system.name,

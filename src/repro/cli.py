@@ -203,6 +203,66 @@ def _print_insights() -> None:
 _EXPERIMENTS["insights"] = _print_insights
 
 
+def _coerce_pue_arg(raw: str):
+    """Best-effort typing of one ``--pue-arg`` value.
+
+    Comma-separated numbers become a list (the ``profile`` backend's
+    ``values``); single numbers become floats; anything else stays a
+    string for the backend factory to interpret.
+    """
+    raw = raw.strip()
+    if "," in raw:
+        from repro.core.errors import PUEError
+
+        try:
+            return [float(part) for part in raw.split(",") if part.strip()]
+        except ValueError:
+            raise PUEError(
+                f"--pue-arg number list contains a non-number: {raw!r}"
+            ) from None
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def _apply_pue_flags(scenario, pue: Optional[str], pue_args) -> None:
+    """Wire ``--pue KEY_OR_NUMBER`` / ``--pue-arg K=V`` into a Scenario."""
+    from repro.core.errors import PUEError
+
+    if pue is None:
+        if pue_args:
+            raise PUEError("--pue-arg requires --pue")
+        return
+    opts = {}
+    for item in pue_args or ():
+        key, sep, raw = item.partition("=")
+        if not sep or not key.strip():
+            raise PUEError(f"--pue-arg takes KEY=VALUE, got {item!r}")
+        opts[key.strip()] = _coerce_pue_arg(raw)
+    try:
+        number = float(pue)
+    except ValueError:
+        scenario.pue(pue, **opts)
+    else:
+        if opts:
+            raise PUEError("--pue-arg only applies to a pue backend key")
+        scenario.pue(number)
+
+
+def _add_pue_flags(parser) -> None:
+    parser.add_argument(
+        "--pue", default=None,
+        help="facility PUE: a number or a pue backend key "
+             "(constant/seasonal/profile)",
+    )
+    parser.add_argument(
+        "--pue-arg", action="append", default=None, metavar="K=V",
+        help="option for the pue backend (repeatable), e.g. "
+             "amplitude=0.1 or values=1.2,1.3",
+    )
+
+
 def _run_scenario_command(args) -> int:
     """The ``scenario`` subcommand: CLI surface of the session facade."""
     from repro.session import (
@@ -245,6 +305,7 @@ def _run_scenario_command(args) -> int:
             scenario.renderer(args.renderer)
         if args.accounting is not None:
             scenario.accounting(args.accounting)
+        _apply_pue_flags(scenario, args.pue, args.pue_arg)
         if args.system:
             scenario.system(args.system)
         if args.node:
@@ -331,6 +392,7 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     )
     audit_parser.add_argument("--region", default="CISO", help="Table 3 region code")
     audit_parser.add_argument("--years", type=float, default=5.0)
+    _add_pue_flags(audit_parser)
     advise_parser = subparsers.add_parser(
         "advise", help="carbon-aware upgrade recommendation"
     )
@@ -346,6 +408,7 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     advise_parser.add_argument("--region", default="CISO")
     advise_parser.add_argument("--usage", type=float, default=0.40)
     advise_parser.add_argument("--lifetime", type=float, default=5.0)
+    _add_pue_flags(advise_parser)
     scenario_parser = subparsers.add_parser(
         "scenario", help="run a Scenario through the session facade"
     )
@@ -380,6 +443,7 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         "--accounting", default=None,
         help="carbon-charging backend key (vectorized/scalar-reference)",
     )
+    _add_pue_flags(scenario_parser)
     scenario_parser.add_argument(
         "--sweep-regions", default=None,
         help="comma-separated regions: run one scenario per region (batch)",
@@ -425,19 +489,26 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"wrote {path}")
         return 0
     if args.command == "audit":
+        from repro.core.errors import ReproError
         from repro.session import Scenario
 
-        result = (
+        scenario = (
             Scenario()
             .system(args.system)
             .region(args.region)
             .lifetime(years=args.years)
-            .run()
         )
+        try:
+            _apply_pue_flags(scenario, args.pue, args.pue_arg)
+            result = scenario.run()
+        except ReproError as error:
+            print(f"audit error: {error}", file=sys.stderr)
+            return 2
         for line in result.audit.summary_lines():
             print(line)
         return 0
     if args.command == "advise":
+        from repro.core.errors import ReproError
         from repro.session import Scenario
 
         scenario = (
@@ -450,7 +521,12 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
             scenario.constant_intensity(args.intensity)
         else:
             scenario.region(args.region)
-        decision = scenario.run().upgrade
+        try:
+            _apply_pue_flags(scenario, args.pue, args.pue_arg)
+            decision = scenario.run().upgrade
+        except ReproError as error:
+            print(f"advise error: {error}", file=sys.stderr)
+            return 2
         print(f"Upgrade {decision.old} -> {decision.new} ({decision.suite}):")
         print(f"  performance gain : {decision.performance_gain:.1%}")
         breakeven = (

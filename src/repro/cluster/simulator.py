@@ -31,7 +31,8 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.accounting import CarbonLedger
-from repro.core.config import ModelConfig, effective_pue
+from repro.accounting.pue import PUELike, align_pue_profile, resolve_pue
+from repro.core.config import ModelConfig
 from repro.core.errors import SimulationError
 from repro.core.units import CarbonMass, Energy
 from repro.cluster.job import Job
@@ -253,18 +254,21 @@ def simulate_cluster(
     *,
     horizon_h: float,
     intensity: Union[float, IntensityTrace] = 200.0,
-    pue: Optional[float] = None,
+    pue: PUELike = None,
     config: Optional[ModelConfig] = None,
 ) -> SimulationResult:
     """Run the full pipeline: place jobs, account energy and carbon.
 
     Jobs still running at ``horizon_h`` contribute only their in-horizon
     portion to energy/carbon (the tail is truncated, as a fixed-window
-    accounting period would).
+    accounting period would).  ``pue`` takes a float (the legacy exact
+    path) or an hourly profile / :class:`~repro.power.pue.SeasonalPUE`,
+    which weights each simulated hour's charge by that hour's facility
+    overhead.
     """
     if horizon_h <= 0.0:
         raise SimulationError(f"horizon must be positive, got {horizon_h!r}")
-    eff_pue = effective_pue(pue, config=config, error=SimulationError)
+    eff_pue, pue_profile = resolve_pue(pue, config=config, error=SimulationError)
 
     scheduled = _place_fcfs(jobs, cluster)
     n_hours = int(np.ceil(horizon_h))
@@ -309,7 +313,15 @@ def simulate_cluster(
     # currency as scheduling evaluations and audits.
     ledger = CarbonLedger()
     carbon_g = ledger.charge_power_profile(
-        "cluster", power_w, profile, pue=eff_pue, region=region
+        "cluster",
+        power_w,
+        profile,
+        pue=(
+            eff_pue
+            if pue_profile is None
+            else align_pue_profile(pue_profile, n_hours)
+        ),
+        region=region,
     )
 
     return SimulationResult(

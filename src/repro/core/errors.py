@@ -25,6 +25,7 @@ __all__ = [
     "UpgradeAnalysisError",
     "ExperimentError",
     "SessionError",
+    "PUEError",
     "UnknownBackendError",
 ]
 
@@ -133,6 +134,17 @@ class SessionError(ReproError):
     (no system/node/region for a grid-dependent study), conflicting
     knobs (constant intensity and a synthetic source), or running an
     already-invalidated builder.
+    """
+
+
+class PUEError(SessionError):
+    """An invalid facility PUE was requested through the facade.
+
+    Raised by :meth:`~repro.session.Scenario.pue` for non-finite values
+    (``nan``/``inf``), values below the physical floor of 1.0, and
+    malformed profile specifications.  Subclasses
+    :class:`SessionError`, so existing facade-level handlers keep
+    working.
     """
 
 

@@ -20,7 +20,7 @@ normalizers used by Figs. 1-2 (``embodied_per_tflop``,
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.core.config import ModelConfig

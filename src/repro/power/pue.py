@@ -20,9 +20,93 @@ from repro.core.errors import PowerModelError
 from repro.core.units import HOURS_PER_DAY
 from repro.intensity.trace import HOURS_PER_STUDY_YEAR
 
-__all__ = ["SeasonalPUE", "operational_carbon_seasonal"]
+__all__ = [
+    "ConstantPUE",
+    "HourlyPUE",
+    "SeasonalPUE",
+    "operational_carbon_seasonal",
+]
 
 _DAYS_PER_YEAR = 365.0
+
+
+@dataclass(frozen=True, slots=True)
+class ConstantPUE:
+    """A flat facility overhead as a ``pue`` backend.
+
+    Exists so a plain float flows through the same registry/profile
+    machinery as seasonal models; :func:`repro.accounting.resolve_pue`
+    collapses the variation-free profile back to its scalar, so a
+    constant profile charges *bit-identically* to the legacy float path.
+    """
+
+    value: float = 1.2
+
+    def __post_init__(self) -> None:
+        value = float(self.value)
+        if not np.isfinite(value):
+            raise PowerModelError(f"PUE must be finite, got {self.value!r}")
+        if value < 1.0:
+            raise PowerModelError(f"PUE must be >= 1.0, got {self.value!r}")
+
+    def profile(self, n_hours: int = HOURS_PER_STUDY_YEAR) -> np.ndarray:
+        if n_hours < 1:
+            raise PowerModelError(f"need >= 1 hour, got {n_hours}")
+        return np.full(n_hours, float(self.value))
+
+
+class HourlyPUE:
+    """A user-supplied hourly PUE profile (measured facility overhead).
+
+    ``values`` is any 1-D array-like of hourly PUE samples; shorter
+    profiles wrap cyclically when a study asks for more hours than the
+    profile carries (a one-week measurement tiles across a year the way
+    an intensity trace does).
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Union[Sequence[float], np.ndarray]) -> None:
+        profile = np.asarray(values, dtype=float)
+        if profile.ndim != 1 or profile.size == 0:
+            raise PowerModelError(
+                f"hourly PUE profile must be a non-empty 1-D array, got "
+                f"shape {profile.shape}"
+            )
+        if not np.all(np.isfinite(profile)):
+            raise PowerModelError("hourly PUE profile contains non-finite samples")
+        if float(profile.min()) < 1.0:
+            raise PowerModelError("hourly PUE profile dips below 1.0")
+        object.__setattr__(self, "values", profile)
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("HourlyPUE is immutable")
+
+    def __repr__(self) -> str:
+        return (
+            f"HourlyPUE(n_hours={self.values.size}, "
+            f"mean={float(self.values.mean()):.4f})"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, HourlyPUE):
+            return NotImplemented
+        return np.array_equal(self.values, other.values)
+
+    def __hash__(self) -> int:
+        return hash((self.values.size, float(self.values.sum())))
+
+    def __reduce__(self):
+        # __slots__ + the immutability guard break pickle's default
+        # state protocol; rebuild through the constructor instead (the
+        # process sweep executor ships profile knobs to its workers).
+        return (HourlyPUE, (self.values,))
+
+    def profile(self, n_hours: int = HOURS_PER_STUDY_YEAR) -> np.ndarray:
+        if n_hours < 1:
+            raise PowerModelError(f"need >= 1 hour, got {n_hours}")
+        idx = np.arange(n_hours) % self.values.size
+        return self.values[idx]
 
 
 @dataclass(frozen=True, slots=True)

@@ -26,6 +26,15 @@ calling conventions, per kind:
     :mod:`repro.accounting.engines`).  ``vectorized`` is the production
     truth-table path; ``scalar-reference`` is the seed per-job loop kept
     as the byte-identical oracle.
+``pue``
+    ``factory(**opts) -> profile object`` exposing ``profile(n_hours)
+    -> np.ndarray`` of hourly PUE values ``>= 1.0`` (see
+    :mod:`repro.power.pue`), or ``None`` to defer to the scenario's
+    configured scalar PUE.  ``constant`` takes ``value``; ``seasonal``
+    wraps :class:`~repro.power.pue.SeasonalPUE` (plus ``mean``/
+    ``amplitude`` short spellings); ``profile`` takes ``values``, an
+    hourly sample array.  Constant profiles collapse to the exact
+    scalar path through :func:`repro.accounting.resolve_pue`.
 ``renderer``
     ``factory(result) -> str`` for a :class:`ScenarioResult`.
 ``report``
@@ -54,9 +63,13 @@ def load_builtin_backends(registry: "BackendRegistry") -> None:
     import repro.cluster as cluster
     import repro.hardware as hardware
     import repro.intensity as intensity
+    import repro.power as power
     import repro.scheduler as scheduler
     import repro.session.executors as executors
 
-    layers = (hardware, intensity, scheduler, cluster, accounting, analysis, executors)
+    layers = (
+        hardware, intensity, scheduler, cluster, accounting, power, analysis,
+        executors,
+    )
     for layer in layers:
         layer.register_backends(registry)

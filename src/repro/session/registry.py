@@ -49,6 +49,7 @@ BACKEND_KINDS: Tuple[str, ...] = (
     "policy",
     "simulator",
     "accounting",
+    "pue",
     "renderer",
     "report",
     "executor",

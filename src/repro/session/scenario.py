@@ -30,10 +30,11 @@ knobs (a constant intensity *and* a synthetic source) raise
 from __future__ import annotations
 
 import copy
+import math
 from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Union
 
 from repro.core.config import ModelConfig
-from repro.core.errors import SessionError
+from repro.core.errors import PUEError, SessionError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.session.result import ScenarioResult
@@ -76,7 +77,8 @@ class Scenario:
         self._window_h: Optional[float] = None
         self._lifetime_years: float = _DEFAULT_LIFETIME_YEARS
         self._usage: float = _DEFAULT_USAGE
-        self._pue: Optional[float] = None
+        self._pue: Optional[Union[float, str, Any]] = None
+        self._pue_opts: dict = {}
         self._config: Optional[ModelConfig] = None
         self._lifecycle: Optional[Any] = None
         self._n_nodes: Optional[int] = None
@@ -215,11 +217,49 @@ class Scenario:
             raise SessionError(f"usage must be in (0, 1], got {fraction!r}")
         return self._set("usage", float(fraction))
 
-    def pue(self, value: float) -> "Scenario":
-        """Override the configured facility PUE."""
-        if float(value) < 1.0:
-            raise SessionError(f"PUE must be >= 1.0, got {value!r}")
-        return self._set("pue", float(value))
+    def pue(self, value: Union[float, str, Any], /, **opts) -> "Scenario":
+        """Override the facility PUE: a number, a backend key, or a profile.
+
+        Three spellings, all charged through the same resolution
+        (:func:`repro.accounting.resolve_pue`):
+
+        * a number — a flat PUE, resolved through the ``pue:constant``
+          backend; bit-identical to the historical float path.
+        * a ``pue`` registry key with factory options —
+          ``.pue("seasonal", amplitude=0.1)``,
+          ``.pue("profile", values=[...])``.
+        * a profile object (:class:`~repro.power.pue.SeasonalPUE`, an
+          :class:`~repro.power.pue.HourlyPUE`, or any object exposing
+          ``profile(n_hours)``) or a 1-D hourly array.
+
+        Numbers are validated here (finite, ``>= 1.0`` — the physical
+        floor); keys and profile payloads validate at :meth:`build`.
+        """
+        if isinstance(value, bool):
+            raise PUEError(f"PUE must be a number, key, or profile, got {value!r}")
+        if opts and not isinstance(value, str):
+            raise PUEError(
+                f"PUE options only apply to a backend key, got "
+                f"{type(value).__name__} with options {sorted(opts)}"
+            )
+        if isinstance(value, (int, float)):
+            number = float(value)
+            if not math.isfinite(number):
+                raise PUEError(f"PUE must be finite, got {value!r}")
+            if number < 1.0:
+                raise PUEError(f"PUE must be >= 1.0, got {value!r}")
+            self._pue_opts = {}
+            return self._set("pue", number)
+        if isinstance(value, str):
+            if not value.strip():
+                raise PUEError("PUE backend key must be non-empty")
+            self._pue_opts = dict(opts)
+            return self._set("pue", value)
+        # A profile object or hourly array; validated by resolve_pue at
+        # build time, with the payload shared by reference (snapshot
+        # economics, like workloads and policies).
+        self._pue_opts = {}
+        return self._set("pue", value)
 
     def config(self, config: ModelConfig) -> "Scenario":
         """Model constants for every layer this scenario touches."""
@@ -384,6 +424,7 @@ class Scenario:
         clone._policies = list(self._policies)
         clone._executor_opts = dict(self._executor_opts)
         clone._accounting_opts = dict(self._accounting_opts)
+        clone._pue_opts = dict(self._pue_opts)
         if self._regions is not None:
             clone._regions = list(self._regions)
         if self._training is not None:

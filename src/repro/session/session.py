@@ -188,19 +188,58 @@ class Session:
             backend=f"accounting:{s._accounting.lower()}",
         )
 
+        # Facility overhead: a number resolves through the ``pue:constant``
+        # backend, a key through its registry factory, a profile object
+        # (SeasonalPUE / HourlyPUE / hourly array) is taken as-is.  The
+        # resolved spec is normalized once here — a float when the
+        # profile carries no variation (the exact legacy arithmetic), an
+        # hourly ndarray otherwise — and every charged section receives
+        # the same resolved value.
+        self._pue_resolved: Optional[Any] = None
+        self._pue_scalar: Optional[float] = None
+        pue_backend: Optional[str] = None
+        pue_note: Any = None
+        if s._pue is not None:
+            from repro.accounting.pue import resolve_pue
+            from repro.core.errors import PUEError
+
+            if isinstance(s._pue, str):
+                factory = resolve_backend("pue", s._pue)
+                try:
+                    profile_obj = factory(**s._pue_opts)
+                except SessionError:
+                    raise
+                except (TypeError, ValueError) as exc:
+                    # Factory signature mismatches (missing/unknown
+                    # options, non-numeric values) surface as the typed
+                    # facade error, keeping the CLI's clean-exit
+                    # contract and Scenario.pue's validate-at-build
+                    # promise.
+                    raise PUEError(
+                        f"pue backend {s._pue!r} rejected its options: {exc}"
+                    ) from None
+                pue_backend = f"pue:{s._pue.strip().lower()}"
+            elif isinstance(s._pue, (int, float)):
+                profile_obj = resolve_backend("pue", "constant")(value=s._pue)
+                pue_backend = "pue:constant"
+            else:
+                profile_obj = s._pue
+            eff, prof = resolve_pue(
+                profile_obj, config=s._config, error=PUEError
+            )
+            self._pue_scalar = eff
+            self._pue_resolved = eff if prof is None else prof
+            pue_note = eff if prof is None else profile_obj
+
         if "executor" in s._explicit:
             # Sweep engine (consumed by run_many, recorded per session).
             resolve_backend("executor", s._executor)  # validate the key early
             note("executor", s._executor, backend=f"executor:{s._executor.lower()}")
 
-        for knob in (
-            "forecast_error",
-            "usage",
-            "lifetime_years",
-            "pue",
-            "window_h",
-            "workload_seed",
-        ):
+        for knob in ("forecast_error", "usage", "lifetime_years"):
+            note(knob, getattr(s, f"_{knob}"))
+        note("pue", pue_note, backend=pue_backend)
+        for knob in ("window_h", "workload_seed"):
             note(knob, getattr(s, f"_{knob}"))
         note("config", s._config if s._config is not None else "active ModelConfig")
 
@@ -270,7 +309,7 @@ class Session:
             n_nodes=n_nodes,
             nics_per_node=nics,
             lifecycle=s._lifecycle,
-            pue=s._pue,
+            pue=self._pue_resolved,
             config=s._config,
         )
         return auditor.audit(
@@ -289,7 +328,10 @@ class Session:
             n_gpus=s._training["n_gpus"],
             epochs=s._training["epochs"],
             intensity=self._region_intensity(),
-            pue=s._pue,
+            # Training charges the annual-mean scalar (the number a
+            # facility reports); hour-resolved training accounting goes
+            # through operational_carbon_seasonal directly.
+            pue=self._pue_scalar,
         )
         return TrainingSection(
             model=run.model_name,
@@ -324,7 +366,7 @@ class Session:
                 raise SessionError(f"duplicate policy {policy_name!r}")
             evaluations[policy_name] = evaluate_policy(
                 jobs, policy, self._service, self._node,
-                pue=s._pue, config=s._config, accounting=engine,
+                pue=self._pue_resolved, config=s._config, accounting=engine,
             )
         baseline_name = (
             BASELINE_POLICY
@@ -372,7 +414,7 @@ class Session:
             cluster,
             horizon_h=horizon,
             intensity=self._region_intensity(),
-            pue=s._pue,
+            pue=self._pue_resolved,
             config=s._config,
         )
         section = ClusterSection(
@@ -394,7 +436,7 @@ class Session:
         from repro.upgrade.advisor import UpgradeAdvisor
 
         advisor = UpgradeAdvisor(
-            self._region_intensity(), usage=s._usage, pue=s._pue
+            self._region_intensity(), usage=s._usage, pue=self._pue_resolved
         )
         decision = advisor.evaluate(
             s._upgrade["old"],

@@ -18,6 +18,7 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.accounting import CarbonLedger
+from repro.accounting.pue import PUELike
 from repro.core.errors import UpgradeAnalysisError
 from repro.intensity.trace import IntensityTrace
 from repro.upgrade.scenario import UpgradeScenario
@@ -75,7 +76,7 @@ class UpgradeAdvisor:
         *,
         usage: float = 0.40,
         quick_breakeven_years: float = 1.0,
-        pue: Optional[float] = None,
+        pue: PUELike = None,
     ) -> None:
         if quick_breakeven_years <= 0.0:
             raise UpgradeAnalysisError("quick-breakeven threshold must be positive")

@@ -33,7 +33,8 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.accounting import CarbonLedger
-from repro.core.config import ModelConfig, effective_pue
+from repro.accounting.pue import PUELike, cyclic_product_cycle, resolve_pue
+from repro.core.config import ModelConfig
 from repro.core.errors import UpgradeAnalysisError
 from repro.core.units import HOURS_PER_YEAR
 from repro.hardware.node import NodeSpec, get_node_generation
@@ -85,7 +86,7 @@ class UpgradeScenario:
     suite: Suite
     usage: float = 0.40
     intensity: Union[float, IntensityTrace] = 200.0
-    pue: Optional[float] = None
+    pue: PUELike = None
     config: Optional[ModelConfig] = None
 
     def __post_init__(self) -> None:
@@ -138,8 +139,12 @@ class UpgradeScenario:
         """Embodied carbon of the purchased node (GPUs + CPUs + DRAM)."""
         return self.new_node.embodied(config=self.config).total_g
 
+    def _resolved_pue(self):
+        """``(scalar, hourly_profile_or_None)`` for this scenario's PUE."""
+        return resolve_pue(self.pue, config=self.config, error=UpgradeAnalysisError)
+
     def _pue(self) -> float:
-        return effective_pue(self.pue, config=self.config, error=UpgradeAnalysisError)
+        return self._resolved_pue()[0]
 
     def old_power_w(self) -> float:
         """Duty-cycled average GPU-subsystem power of the old node."""
@@ -150,21 +155,46 @@ class UpgradeScenario:
         return NodePowerModel(self.new_node).gpu_average_power_w(self.new_usage)
 
     # --- operational carbon ----------------------------------------------------
+    @staticmethod
+    def _cumulative_from_cycle(hourly_g: np.ndarray, hours: np.ndarray) -> np.ndarray:
+        """Cumulative grams at each horizon, tiling ``hourly_g`` cyclically."""
+        csum = np.cumsum(hourly_g)
+        total = csum[-1]
+        n = hourly_g.shape[0]
+        whole = np.floor_divide(hours.astype(int), n)
+        frac_idx = (hours.astype(int) % n).astype(int)
+        partial = np.where(frac_idx > 0, csum[np.maximum(frac_idx - 1, 0)], 0.0)
+        partial = np.where(frac_idx == 0, 0.0, partial)
+        return whole * total + partial
+
     def _cumulative_operational_g(self, power_w: float, hours: np.ndarray) -> np.ndarray:
         """C_op(t) in grams for each horizon in ``hours`` (vectorized)."""
-        pue = self._pue()
+        pue, pue_profile = self._resolved_pue()
         if isinstance(self.intensity, IntensityTrace):
             trace = self.intensity
-            # Cumulative gCO2 at hour boundaries, tiled across years.
-            hourly_g = power_w / 1000.0 * pue * trace.values
-            csum = np.cumsum(hourly_g)
-            total = csum[-1]
-            n = len(trace)
-            whole = np.floor_divide(hours.astype(int), n)
-            frac_idx = (hours.astype(int) % n).astype(int)
-            partial = np.where(frac_idx > 0, csum[np.maximum(frac_idx - 1, 0)], 0.0)
-            partial = np.where(frac_idx == 0, 0.0, partial)
-            return whole * total + partial
+            # Cumulative gCO2 at hour boundaries, tiled across years; an
+            # hourly PUE profile weights each hour, both series wrapping
+            # independently (the combined cycle is their lcm, so a
+            # weekly profile never phase-resets at a trace-year
+            # boundary — consistent with the audit's cyclic mean).
+            if pue_profile is None:
+                hourly_g = power_w / 1000.0 * pue * trace.values
+            else:
+                hourly_g = power_w / 1000.0 * cyclic_product_cycle(
+                    trace.values, pue_profile
+                )
+            return self._cumulative_from_cycle(hourly_g, hours)
+        if pue_profile is not None:
+            # Constant grid under an hourly overhead: the PUE profile is
+            # the cycle.  The scalar constant-grid path below is
+            # continuous in ``hours``, so this branch adds the
+            # fractional-hour remainder too — a sub-hour horizon must
+            # not collapse to zero just because a profile was supplied.
+            hourly_g = power_w / 1000.0 * float(self.intensity) * pue_profile
+            whole_hours = self._cumulative_from_cycle(hourly_g, hours)
+            int_hours = hours.astype(int)
+            frac = hours - int_hours
+            return whole_hours + frac * hourly_g[int_hours % hourly_g.shape[0]]
         return power_w / 1000.0 * pue * float(self.intensity) * hours
 
     # --- the Figs. 8-9 curves ------------------------------------------------
@@ -199,7 +229,10 @@ class UpgradeScenario:
         old_w, new_w = self.old_power_w(), self.new_power_w()
         if new_w >= old_w:
             return None
-        if not isinstance(self.intensity, IntensityTrace):
+        if (
+            not isinstance(self.intensity, IntensityTrace)
+            and self._resolved_pue()[1] is None
+        ):
             rate_g_per_h = (
                 (old_w - new_w) / 1000.0 * self._pue() * float(self.intensity)
             )
@@ -207,8 +240,8 @@ class UpgradeScenario:
                 return None
             years = self.embodied_cost_g / rate_g_per_h / HOURS_PER_YEAR
             return years if years <= horizon_years else None
-        # Trace intensity: find the first hour where cumulative savings
-        # cover the embodied cost.
+        # Trace intensity (or an hourly PUE profile): find the first
+        # hour where cumulative savings cover the embodied cost.
         hours_grid = np.arange(1, int(horizon_years * HOURS_PER_YEAR) + 1)
         old_op = self._cumulative_operational_g(old_w, hours_grid)
         new_op = self._cumulative_operational_g(new_w, hours_grid)

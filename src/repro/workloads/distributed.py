@@ -28,7 +28,7 @@ achieved performance degrades with scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.errors import WorkloadError
 from repro.hardware.node import NodeSpec, get_node_generation

@@ -12,13 +12,13 @@ infrastructure).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.core.errors import WorkloadError
 from repro.core.units import HOURS_PER_YEAR, format_co2, format_energy
 from repro.hardware.node import NodeSpec, get_node_generation
 from repro.intensity.trace import IntensityTrace
-from repro.workloads.models import ModelSpec, get_model
+from repro.workloads.models import ModelSpec
 from repro.workloads.runner import simulate_training_run
 
 __all__ = ["ModelCard", "model_card", "model_card_table"]

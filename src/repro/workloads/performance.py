@@ -26,7 +26,7 @@ geometric means reproduce the calibrated factors exactly.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

@@ -23,7 +23,7 @@ relative to step time — hence its larger ``b``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.core.errors import CalibrationError, WorkloadError
 from repro.workloads.models import Suite

@@ -9,6 +9,21 @@ from repro.intensity.generator import generate_all_traces, generate_trace
 from repro.intensity.trace import IntensityTrace
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the committed tests/golden fixtures from the current "
+        "outputs instead of asserting against them",
+    )
+
+
+@pytest.fixture()
+def update_golden(request) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture(scope="session")
 def all_traces():
     """Full-year traces for every Table 3 region (expensive: session-scoped)."""

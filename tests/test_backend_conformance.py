@@ -1,0 +1,199 @@
+"""Registry conformance: every built-in backend honors its kind's contract.
+
+The Scenario/Session facade trusts each ``(kind, key)`` factory to
+return an object shaped the way :mod:`repro.session.backends` documents.
+This suite instantiates **every built-in key of every kind** and asserts
+the protocol — required methods, attributes, and basic value domains —
+so a future backend (or a refactor of an existing one) that breaks the
+contract fails loudly here instead of deep inside a scenario run.
+
+Each kind has a dedicated checker; the meta-test at the bottom asserts
+the checker table covers every kind in ``BACKEND_KINDS``, so adding a
+registry kind without teaching this suite about it is itself a failure.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.session import BACKEND_KINDS, available_backends, resolve_backend
+from repro.session.types import SystemDeployment
+
+#: Extra factory kwargs required by specific ``(kind, key)`` built-ins.
+_FACTORY_KWARGS = {
+    ("intensity", "constant"): {"value": 100.0, "regions": ("ESO", "CISO")},
+    ("pue", "constant"): {"value": 1.25},
+    ("pue", "flat"): {"value": 1.25},
+    ("pue", "profile"): {"values": [1.1, 1.3, 1.2]},
+    ("pue", "hourly"): {"values": [1.1, 1.3, 1.2]},
+}
+
+
+def _factory_kwargs(kind: str, key: str) -> dict:
+    return dict(_FACTORY_KWARGS.get((kind, key), {}))
+
+
+@pytest.fixture(scope="module")
+def flat_service():
+    """A two-region constant-intensity service for policy construction."""
+    return resolve_backend("intensity", "constant")(
+        value=100.0, regions=("ESO", "CISO"), seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def v100_node():
+    return resolve_backend("node", "V100")()
+
+
+# --- per-kind protocol checkers --------------------------------------------
+def _check_system(key, factory, ctx):
+    deployment = factory()
+    assert isinstance(deployment, SystemDeployment)
+    assert isinstance(deployment.spec.name, str) and deployment.spec.name
+    assert deployment.n_nodes >= 0
+    assert deployment.nics_per_node >= 1
+    by_class = deployment.spec.embodied_by_class()
+    assert by_class, f"system {key!r} has an empty embodied inventory"
+    assert all(b.total_g >= 0.0 for b in by_class.values())
+
+
+def _check_node(key, factory, ctx):
+    node = factory()
+    assert isinstance(node.name, str) and node.name
+    assert int(node.gpu_count) >= 1
+    breakdown = node.embodied()
+    assert breakdown.total_g > 0.0
+
+
+def _check_intensity(key, factory, ctx):
+    service = factory(seed=0, forecast_error=0.0, **_factory_kwargs("intensity", key))
+    regions = tuple(service.regions)
+    assert regions, f"intensity {key!r} serves no regions"
+    trace = service.trace(regions[0])
+    values = np.asarray(trace.values, dtype=float)
+    assert values.ndim == 1 and values.size > 0
+    assert np.all(np.isfinite(values)) and float(values.min()) >= 0.0
+
+
+def _check_policy(key, factory, ctx):
+    policy = factory(ctx["flat_service"], "ESO", regions=None)
+    assert isinstance(policy.name, str) and policy.name
+    assert callable(getattr(policy, "place", None)), (
+        f"policy {key!r} lacks the place(job) protocol method"
+    )
+
+
+def _check_simulator(key, factory, ctx):
+    from repro.cluster.simulator import Cluster
+
+    cluster = Cluster(ctx["v100_node"], 1)
+    result = factory([], cluster, horizon_h=2.0, intensity=100.0, pue=None, config=None)
+    assert result.n_jobs == 0
+    assert result.ic_energy_kwh >= 0.0
+    assert result.carbon_g >= 0.0
+    assert result.ledger is not None
+
+
+def _check_accounting(key, factory, ctx):
+    engine = factory()
+    charge = getattr(engine, "charge", None)
+    assert callable(charge), f"accounting {key!r} lacks charge(...)"
+    params = inspect.signature(charge).parameters
+    for required in (
+        "jobs", "placements", "service", "node", "pue", "config",
+        "transfer_overhead_fraction", "transfer_model",
+    ):
+        assert required in params, (
+            f"accounting {key!r}.charge is missing the {required!r} parameter"
+        )
+
+
+def _check_pue(key, factory, ctx):
+    model = factory(**_factory_kwargs("pue", key))
+    assert model is not None  # None is the defer-to-config sentinel only
+    profile_method = getattr(model, "profile", None)
+    assert callable(profile_method), f"pue {key!r} lacks profile(n_hours)"
+    profile = np.asarray(profile_method(48), dtype=float)
+    assert profile.shape == (48,)
+    assert np.all(np.isfinite(profile))
+    assert float(profile.min()) >= 1.0, (
+        f"pue {key!r} produced an overhead below the physical floor"
+    )
+    # Every profile object must survive resolve_pue, the charge paths'
+    # single normalization chokepoint.
+    from repro.accounting import resolve_pue
+
+    scalar, resolved = resolve_pue(model)
+    assert scalar >= 1.0
+    assert resolved is None or resolved.ndim == 1
+
+
+def _check_renderer(key, factory, ctx):
+    from repro.session.result import ScenarioResult
+
+    text = factory(ScenarioResult(name="conformance", region=None, seed=0))
+    assert isinstance(text, str) and text
+
+
+def _check_report(key, factory, ctx):
+    # Reports are whole-corpus generators (minutes of work); the
+    # contract here is the calling convention, not the content.
+    assert callable(factory)
+    params = inspect.signature(factory).parameters
+    assert all(
+        p.default is not inspect.Parameter.empty
+        or p.kind in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+        for p in params.values()
+    ), f"report {key!r} factory must be callable with no arguments"
+
+
+def _check_executor(key, factory, ctx):
+    sweep = factory()
+    assert callable(sweep)
+    assert list(sweep([])) == []
+
+
+_CHECKERS = {
+    "system": _check_system,
+    "node": _check_node,
+    "intensity": _check_intensity,
+    "policy": _check_policy,
+    "simulator": _check_simulator,
+    "accounting": _check_accounting,
+    "pue": _check_pue,
+    "renderer": _check_renderer,
+    "report": _check_report,
+    "executor": _check_executor,
+}
+
+
+def _all_builtin_pairs():
+    for kind in BACKEND_KINDS:
+        for key in available_backends(kind):
+            yield pytest.param(kind, key, id=f"{kind}:{key}")
+
+
+@pytest.mark.parametrize("kind,key", _all_builtin_pairs())
+def test_builtin_backend_conforms(kind, key, flat_service, v100_node):
+    checker = _CHECKERS.get(kind)
+    assert checker is not None, (
+        f"registry kind {kind!r} has no conformance checker; add one to "
+        "tests/test_backend_conformance.py"
+    )
+    ctx = {"flat_service": flat_service, "v100_node": v100_node}
+    checker(key, resolve_backend(kind, key), ctx)
+
+
+def test_every_kind_has_builtins_and_a_checker():
+    assert set(_CHECKERS) == set(BACKEND_KINDS)
+    for kind in BACKEND_KINDS:
+        assert available_backends(kind), f"kind {kind!r} ships no built-ins"
+
+
+def test_pue_kind_is_registered():
+    assert "pue" in BACKEND_KINDS
+    assert {"constant", "seasonal", "profile"} <= set(available_backends("pue"))

@@ -1,0 +1,106 @@
+"""Golden-fixture regression pins for the serialized facade output.
+
+A small canonical scenario matrix (2 systems x 2 policies, constant
+PUE) is run through the facade and its ``ScenarioResult.to_dict()``
+JSON is compared **byte for byte** against committed fixtures under
+``tests/golden/``.  Facade refactors therefore cannot silently drift
+any serialized number, name, or provenance entry: an intentional change
+re-blesses the fixtures with
+
+    pytest tests/test_golden_fixtures.py --update-golden
+
+and the new bytes show up in review as a plain-text diff.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cluster import WorkloadParams
+from repro.session import Scenario
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+#: The canonical matrix: 2 systems x 2 policies, constant PUE.
+_MATRIX = [
+    ("frontier", "ESO", "carbon-oblivious"),
+    ("frontier", "ESO", "temporal+geographic"),
+    ("perlmutter", "CISO", "carbon-oblivious"),
+    ("perlmutter", "CISO", "temporal+geographic"),
+]
+
+#: Pinned constant facility overhead (exercises the pue:constant path).
+_GOLDEN_PUE = 1.25
+
+
+def _fixture_id(system: str, policy: str) -> str:
+    return f"{system}-{policy}".replace("+", "_")
+
+
+def _build(system: str, region: str, policy: str) -> Scenario:
+    return (
+        Scenario()
+        .system(system)
+        .region(region)
+        .node("V100")
+        .policy(policy)
+        .workload(
+            WorkloadParams(horizon_h=48.0, total_gpus=8, home_region=region),
+            seed=11,
+        )
+        .seed(7)
+        .pue(_GOLDEN_PUE)
+    )
+
+
+def _serialize(result) -> str:
+    return json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize(
+    "system,region,policy",
+    _MATRIX,
+    ids=[_fixture_id(s, p) for s, _r, p in _MATRIX],
+)
+def test_scenario_matches_golden(system, region, policy, update_golden):
+    path = GOLDEN_DIR / f"scenario-{_fixture_id(system, policy)}.json"
+    payload = _serialize(_build(system, region, policy).run())
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(payload, encoding="utf-8")
+    assert path.exists(), (
+        f"missing golden fixture {path.name}; generate it with "
+        "pytest tests/test_golden_fixtures.py --update-golden"
+    )
+    assert payload == path.read_text(encoding="utf-8"), (
+        f"serialized ScenarioResult drifted from {path.name}; if the change "
+        "is intentional, re-bless with --update-golden"
+    )
+
+
+def test_constant_pue_backend_matches_float_golden(update_golden):
+    """The acceptance pin: ``pue("constant", value=x)`` serializes to the
+    *same bytes* as the float path the fixtures were blessed with."""
+    if update_golden:
+        pytest.skip("fixtures are blessed from the float path")
+    system, region, policy = _MATRIX[0]
+    path = GOLDEN_DIR / f"scenario-{_fixture_id(system, policy)}.json"
+    scenario = _build(system, region, policy).pue("constant", value=_GOLDEN_PUE)
+    assert _serialize(scenario.run()) == path.read_text(encoding="utf-8")
+
+
+def test_golden_round_trip():
+    """Fixtures must stay loadable through ScenarioResult.from_dict."""
+    from repro.session.result import ScenarioResult
+
+    fixtures = sorted(GOLDEN_DIR.glob("scenario-*.json"))
+    assert len(fixtures) == len(_MATRIX)
+    for path in fixtures:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        result = ScenarioResult.from_dict(data)
+        assert result.name == data["name"]
+        assert result.carbon is not None
+        assert result.scheduling is not None

@@ -101,3 +101,67 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+
+class TestPUEFlags:
+    """`--pue` / `--pue-arg` on the scenario, audit, and advise commands."""
+
+    def test_scenario_numeric_pue_matches_facade(self, capsys):
+        assert main([
+            "scenario", "--system", "Perlmutter", "--region", "CISO",
+            "--pue", "1.5",
+        ]) == 0
+        flagged = capsys.readouterr().out
+
+        from repro.session import Scenario
+
+        expected = (
+            Scenario().system("Perlmutter").region("CISO").pue(1.5).build()
+        )
+        assert expected.render() == flagged.rstrip("\n")
+
+    def test_scenario_seasonal_pue_differs_from_constant(self, capsys):
+        base = ["scenario", "--system", "Perlmutter", "--region", "CISO"]
+        assert main([*base, "--pue", "1.2"]) == 0
+        constant = capsys.readouterr().out
+        assert main([
+            *base, "--pue", "seasonal",
+            "--pue-arg", "mean=1.2", "--pue-arg", "amplitude=0.1",
+        ]) == 0
+        seasonal = capsys.readouterr().out
+        assert constant != seasonal
+
+    def test_audit_and_advise_accept_pue(self, capsys):
+        assert main(["audit", "--system", "Perlmutter", "--pue", "1.5"]) == 0
+        high = capsys.readouterr().out
+        assert main(["audit", "--system", "Perlmutter", "--pue", "1.2"]) == 0
+        low = capsys.readouterr().out
+        assert "Carbon audit" in high and high != low
+        assert main([
+            "advise", "--intensity", "200", "--pue", "seasonal",
+            "--pue-arg", "amplitude=0.05",
+        ]) == 0
+        assert "carbon breakeven" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["scenario", "--system", "Perlmutter", "--region", "CISO",
+             "--pue", "0.5"],
+            ["scenario", "--system", "Perlmutter", "--region", "CISO",
+             "--pue", "nan"],
+            ["scenario", "--system", "Perlmutter", "--region", "CISO",
+             "--pue", "tidal"],
+            ["scenario", "--system", "Perlmutter", "--region", "CISO",
+             "--pue-arg", "amplitude=0.1"],
+            ["scenario", "--system", "Perlmutter", "--region", "CISO",
+             "--pue", "seasonal", "--pue-arg", "amplitude"],
+            ["audit", "--system", "Perlmutter", "--pue", "0.5"],
+            ["advise", "--intensity", "200", "--pue", "0.5"],
+        ],
+        ids=["below-floor", "nan", "unknown-key", "arg-without-pue",
+             "malformed-arg", "audit-below-floor", "advise-below-floor"],
+    )
+    def test_invalid_pue_flags_fail_cleanly(self, capsys, argv):
+        assert main(argv) == 2
+        assert "error" in capsys.readouterr().err
