@@ -15,7 +15,7 @@ import pytest
 from repro.analysis.render import format_table
 from repro.core.config import ModelConfig, use_config
 from repro.core.operational import operational_carbon, operational_carbon_trace
-from repro.cluster.workload_gen import WorkloadParams, generate_workload
+from repro.workloads.sources import WorkloadParams, generate_workload
 from repro.hardware.catalog import GPU_A100, GPU_V100
 from repro.hardware.node import a100_node, v100_node
 from repro.intensity.api import CarbonIntensityService

@@ -40,7 +40,7 @@ BASELINE_FRACTION = 0.15
 
 
 def _setup():
-    from repro.cluster.workload_gen import WorkloadParams, generate_workload
+    from repro.workloads.sources import WorkloadParams, generate_workload
     from repro.hardware.node import v100_node
     from repro.intensity.api import CarbonIntensityService
     from repro.scheduler.policies import TemporalGeographicPolicy

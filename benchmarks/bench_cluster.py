@@ -7,7 +7,7 @@ import pytest
 
 from repro.analysis.render import format_table
 from repro.cluster.simulator import Cluster, simulate_cluster
-from repro.cluster.workload_gen import WorkloadParams, generate_workload
+from repro.workloads.sources import WorkloadParams, generate_workload
 from repro.hardware.node import v100_node
 from repro.intensity.generator import generate_trace
 

@@ -49,7 +49,7 @@ BASELINE_FRACTION = 0.15
 
 
 def _month_jobs():
-    from repro.cluster.workload_gen import WorkloadParams, generate_workload
+    from repro.workloads.sources import WorkloadParams, generate_workload
 
     params = WorkloadParams(
         horizon_h=24.0 * WORKLOAD_DAYS,
@@ -109,7 +109,7 @@ def bench_simulator() -> dict:
 
 
 def _sweep_scenarios():
-    from repro.cluster.workload_gen import WorkloadParams
+    from repro.workloads.sources import WorkloadParams
     from repro.session import Scenario
 
     return [

@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.render import format_table
-from repro.cluster.workload_gen import WorkloadParams, generate_workload
+from repro.workloads.sources import WorkloadParams, generate_workload
 from repro.hardware.node import v100_node
 from repro.intensity.api import CarbonIntensityService
 from repro.scheduler.evaluation import compare_policies

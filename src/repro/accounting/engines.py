@@ -156,20 +156,29 @@ class VectorizedChargingEngine:
             raise AccountingError(
                 f"{len(placements)} placements for {len(jobs)} jobs"
             )
-        if not jobs:
+        if not len(jobs):
             return _empty_charges()
         eff_pue, pue_profile = resolve_pue(pue, config=config)
         per_gpu_busy_w = _per_gpu_busy_w(node)
         n = len(jobs)
 
-        gpus = np.array([j.n_gpus for j in jobs], dtype=float)
-        durations = np.array([j.duration_h for j in jobs], dtype=float)
-        job_ids = np.array([j.job_id for j in jobs], dtype=np.int64)
+        # Columnar fast path: a JobBatch hands its arrays straight to
+        # the kernel (no per-job objects); sequences columnize here.
+        from repro.cluster.job import JobBatch, charge_windows
+
+        if isinstance(jobs, JobBatch):
+            gpus = jobs.n_gpus.astype(float)
+            durations = jobs.duration_h
+            job_ids = jobs.job_ids
+        else:
+            gpus = np.array([j.n_gpus for j in jobs], dtype=float)
+            durations = np.array([j.duration_h for j in jobs], dtype=float)
+            job_ids = np.array([j.job_id for j in jobs], dtype=np.int64)
         starts = np.array([p.start_h for p in placements], dtype=float)
         migrated = np.array([p.migrated for p in placements], dtype=bool)
         start_hours = np.floor(starts).astype(np.int64)
         regions = tuple([p.region for p in placements])
-        windows = np.maximum(np.ceil(durations).astype(np.int64), 1)
+        windows = charge_windows(durations)
 
         # One energy code path (see module docstring): compute draw,
         # then the migration cost model on top.
@@ -346,7 +355,7 @@ class ScalarReferenceChargingEngine:
             raise AccountingError(
                 f"{len(placements)} placements for {len(jobs)} jobs"
             )
-        if not jobs:
+        if not len(jobs):
             return _empty_charges()
         eff_pue, pue_profile = resolve_pue(pue, config=config)
         per_gpu_busy_w = _per_gpu_busy_w(node)

@@ -550,7 +550,7 @@ def _section_carbon_attribution() -> str:
     accounting ledger: where the realized carbon (operational +
     amortized embodied) actually lands, per grid region.
     """
-    from repro.cluster.workload_gen import WorkloadParams
+    from repro.workloads.sources import WorkloadParams
     from repro.session import Scenario
 
     result = (

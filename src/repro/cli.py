@@ -203,23 +203,35 @@ def _print_insights() -> None:
 _EXPERIMENTS["insights"] = _print_insights
 
 
+def _split_float_list(raw: str):
+    """Parse a comma-separated value into floats, or None if any part
+    is non-numeric (shared by the pue and workload arg coercers)."""
+    try:
+        return [float(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        return None
+
+
 def _coerce_pue_arg(raw: str):
     """Best-effort typing of one ``--pue-arg`` value.
 
     Comma-separated numbers become a list (the ``profile`` backend's
-    ``values``); single numbers become floats; anything else stays a
-    string for the backend factory to interpret.
+    ``values``) and a non-numeric list is a hard error; single numbers
+    become floats; anything else stays a string.  Scalars type more
+    loosely than ``--workload-arg``'s on purpose: every numeric pue
+    knob is a float (no int/bool options exist), so the stricter
+    workload rules would only add surprise here.
     """
     raw = raw.strip()
     if "," in raw:
-        from repro.core.errors import PUEError
+        values = _split_float_list(raw)
+        if values is None:
+            from repro.core.errors import PUEError
 
-        try:
-            return [float(part) for part in raw.split(",") if part.strip()]
-        except ValueError:
             raise PUEError(
                 f"--pue-arg number list contains a non-number: {raw!r}"
-            ) from None
+            )
+        return values
     try:
         return float(raw)
     except ValueError:
@@ -263,6 +275,153 @@ def _add_pue_flags(parser) -> None:
     )
 
 
+def _coerce_scalar_arg(raw: str):
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def _coerce_workload_arg(raw: str):
+    """Best-effort typing of one ``--workload-arg`` value.
+
+    Ints stay ints (GPU counts, column indices), numbers become floats,
+    ``true``/``false`` become booleans, and a comma-separated run of
+    *numbers* becomes a list.  Anything else — including comma-bearing
+    strings such as file paths — stays a string for the backend factory
+    (see ``_coerce_pue_arg`` for the float-only sibling).
+    """
+    raw = raw.strip()
+    if "," in raw:
+        values = _split_float_list(raw)
+        if values is not None:
+            # Preserve int-ness per element (column indices etc.).
+            return [_coerce_scalar_arg(part.strip())
+                    for part in raw.split(",") if part.strip()]
+        return raw  # e.g. a path with a comma in it
+    return _coerce_scalar_arg(raw)
+
+
+def _parse_workload_args(items) -> tuple:
+    """Split ``--workload-arg`` items into (common, per-backend) options.
+
+    Plain ``K=V`` applies to every workload backend in the run;
+    ``BACKEND:K=V`` applies only when that backend key is swept (how a
+    ``--sweep-workloads`` run hands ``trace`` its ``path`` without the
+    synthetic backends choking on it).
+    """
+    from repro.core.errors import WorkloadError
+
+    common: dict = {}
+    per_key: dict = {}
+    for item in items or ():
+        name, sep, raw = item.partition("=")
+        if not sep or not name.strip():
+            raise WorkloadError(f"--workload-arg takes K=V, got {item!r}")
+        name = name.strip()
+        if name.rpartition(":")[2].strip() == "seed":
+            # The draw seed is a top-level flag, not a factory option;
+            # letting it through would collide with the seed= keyword.
+            raise WorkloadError(
+                "--workload-arg seed=N is not a backend option; use --seed"
+            )
+        target = None
+        if ":" in name:
+            target, _, name = name.partition(":")
+            target = target.strip().lower()
+            name = name.strip()
+            if not target or not name:
+                raise WorkloadError(
+                    f"--workload-arg backend prefix takes BACKEND:K=V, got {item!r}"
+                )
+            from repro.workloads.sources import looks_like_trace_path
+
+            if looks_like_trace_path(target):
+                # A path-like prefix would silently canonicalize onto
+                # the trace bucket; scoping is by backend *key* only.
+                raise WorkloadError(
+                    f"--workload-arg prefix must be a backend key, got "
+                    f"path-like {target!r}; scope trace options as trace:K=V"
+                )
+        value = _coerce_workload_arg(raw)
+        if target is None:
+            common[name] = value
+        else:
+            # Buckets are stored by canonical key, so alias and backend
+            # prefixes land in the same bucket — and a typo'd prefix
+            # fails loudly instead of silently parking its option in a
+            # bucket nothing reads.
+            canonical = _canonical_workload_key(target)
+            from repro.session import available_backends
+
+            if canonical not in available_backends("workload"):
+                known = ", ".join(available_backends("workload"))
+                raise WorkloadError(
+                    f"--workload-arg backend prefix {target!r} is not a "
+                    f"workload backend; registered: {known}"
+                )
+            per_key.setdefault(canonical, {})[name] = value
+    return common, per_key
+
+
+def _canonical_workload_key(key_or_path: str) -> str:
+    """Canonical backend key for any CLI workload spelling.
+
+    Aliases collapse onto their registered backend (``poisson`` ->
+    ``synthetic``, ``replay`` -> ``trace``) and file paths onto
+    ``trace``, so ``BACKEND:K=V`` option buckets and the generator-
+    default injection rule can never be dodged by an alias spelling.
+    """
+    from repro.workloads.sources import canonical_key, looks_like_trace_path
+
+    if looks_like_trace_path(key_or_path):
+        return "trace"
+    return canonical_key(key_or_path)
+
+
+def _workload_opts_for(key: str, common: dict, per_key: dict) -> dict:
+    """Merge common and ``BACKEND:``-scoped options for one backend.
+
+    Scoped buckets are looked up by *canonical* key, so options scoped
+    under either an alias or its backend reach the same factory instead
+    of being silently dropped.
+    """
+    opts = dict(common)
+    opts.update(per_key.get(_canonical_workload_key(key), {}))
+    return opts
+
+
+def _inject_generator_defaults(
+    key_or_path: str,
+    opts: dict,
+    *,
+    days: Optional[float] = None,
+    gpus: Optional[int] = None,
+) -> dict:
+    """Default ``--days``/``--gpus`` into built-in generator options.
+
+    The one copy of the rule: only the synthetic family takes these
+    (trace replays its file's own span — forcing a horizon onto it
+    would silently clip — and third-party backends owe no
+    WorkloadParams-shaped factory signature).
+    """
+    from repro.workloads.sources import GENERATOR_KEYS
+
+    if _canonical_workload_key(key_or_path) in GENERATOR_KEYS:
+        if days is not None:
+            opts.setdefault("horizon_h", 24.0 * days)
+        if gpus is not None:
+            opts.setdefault("total_gpus", gpus)
+    return opts
+
+
 def _run_scenario_command(args) -> int:
     """The ``scenario`` subcommand: CLI surface of the session facade."""
     from repro.session import (
@@ -285,13 +444,50 @@ def _run_scenario_command(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.sweep_workloads and args.sweep_regions:
+        print(
+            "scenario error: --sweep-regions and --sweep-workloads are "
+            "mutually exclusive; sweep one axis per run",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workload and args.sweep_workloads:
+        print(
+            "scenario error: --workload and --sweep-workloads are mutually "
+            "exclusive; the sweep supplies the workload backends",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.policies and (
+        args.workload or args.workload_arg or args.sweep_workloads
+    ):
+        # The workload flags only take effect on a scheduling scenario;
+        # silently dropping them would hide an operator mistake.
+        print(
+            "scenario error: --workload/--workload-arg/--sweep-workloads "
+            "require --policies (a workload is only scheduled when policies "
+            "are requested)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workload_arg and not (args.workload or args.sweep_workloads):
+        # The legacy default path ignores factory options; same
+        # loud-failure contract as --pue-arg without --pue.
+        print(
+            "scenario error: --workload-arg requires --workload or "
+            "--sweep-workloads",
+            file=sys.stderr,
+        )
+        return 2
 
     candidates = (
         [code.strip() for code in args.regions.split(",")] if args.regions else None
     )
     renderer_key = args.renderer if args.renderer is not None else "text"
 
-    def build(region: Optional[str]) -> Scenario:
+    def build(
+        region: Optional[str], workload_key: Optional[str] = None
+    ) -> Scenario:
         # Only call a setter when the operator passed the flag, so the
         # result's provenance keeps its explicit-vs-default distinction.
         scenario = Scenario()
@@ -315,19 +511,34 @@ def _run_scenario_command(args) -> int:
         if candidates:
             scenario.regions(candidates)
         if args.policies:
-            from repro.cluster import WorkloadParams
-
             scenario.policies(args.policies.split(","))
-            # seed=None keeps the facade's default workload seed, so the
-            # CLI and the equivalent Python call draw the same jobs.
-            scenario.workload(
-                WorkloadParams(
-                    horizon_h=24.0 * args.days,
-                    total_gpus=args.gpus,
-                    home_region=region,
-                ),
-                seed=args.seed,
-            )
+            key = workload_key if workload_key is not None else args.workload
+            if key is not None:
+                # A workload backend key (or trace path): factory
+                # options come from --workload-arg, with --days/--gpus
+                # as generator defaults.
+                common, per_key = _parse_workload_args(args.workload_arg)
+                opts = _inject_generator_defaults(
+                    key,
+                    _workload_opts_for(key, common, per_key),
+                    days=args.days,
+                    gpus=args.gpus,
+                )
+                scenario.workload(key, seed=args.seed, **opts)
+            else:
+                from repro.cluster import WorkloadParams
+
+                # seed=None keeps the facade's default workload seed, so
+                # the CLI and the equivalent Python call draw the same
+                # jobs (the legacy exact path through workload:synthetic).
+                scenario.workload(
+                    WorkloadParams(
+                        horizon_h=24.0 * args.days,
+                        total_gpus=args.gpus,
+                        home_region=region,
+                    ),
+                    seed=args.seed,
+                )
         if args.upgrade:
             scenario.upgrade(args.upgrade[0], args.upgrade[1], suite=args.suite)
         return scenario
@@ -336,10 +547,27 @@ def _run_scenario_command(args) -> int:
 
     try:
         render = resolve_backend("renderer", renderer_key)
-        if args.sweep_regions:
-            sweep = [code.strip() for code in args.sweep_regions.split(",")]
+        if args.workload_arg and (args.workload or args.sweep_workloads):
+            # A scoped bucket no backend in this run reads is a silent
+            # no-op (e.g. trace:K=V without trace in the sweep): reject.
+            _common, per_key = _parse_workload_args(args.workload_arg)
+            _reject_unused_scoped_args(
+                per_key,
+                args.sweep_workloads.split(",")
+                if args.sweep_workloads
+                else [args.workload],
+            )
+        if args.sweep_regions or args.sweep_workloads:
+            if args.sweep_regions:
+                sweep = [code.strip() for code in args.sweep_regions.split(",")]
+                scenarios = [build(code) for code in sweep]
+            else:
+                keys = [k.strip() for k in args.sweep_workloads.split(",")]
+                scenarios = [
+                    build(args.region, workload_key=key) for key in keys
+                ]
             results = Session.run_many(
-                [build(code) for code in sweep],
+                scenarios,
                 executor=args.executor,
                 max_workers=args.max_workers,
             )
@@ -351,6 +579,158 @@ def _run_scenario_command(args) -> int:
         return 0
     except ReproError as error:
         print(f"scenario error: {error}", file=sys.stderr)
+        return 2
+
+
+def _make_workload_source(
+    key_or_path: str,
+    opts: dict,
+    *,
+    days: Optional[float] = None,
+    gpus: Optional[int] = None,
+    region: Optional[str] = None,
+):
+    """Resolve a CLI workload spec (backend key or trace path) to a source.
+
+    Thin wrapper over the facade's shared resolution core
+    (:func:`repro.session.session.create_workload_source`): the CLI
+    only layers its --days/--gpus generator defaults on top.
+    """
+    from repro.core.errors import WorkloadError
+    from repro.session.session import create_workload_source
+
+    opts = _inject_generator_defaults(
+        key_or_path, dict(opts), days=days, gpus=gpus
+    )
+    return create_workload_source(
+        key_or_path, opts, region=region, error=WorkloadError
+    )
+
+
+def _reject_unused_scoped_args(per_key: dict, run_keys) -> None:
+    """Fail loudly on scoped buckets no backend in this run reads.
+
+    The scenario and workload subcommands share the contract: a
+    ``BACKEND:K=V`` option scoped to a backend that is not part of the
+    run is a silent no-op, so it must error instead.
+    """
+    canonical = {_canonical_workload_key(str(k).strip()) for k in run_keys}
+    unused = sorted(set(per_key) - canonical)
+    if unused:
+        from repro.core.errors import WorkloadError
+
+        raise WorkloadError(
+            f"--workload-arg options scoped to {', '.join(unused)} apply "
+            "to no workload backend in this run"
+        )
+
+
+def _require_json_dest(path: str, command: str) -> None:
+    """Both trace writers emit the JSON schema; an ``.swf``-named output
+    would later be mis-sniffed into the SWF parser."""
+    if path.strip().lower().endswith(".swf"):
+        from repro.core.errors import WorkloadError
+
+        raise WorkloadError(
+            f"workload {command} writes the JSON schema; name the "
+            "output *.json"
+        )
+
+
+def _run_workload_command(args) -> int:
+    """The ``workload`` subcommand: generate / describe / convert traces."""
+    from repro.core.errors import ReproError
+
+    try:
+        common, per_key = _parse_workload_args(args.workload_arg)
+        if per_key:
+            source_spec = (
+                "trace"
+                if args.workload_command == "convert"
+                else (args.backend if args.workload_command == "generate"
+                      else args.source)
+            )
+            _reject_unused_scoped_args(per_key, [source_spec])
+        if args.workload_command == "generate":
+            from repro.cluster.traceio import save_jobs
+            from repro.workloads.sources import DEFAULT_WORKLOAD_SEED
+
+            _require_json_dest(args.out, "generate")
+            source = _make_workload_source(
+                args.backend,
+                _workload_opts_for(args.backend, common, per_key),
+                days=args.days,
+                gpus=args.gpus,
+                region=args.region,
+            )
+            seed = args.seed if args.seed is not None else DEFAULT_WORKLOAD_SEED
+            batch = source.generate(seed=seed)
+            path = save_jobs(batch.to_jobs(), args.out)
+            print(
+                f"wrote {path} ({len(batch)} jobs, "
+                f"{batch.total_gpu_hours():,.1f} GPU-hours, "
+                f"span {batch.span_h():.1f} h)"
+            )
+            return 0
+        if args.workload_command == "describe":
+            from repro.workloads.sources import DEFAULT_WORKLOAD_SEED
+
+            source = _make_workload_source(
+                args.source,
+                _workload_opts_for(args.source, common, per_key),
+                days=args.days,
+                gpus=args.gpus,
+                region=args.region,
+            )
+            seed = args.seed if args.seed is not None else DEFAULT_WORKLOAD_SEED
+            stats = source.generate(seed=seed).describe()
+            rows = [
+                (name, str(value))
+                for name, value in stats.items()
+                if not isinstance(value, tuple)
+            ]
+            print(f"Workload {args.source!r} (seed {seed}):")
+            print(format_table(["Statistic", "Value"], rows))
+            models = stats.get("models")
+            if models:
+                print(f"models : {', '.join(models)}")
+            regions = stats.get("regions")
+            if regions:
+                print(f"regions: {', '.join(regions)}")
+            return 0
+        # convert: any readable trace -> the versioned JSON schema.
+        from repro.cluster.traceio import save_jobs
+        from repro.core.errors import WorkloadError
+        from repro.workloads.sources import looks_like_trace_path
+
+        _require_json_dest(args.dest, "convert")
+        if not looks_like_trace_path(args.source):
+            raise WorkloadError(
+                "workload convert takes a trace file as its source, got "
+                f"{args.source!r}; draw generator backends with "
+                "'workload generate' instead"
+            )
+        # Route through the workload:trace backend (not the bare
+        # reader), so every trace option a scenario accepts —
+        # trace:-scoped or plain: model, column remaps
+        # (column_map=run_s:8,...), horizon_h, slack_fraction,
+        # home_region, max_jobs — converts identically.
+        opts = _workload_opts_for("trace", common, per_key)
+        if "path" in opts:
+            raise WorkloadError(
+                "workload convert takes its source positionally; drop the "
+                "path= option"
+            )
+        source = _make_workload_source(args.source, opts)
+        batch = source.generate()
+        path = save_jobs(batch.to_jobs(), args.dest)
+        print(
+            f"converted {args.source} -> {path} ({len(batch)} jobs, "
+            f"{batch.total_gpu_hours():,.1f} GPU-hours)"
+        )
+        return 0
+    except ReproError as error:
+        print(f"workload error: {error}", file=sys.stderr)
         return 2
 
 
@@ -423,6 +803,17 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         "--policies", default=None,
         help="comma-separated policy backend keys (implies a workload)",
     )
+    scenario_parser.add_argument(
+        "--workload", default=None,
+        help="workload backend key (synthetic/diurnal/bursty/trace) or a "
+             "trace path (.json/.swf); default: the synthetic generator",
+    )
+    scenario_parser.add_argument(
+        "--workload-arg", action="append", default=None, metavar="K=V",
+        help="option for the workload backend (repeatable), e.g. "
+             "target_usage=0.6 or trace:path=log.swf (BACKEND:K=V scopes "
+             "an option to one backend in a --sweep-workloads run)",
+    )
     scenario_parser.add_argument("--days", type=float, default=28.0)
     scenario_parser.add_argument("--gpus", type=int, default=64)
     scenario_parser.add_argument(
@@ -449,8 +840,14 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated regions: run one scenario per region (batch)",
     )
     scenario_parser.add_argument(
+        "--sweep-workloads", default=None,
+        help="comma-separated workload backend keys: run one scenario per "
+             "workload through Session.run_many (batch)",
+    )
+    scenario_parser.add_argument(
         "--executor", default=None,
-        help="executor backend key for --sweep-regions (serial/process)",
+        help="executor backend key for --sweep-regions/--sweep-workloads "
+             "batches (serial/process)",
     )
     scenario_parser.add_argument(
         "--max-workers", type=int, default=None,
@@ -459,6 +856,56 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     scenario_parser.add_argument(
         "--list-backends", action="store_true",
         help="print every registered backend and exit",
+    )
+    workload_parser = subparsers.add_parser(
+        "workload", help="generate, describe, or convert workload traces"
+    )
+    workload_sub = workload_parser.add_subparsers(
+        dest="workload_command", required=True
+    )
+
+    def _add_workload_source_flags(parser) -> None:
+        parser.add_argument("--seed", type=int, default=None)
+        parser.add_argument(
+            "--days", type=float, default=28.0,
+            help="generator horizon in days (ignored for trace paths)",
+        )
+        parser.add_argument("--gpus", type=int, default=64)
+        parser.add_argument(
+            "--region", default=None, help="home region stamped on the jobs"
+        )
+        parser.add_argument(
+            "--workload-arg", action="append", default=None, metavar="K=V",
+            help="option for the workload backend (repeatable)",
+        )
+
+    workload_generate = workload_sub.add_parser(
+        "generate", help="draw a workload and write it as a JSON trace"
+    )
+    workload_generate.add_argument(
+        "--backend", default="synthetic",
+        help="workload backend key (synthetic/diurnal/bursty) or trace path",
+    )
+    workload_generate.add_argument(
+        "--out", required=True, help="destination JSON trace path"
+    )
+    _add_workload_source_flags(workload_generate)
+    workload_describe = workload_sub.add_parser(
+        "describe", help="summary statistics of a backend draw or trace file"
+    )
+    workload_describe.add_argument(
+        "source", help="workload backend key or trace path (.json/.swf)"
+    )
+    _add_workload_source_flags(workload_describe)
+    workload_convert = workload_sub.add_parser(
+        "convert", help="convert a trace (e.g. SWF) to the JSON schema"
+    )
+    workload_convert.add_argument("source", help="input trace (.json/.swf)")
+    workload_convert.add_argument("dest", help="output JSON trace path")
+    workload_convert.add_argument(
+        "--workload-arg", action="append", default=None, metavar="K=V",
+        help="trace reader option (repeatable), e.g. model=ResNet50, "
+             "procs_per_gpu=8, or column_map=run_s:8,user_id:11",
     )
     models_parser = subparsers.add_parser(
         "models", help="training footprint cards for a benchmark suite"
@@ -477,7 +924,8 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in list(_EXPERIMENTS) + [
-            "report", "export", "audit", "advise", "models", "scenario"
+            "report", "export", "audit", "advise", "models", "scenario",
+            "workload",
         ]:
             print(name)
         return 0
@@ -540,6 +988,8 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "scenario":
         return _run_scenario_command(args)
+    if args.command == "workload":
+        return _run_workload_command(args)
     if args.command == "models":
         from repro.intensity.generator import generate_trace
         from repro.workloads.energy import model_card_table

@@ -1,7 +1,12 @@
-"""Cluster simulation substrate: jobs, synthetic workloads, and a
-discrete-event simulator with energy/carbon accounting."""
+"""Cluster simulation substrate: jobs, columnar job batches, and a
+discrete-event simulator with energy/carbon accounting.
 
-from repro.cluster.job import Job, Placement
+(Workload *generation* lives in :mod:`repro.workloads.sources` behind
+the ``workload`` registry kind; ``WorkloadParams``/``generate_workload``
+stay re-exported here for compatibility.)
+"""
+
+from repro.cluster.job import Job, JobBatch, Placement
 from repro.cluster.simulator import (
     Cluster,
     ScheduledJob,
@@ -10,15 +15,17 @@ from repro.cluster.simulator import (
 )
 from repro.cluster.traceio import (
     SCHEMA_VERSION,
+    SWF_COLUMNS,
     jobs_from_json,
     jobs_to_json,
     load_jobs,
+    load_swf,
+    read_workload,
     save_jobs,
 )
-from repro.cluster.workload_gen import WorkloadParams, generate_workload
-
 __all__ = [
     "Job",
+    "JobBatch",
     "Placement",
     "WorkloadParams",
     "generate_workload",
@@ -27,11 +34,25 @@ __all__ = [
     "SimulationResult",
     "simulate_cluster",
     "SCHEMA_VERSION",
+    "SWF_COLUMNS",
     "jobs_to_json",
     "jobs_from_json",
     "save_jobs",
     "load_jobs",
+    "load_swf",
+    "read_workload",
 ]
+
+
+def __getattr__(name: str):
+    # WorkloadParams/generate_workload live in repro.workloads.sources
+    # now; re-export lazily (PEP 562) because sources itself imports
+    # repro.cluster.job — an eager import here would be circular.
+    if name in ("WorkloadParams", "generate_workload"):
+        from repro.workloads import sources
+
+        return getattr(sources, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # --- session-facade backends ------------------------------------------------

@@ -35,7 +35,7 @@ from repro.accounting.pue import PUELike, align_pue_profile, resolve_pue
 from repro.core.config import ModelConfig
 from repro.core.errors import SimulationError
 from repro.core.units import CarbonMass, Energy
-from repro.cluster.job import Job
+from repro.cluster.job import Job, JobBatch
 from repro.hardware.node import NodeSpec
 from repro.intensity.trace import IntensityTrace
 from repro.power.node import NodePowerModel
@@ -249,7 +249,7 @@ def _busy_gpu_hours(
 
 
 def simulate_cluster(
-    jobs: Sequence[Job],
+    jobs: Union[Sequence[Job], JobBatch],
     cluster: Cluster,
     *,
     horizon_h: float,
@@ -264,10 +264,14 @@ def simulate_cluster(
     accounting period would).  ``pue`` takes a float (the legacy exact
     path) or an hourly profile / :class:`~repro.power.pue.SeasonalPUE`,
     which weights each simulated hour's charge by that hour's facility
-    overhead.
+    overhead.  A columnar :class:`JobBatch` is accepted and materialized
+    into scalar views once (the simulator's schedule bookkeeping is
+    per-job by nature).
     """
     if horizon_h <= 0.0:
         raise SimulationError(f"horizon must be positive, got {horizon_h!r}")
+    if isinstance(jobs, JobBatch):
+        jobs = jobs.to_jobs()
     eff_pue, pue_profile = resolve_pue(pue, config=config, error=SimulationError)
 
     scheduled = _place_fcfs(jobs, cluster)

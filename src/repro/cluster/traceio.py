@@ -5,23 +5,78 @@ to make experiments shareable and replayable across tools, jobs
 round-trip through a simple JSON schema (one object per job, model
 referenced by name).  The schema is versioned so future fields stay
 backward compatible.
+
+Standard Workload Format (SWF)
+------------------------------
+:func:`load_swf` additionally reads the community SWF archive format
+(one whitespace-separated record per line, ``;`` comment headers) so
+published cluster logs replay through the same pipeline.  The default
+column mapping follows the SWF specification (0-based field indices):
+
+====================  =====  =================================================
+logical column        index  SWF field
+====================  =====  =================================================
+``job_id``            0      job number
+``submit_s``          1      submit time, seconds from log start
+``run_s``             3      run time in seconds
+``n_procs``           4      number of allocated processors
+``requested_procs``   7      requested processor count (fallback when the
+                             allocated count is missing/-1)
+``user_id``           11     user id (becomes ``user<N>``)
+====================  =====  =================================================
+
+Pass ``column_map={"run_s": 8, ...}`` to remap any subset for
+non-standard logs.  Records with non-positive runtimes or processor
+counts (failed/cancelled jobs) are skipped; submit times are shifted so
+the first surviving job lands at hour 0.  SWF carries no model or GPU
+semantics, so ``model`` names the Table 4 model every replayed job
+trains and ``procs_per_gpu``/``max_gpus`` convert processor counts into
+GPU requests (``ceil(procs / procs_per_gpu)`` clamped to ``max_gpus``).
+
+:func:`read_workload` is the format-sniffing columnar entry point the
+``workload:trace`` backend uses: JSON by schema, SWF by suffix or
+leading record shape, returning a :class:`~repro.cluster.job.JobBatch`.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.core.errors import SimulationError
-from repro.cluster.job import Job
+from repro.cluster.job import Job, JobBatch, _adopt
 from repro.workloads.models import get_model
 
-__all__ = ["SCHEMA_VERSION", "jobs_to_json", "jobs_from_json", "save_jobs", "load_jobs"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "SWF_COLUMNS",
+    "jobs_to_json",
+    "jobs_from_json",
+    "parse_column_map",
+    "save_jobs",
+    "load_jobs",
+    "load_swf",
+    "read_workload",
+]
 
 SCHEMA_VERSION = 1
 
 PathLike = Union[str, pathlib.Path]
+
+#: Default 0-based SWF field indices (see the module docstring).
+SWF_COLUMNS: Dict[str, int] = {
+    "job_id": 0,
+    "submit_s": 1,
+    "run_s": 3,
+    "n_procs": 4,
+    "requested_procs": 7,
+    "user_id": 11,
+}
+
+SECONDS_PER_HOUR = 3600.0
 
 
 def jobs_to_json(jobs: Sequence[Job]) -> str:
@@ -105,3 +160,217 @@ def load_jobs(path: PathLike) -> List[Job]:
     if not source.exists():
         raise SimulationError(f"workload file {source} does not exist")
     return jobs_from_json(source.read_text(encoding="utf-8"))
+
+
+# --- Standard Workload Format ------------------------------------------------
+def parse_column_map(spec) -> Optional[Dict[str, int]]:
+    """Normalize a column-map spec into ``{name: index}``.
+
+    Accepts a dict, ``None``, or the flat string spelling
+    ``"name:index,name:index"`` (e.g. ``"run_s:8,user_id:11"``) — the
+    form a CLI ``--workload-arg column_map=...`` can express.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        mapping: Dict[str, int] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, index = part.partition(":")
+            if not sep or not name.strip():
+                raise SimulationError(
+                    f"column map entries take name:index, got {part!r}"
+                )
+            try:
+                mapping[name.strip()] = int(index)
+            except ValueError:
+                raise SimulationError(
+                    f"column map index must be an integer, got {index!r}"
+                ) from None
+        if not mapping:
+            raise SimulationError(f"empty column map spec {spec!r}")
+        return mapping
+    return dict(spec)
+
+
+def _swf_field(fields: List[str], index: int, line_no: int) -> float:
+    if index >= len(fields):
+        raise SimulationError(
+            f"SWF line {line_no}: record has {len(fields)} fields, "
+            f"needs index {index}"
+        )
+    try:
+        return float(fields[index])
+    except ValueError:
+        raise SimulationError(
+            f"SWF line {line_no}: field {index} is not numeric: "
+            f"{fields[index]!r}"
+        ) from None
+
+
+def load_swf(
+    path: PathLike,
+    *,
+    column_map: Optional[Dict[str, int]] = None,
+    model: str = "BERT",
+    procs_per_gpu: float = 1.0,
+    max_gpus: Optional[int] = None,
+) -> JobBatch:
+    """Read a Standard Workload Format log into a columnar batch.
+
+    See the module docstring for the column mapping contract.  Slack is
+    zero (rigid jobs) — the ``workload:trace`` backend's
+    ``slack_fraction`` option layers slack on afterwards.
+    """
+    source = pathlib.Path(path)
+    if not source.exists():
+        raise SimulationError(f"workload file {source} does not exist")
+    columns = dict(SWF_COLUMNS)
+    column_map = parse_column_map(column_map)
+    if column_map:
+        unknown = set(column_map) - set(SWF_COLUMNS)
+        if unknown:
+            raise SimulationError(
+                f"unknown SWF column names {sorted(unknown)}; "
+                f"known: {sorted(SWF_COLUMNS)}"
+            )
+        for name, index in column_map.items():
+            index = int(index)
+            if index < 0:
+                # A negative index would silently read from the end of
+                # each record — a typo'd map must fail, not misparse.
+                raise SimulationError(
+                    f"SWF column {name!r} index must be >= 0, got {index}"
+                )
+            columns[name] = index
+    if procs_per_gpu <= 0.0:
+        raise SimulationError(
+            f"procs_per_gpu must be positive, got {procs_per_gpu!r}"
+        )
+    if max_gpus is not None and int(max_gpus) < 1:
+        raise SimulationError(f"max_gpus must be >= 1, got {max_gpus!r}")
+    spec = get_model(model)
+
+    job_ids: List[int] = []
+    submits: List[float] = []
+    runs: List[float] = []
+    procs: List[float] = []
+    user_ids: List[int] = []
+    for line_no, line in enumerate(
+        source.read_text(encoding="utf-8", errors="replace").splitlines(), 1
+    ):
+        line = line.strip()
+        if not line or line.startswith(";"):
+            continue  # blank or header comment
+        fields = line.split()
+        run_s = _swf_field(fields, columns["run_s"], line_no)
+        if run_s <= 0.0:
+            continue  # failed/cancelled record (skip before any
+            # fallback reads: cancelled lines are often truncated)
+        n_procs = _swf_field(fields, columns["n_procs"], line_no)
+        if n_procs <= 0.0:
+            # The allocated count is unknown (-1) for queued-only or
+            # killed records; fall back to the requested count.
+            n_procs = _swf_field(fields, columns["requested_procs"], line_no)
+        if n_procs <= 0.0:
+            continue  # no processor count at all
+        job_ids.append(int(_swf_field(fields, columns["job_id"], line_no)))
+        submits.append(_swf_field(fields, columns["submit_s"], line_no))
+        runs.append(run_s)
+        procs.append(n_procs)
+        if columns["user_id"] < len(fields):
+            uid = _swf_field(fields, columns["user_id"], line_no)
+        elif column_map and "user_id" in column_map:
+            # An explicitly remapped column must exist — a silent
+            # "user-unknown" merge would hide the operator's typo.
+            raise SimulationError(
+                f"SWF line {line_no}: remapped user_id column "
+                f"{columns['user_id']} is past the record's "
+                f"{len(fields)} fields"
+            )
+        else:
+            uid = -1.0  # short record under the default mapping
+        user_ids.append(int(uid) if uid >= 0.0 else -1)
+    if not job_ids:
+        raise SimulationError(f"SWF log {source} contains no runnable jobs")
+
+    submit_h = np.asarray(submits) / SECONDS_PER_HOUR
+    submit_h = submit_h - float(submit_h.min())  # hour 0 = first arrival
+    gpus = np.ceil(np.asarray(procs) / procs_per_gpu).astype(np.int64)
+    gpus = np.maximum(gpus, 1)
+    if max_gpus is not None:
+        gpus = np.minimum(gpus, int(max_gpus))
+    user_table: Dict[int, int] = {}
+    user_codes = np.fromiter(
+        (user_table.setdefault(u, len(user_table)) for u in user_ids),
+        count=len(user_ids),
+        dtype=np.int64,
+    )
+    ids = np.asarray(job_ids, dtype=np.int64)
+    if np.unique(ids).shape[0] != ids.shape[0]:
+        # Some archives recycle job numbers across partitions; renumber
+        # deterministically by record order so the batch invariant holds.
+        ids = np.arange(ids.shape[0], dtype=np.int64)
+    return JobBatch(
+        job_ids=_adopt(ids),
+        submit_h=_adopt(submit_h),
+        duration_h=_adopt(np.asarray(runs) / SECONDS_PER_HOUR),
+        n_gpus=_adopt(gpus),
+        slack_h=_adopt(np.zeros(len(job_ids))),
+        user_codes=_adopt(user_codes),
+        users=tuple(
+            f"user{u}" if u >= 0 else "user-unknown" for u in user_table
+        ),
+        model_codes=_adopt(np.zeros(len(job_ids), dtype=np.int64)),
+        models=(spec,),
+        region_codes=_adopt(np.full(len(job_ids), -1, dtype=np.int64)),
+        regions=(),
+    )
+
+
+def _sniff_format(source: pathlib.Path) -> str:
+    suffix = source.suffix.lower()
+    if suffix == ".swf":
+        return "swf"
+    if suffix == ".json":
+        return "json"
+    with source.open("r", encoding="utf-8", errors="replace") as handle:
+        head = handle.read(64).lstrip()[:1]  # archives are large; peek only
+    return "json" if head == "{" else "swf"
+
+
+def read_workload(
+    path: PathLike,
+    *,
+    format: Optional[str] = None,
+    column_map: Optional[Dict[str, int]] = None,
+    model: str = "BERT",
+    procs_per_gpu: float = 1.0,
+    max_gpus: Optional[int] = None,
+) -> JobBatch:
+    """Read a workload trace (JSON schema or SWF) as a columnar batch.
+
+    ``format`` forces the parser; ``None`` sniffs by suffix
+    (``.json``/``.swf``) and falls back on the leading byte.  The SWF
+    options are ignored for JSON traces (the schema carries its own
+    model/GPU/user columns).
+    """
+    source = pathlib.Path(path)
+    if not source.exists():
+        raise SimulationError(f"workload file {source} does not exist")
+    kind = format.strip().lower() if format is not None else _sniff_format(source)
+    if kind == "json":
+        return JobBatch.from_jobs(load_jobs(source))
+    if kind == "swf":
+        return load_swf(
+            source,
+            column_map=column_map,
+            model=model,
+            procs_per_gpu=procs_per_gpu,
+            max_gpus=max_gpus,
+        )
+    raise SimulationError(
+        f"unknown workload trace format {format!r}; use 'json' or 'swf'"
+    )

@@ -1,120 +1,44 @@
-"""Synthetic GPU-cluster workload generation.
+"""Deprecated shim: the synthetic generator moved to the workloads layer.
 
-The paper anchors its utilization analysis to production traces (40%
-medium GPU usage from MLaaS-in-the-wild / HPCA'22 / ATC'19); those
-traces are not redistributable, so this generator produces statistically
-similar synthetic workloads: Poisson arrivals, log-normal durations
-(heavy right tail, as every published GPU-cluster study reports),
-power-of-two GPU requests skewed toward single-GPU jobs, and a model mix
-drawn from the Table 4 zoo.
+The Poisson/log-normal generator now lives in
+:mod:`repro.workloads.sources` as the ``workload:synthetic`` backend
+(resolving the long-standing ``cluster.workload_gen`` /
+``repro.workloads`` naming collision — workload *generation* belongs to
+the workloads layer; this module was always an accident of history).
+Importing the moved names from here keeps working with a
+:class:`DeprecationWarning`; new code should use::
 
-``target_usage`` controls the offered load as a fraction of the
-cluster's total GPU-hours over the horizon, matching the paper's
-low/medium/high usage levels (26.7% / 40% / 60% in RQ8).
+    from repro.workloads.sources import WorkloadParams, generate_workload
+
+or, for the columnar path, resolve the ``workload`` backend kind through
+the session facade (``Scenario().workload("synthetic", ...)``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import warnings
 
-import numpy as np
+_MOVED = ("WorkloadParams", "generate_workload")
 
-from repro.core.errors import SimulationError
-from repro.cluster.job import Job
-from repro.workloads.models import ALL_MODELS, ModelSpec
-
-__all__ = ["WorkloadParams", "generate_workload"]
-
-#: GPU-request distribution: mostly 1-GPU jobs, few full-node jobs.
-_GPU_CHOICES = np.array([1, 2, 4])
-_GPU_WEIGHTS = np.array([0.55, 0.25, 0.20])
+__all__ = list(_MOVED)
 
 
-@dataclass(frozen=True, slots=True)
-class WorkloadParams:
-    """Knobs of the synthetic workload generator.
-
-    ``mean_duration_h`` / ``duration_sigma`` parameterize the log-normal
-    runtime distribution; ``n_users`` spreads jobs across a user
-    population for the budget analyses; ``slack_fraction`` expresses
-    users' tolerated start delay as a multiple of job duration.
-    """
-
-    horizon_h: float = 24.0 * 28.0
-    target_usage: float = 0.40
-    total_gpus: int = 64
-    mean_duration_h: float = 4.0
-    duration_sigma: float = 1.0
-    n_users: int = 12
-    slack_fraction: float = 2.0
-    home_region: Optional[str] = None
-
-    def __post_init__(self) -> None:
-        if self.horizon_h <= 0.0:
-            raise SimulationError("horizon must be positive")
-        if not (0.0 < self.target_usage <= 1.0):
-            raise SimulationError("target usage must be in (0, 1]")
-        if self.total_gpus < 1:
-            raise SimulationError("total_gpus must be >= 1")
-        if self.mean_duration_h <= 0.0:
-            raise SimulationError("mean duration must be positive")
-        if self.duration_sigma < 0.0:
-            raise SimulationError("duration sigma must be >= 0")
-        if self.n_users < 1:
-            raise SimulationError("need at least one user")
-        if self.slack_fraction < 0.0:
-            raise SimulationError("slack fraction must be >= 0")
-
-
-def generate_workload(
-    params: WorkloadParams = WorkloadParams(),
-    *,
-    seed: int = 7,
-    models: Optional[Sequence[ModelSpec]] = None,
-) -> List[Job]:
-    """Generate a job list whose offered load matches ``target_usage``.
-
-    The expected GPU-hours of the generated jobs equal
-    ``target_usage * total_gpus * horizon_h``; the realized sum is then
-    rescaled exactly onto the target by adjusting durations by a single
-    common factor (< a few percent), so usage levels are comparable
-    across seeds.
-    """
-    rng = np.random.default_rng(seed)
-    zoo = list(models) if models is not None else list(ALL_MODELS)
-    if not zoo:
-        raise SimulationError("model zoo is empty")
-
-    target_gpu_hours = params.target_usage * params.total_gpus * params.horizon_h
-    mean_gpus = float(np.dot(_GPU_CHOICES, _GPU_WEIGHTS))
-    expected_job_gpu_hours = mean_gpus * params.mean_duration_h
-    n_jobs = max(int(round(target_gpu_hours / expected_job_gpu_hours)), 1)
-
-    submits = np.sort(rng.uniform(0.0, params.horizon_h, size=n_jobs))
-    gpus = rng.choice(_GPU_CHOICES, size=n_jobs, p=_GPU_WEIGHTS)
-    # Log-normal with the requested mean: mu = ln(mean) - sigma^2/2.
-    sigma = params.duration_sigma
-    mu = np.log(params.mean_duration_h) - 0.5 * sigma * sigma
-    durations = rng.lognormal(mean=mu, sigma=sigma, size=n_jobs)
-    durations = np.clip(durations, 0.05, params.horizon_h / 2.0)
-
-    realized = float(np.dot(gpus, durations))
-    durations *= target_gpu_hours / realized
-
-    model_idx = rng.integers(0, len(zoo), size=n_jobs)
-    users = rng.integers(0, params.n_users, size=n_jobs)
-
-    return [
-        Job(
-            job_id=i,
-            user=f"user{int(users[i]):02d}",
-            model=zoo[int(model_idx[i])],
-            n_gpus=int(gpus[i]),
-            duration_h=float(durations[i]),
-            submit_h=float(submits[i]),
-            slack_h=float(durations[i]) * params.slack_fraction,
-            home_region=params.home_region,
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.cluster.workload_gen.{name} moved to "
+            f"repro.workloads.sources.{name}; update the import "
+            "(this shim will be removed)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        for i in range(n_jobs)
-    ]
+        from repro.workloads import sources
+
+        return getattr(sources, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
+def __dir__():
+    return sorted(__all__)

@@ -6,6 +6,18 @@ energy, multiply by PUE and the grid's carbon intensity (Eq. 6).
 :class:`CarbonTracker` reproduces that workflow against the simulated
 meters, including carbontracker's signature feature: measure the first
 epoch, then *predict* the footprint of the full run.
+
+``pue`` accepts the same spellings as every charge path (a float, an
+hourly array, or a profile model such as
+:class:`~repro.power.pue.SeasonalPUE`/:class:`~repro.power.pue.HourlyPUE`),
+normalized through :func:`repro.accounting.resolve_pue`.  With a
+profile, carbon is integrated **hour-resolved**: every metering sample
+is weighted by that hour's facility overhead — the
+:func:`~repro.power.pue.operational_carbon_seasonal` Eq. 6 arithmetic
+applied at the tracker's resolution (pinned equal on whole-hour runs in
+``tests/test_workload_sources.py``).  Constant profiles collapse to the
+exact legacy scalar multiply, so plain-float callers charge
+bit-identically to before.
 """
 
 from __future__ import annotations
@@ -15,7 +27,8 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
-from repro.core.config import ModelConfig, effective_pue
+from repro.accounting.pue import PUELike, resolve_pue
+from repro.core.config import ModelConfig
 from repro.core.errors import PowerModelError
 from repro.core.units import CarbonMass, Energy
 from repro.hardware.node import NodeSpec
@@ -32,6 +45,13 @@ class RunReport:
 
     ``energy_by_class_kwh`` is IC energy per component class (before
     PUE); ``carbon`` is the Eq. 6 operational carbon including PUE.
+    ``pue`` is the facility overhead *applied to this run*: the scalar
+    itself on the legacy path, the time-weighted mean of the hourly
+    samples the run actually spanned on the hour-resolved path.  With a
+    varying profile, ``carbon`` integrates intensity × PUE per sample,
+    so it intentionally differs from ``mean intensity × pue`` whenever
+    the two series correlate — the whole point of hour-resolved
+    charging.
     """
 
     duration_h: float
@@ -67,7 +87,9 @@ class CarbonTracker:
         :class:`~repro.intensity.trace.IntensityTrace` for hour-resolved
         accounting.
     pue:
-        Facility PUE; defaults to the configured value.
+        Facility PUE: a float (defaults to the configured value), an
+        hourly profile array, or a profile model — hourly specs charge
+        every sample at its hour's overhead (see the module docstring).
     sample_step_h:
         Metering resolution.  Carbontracker samples every few seconds;
         for year-scale simulations 0.1 h keeps integration error under
@@ -79,7 +101,7 @@ class CarbonTracker:
         node: NodeSpec,
         intensity: Union[float, IntensityTrace],
         *,
-        pue: Optional[float] = None,
+        pue: PUELike = None,
         sample_step_h: float = 0.1,
         config: Optional[ModelConfig] = None,
     ) -> None:
@@ -90,16 +112,27 @@ class CarbonTracker:
         self._node = node
         self._power = NodePowerModel(node)
         self._intensity = intensity
-        self._pue = effective_pue(pue, config=config, error=PowerModelError)
+        # (scalar, hourly-profile-or-None); constant profiles collapse
+        # to the scalar, preserving the legacy single-multiply bytes.
+        self._pue, self._pue_profile = resolve_pue(
+            pue, config=config, error=PowerModelError
+        )
         self._step_h = sample_step_h
 
-    # --- intensity lookup ------------------------------------------------
+    # --- hourly lookups ---------------------------------------------------
     def _intensity_profile(self, start_hour: float, times_h: np.ndarray) -> np.ndarray:
         if isinstance(self._intensity, IntensityTrace):
             trace = self._intensity
             idx = (np.floor(start_hour + times_h).astype(int)) % len(trace)
             return trace.values[idx]
         return np.full(times_h.shape, float(self._intensity))
+
+    def _pue_samples(self, start_hour: float, times_h: np.ndarray) -> np.ndarray:
+        """Per-sample facility overhead (same wrap as the intensity)."""
+        profile = self._pue_profile
+        assert profile is not None
+        idx = (np.floor(start_hour + times_h).astype(int)) % profile.shape[0]
+        return profile[idx]
 
     # --- tracking -------------------------------------------------------------
     def track_run(
@@ -129,16 +162,31 @@ class CarbonTracker:
         mids = 0.5 * (edges[:-1] + edges[1:])
         widths = np.diff(edges)
         intensity = self._intensity_profile(start_hour, mids)
-        grams = float(
-            np.dot(intensity, widths) * total_power_w / 1000.0 * self._pue
-        )
+        if self._pue_profile is None:
+            # Legacy exact path: one scalar multiply at the end.
+            grams = float(
+                np.dot(intensity, widths) * total_power_w / 1000.0 * self._pue
+            )
+            run_pue = self._pue
+        else:
+            # Hour-resolved Eq. 6: each sample pays its own hour's
+            # overhead (operational_carbon_seasonal's weighting at the
+            # metering resolution).  The report carries the overhead
+            # this run actually averaged, not the annual mean.
+            pue_samples = self._pue_samples(start_hour, mids)
+            grams = float(
+                np.dot(intensity * pue_samples, widths)
+                * total_power_w
+                / 1000.0
+            )
+            run_pue = float(np.dot(pue_samples, widths) / duration_h)
         avg_intensity = float(np.dot(intensity, widths) / duration_h)
         return RunReport(
             duration_h=duration_h,
             energy_by_class_kwh=energy_by_class,
             carbon=CarbonMass(grams),
             average_intensity_g_per_kwh=avg_intensity,
-            pue=self._pue,
+            pue=run_pue,
         )
 
     def predict_total(

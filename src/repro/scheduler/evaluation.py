@@ -27,10 +27,10 @@ from repro.accounting.pue import PUELike, resolve_pue
 from repro.core.config import ModelConfig
 from repro.core.errors import SchedulingError
 from repro.core.units import CarbonMass, Energy
-from repro.cluster.job import Job, Placement
+from repro.cluster.job import JobBatch, Placement
 from repro.hardware.node import NodeSpec
 from repro.intensity.api import CarbonIntensityService
-from repro.scheduler.policies import SchedulingPolicy, place_jobs
+from repro.scheduler.policies import JobStream, SchedulingPolicy, place_jobs
 
 __all__ = ["JobOutcome", "PolicyEvaluation", "evaluate_policy", "compare_policies"]
 
@@ -80,30 +80,35 @@ class PolicyEvaluation:
 
 
 def _validate_placements(
-    jobs: Sequence[Job], placements: Sequence[Placement], policy_name: str
+    batch: JobBatch, placements: Sequence[Placement], policy_name: str
 ) -> None:
     """The placement sanity contract the seed evaluator enforced.
 
     (Job/placement id pairing is already enforced by ``place_jobs``,
-    the single chokepoint every evaluation path goes through.)
+    the single chokepoint every evaluation path goes through.)  Works
+    off the batch columns — no per-job objects.
     """
     seen: set[int] = set()
-    for job, placement in zip(jobs, placements):
+    submits = batch.submit_h
+    latest = batch.submit_h + batch.slack_h
+    job_ids = batch.job_ids
+    for i, placement in enumerate(placements):
         if placement.job_id in seen:
-            raise SchedulingError(f"job {job.job_id} placed twice")
+            raise SchedulingError(f"job {int(job_ids[i])} placed twice")
         seen.add(placement.job_id)
-        if placement.start_h < job.submit_h - 1e-9:
+        if placement.start_h < submits[i] - 1e-9:
             raise SchedulingError(
-                f"policy {policy_name!r} started job {job.job_id} before submit"
+                f"policy {policy_name!r} started job {int(job_ids[i])} "
+                "before submit"
             )
-        if placement.start_h > job.latest_start_h + 1e-9:
+        if placement.start_h > latest[i] + 1e-9:
             raise SchedulingError(
-                f"policy {policy_name!r} violated slack for job {job.job_id}"
+                f"policy {policy_name!r} violated slack for job {int(job_ids[i])}"
             )
 
 
 def evaluate_policy(
-    jobs: Sequence[Job],
+    jobs: JobStream,
     policy: SchedulingPolicy,
     service: CarbonIntensityService,
     node: NodeSpec,
@@ -114,6 +119,7 @@ def evaluate_policy(
     config: Optional[ModelConfig] = None,
     accounting: Union[str, object] = "vectorized",
     ledger: Optional[CarbonLedger] = None,
+    batch: Optional[JobBatch] = None,
 ) -> PolicyEvaluation:
     """Place every job with ``policy`` and charge true intensities.
 
@@ -130,6 +136,14 @@ def evaluate_policy(
     charging engine (``"vectorized"`` / ``"scalar-reference"`` or an
     engine instance).  When ``ledger`` is given, the evaluation's
     charges are also folded into it (policy-attributed).
+
+    ``jobs`` may be a job sequence or a columnar
+    :class:`~repro.cluster.job.JobBatch`; a batch flows through
+    placement, validation, and charging on its columns alone — no
+    per-job Python objects on the hot path (sequences are columnized
+    once at the door).  ``batch`` optionally supplies that columnar
+    view precomputed (it must describe the same jobs) so multi-policy
+    sweeps pay for one encoding, not one per policy.
     """
     if transfer_overhead_fraction < 0.0:
         raise SchedulingError("transfer overhead must be non-negative")
@@ -139,16 +153,25 @@ def evaluate_policy(
     eff_pue, pue_profile = resolve_pue(pue, config=config, error=SchedulingError)
     resolved_pue = eff_pue if pue_profile is None else pue_profile
     engine = get_engine(accounting)
+    if batch is None:
+        batch = JobBatch.coerce(jobs)
+    elif len(batch) != len(jobs):
+        raise SchedulingError(
+            f"precomputed batch has {len(batch)} rows for {len(jobs)} jobs"
+        )
 
     # Batched placement: one vectorized place_all call for the built-in
     # policies (scored off the shared window score tables), per-job
-    # place for minimal third-party ones.
+    # place for minimal third-party ones.  The *original* jobs go to
+    # the policy — a place()-only third-party policy may rely on extra
+    # state its own Job subclass carries, which the columnar batch's
+    # reconstructed scalar views would drop.
     placements = place_jobs(policy, jobs)
-    _validate_placements(jobs, placements, policy.name)
+    _validate_placements(batch, placements, policy.name)
 
     # Charging: the whole per-job accounting loop is one engine call.
     charges = engine.charge(
-        jobs,
+        batch,
         placements,
         service=service,
         node=node,
@@ -162,15 +185,17 @@ def evaluate_policy(
     if ledger is not None:
         ledger.merge(own_ledger)
 
+    job_ids = batch.job_ids
+    submits = batch.submit_h
     outcomes = tuple(
         JobOutcome(
-            job_id=job.job_id,
+            job_id=int(job_ids[i]),
             placement=placement,
             energy_kwh=float(charges.energy_kwh[i]),
             carbon_g=float(charges.carbon_g[i]),
-            delay_h=placement.start_h - job.submit_h,
+            delay_h=float(placement.start_h - submits[i]),
         )
-        for i, (job, placement) in enumerate(zip(jobs, placements))
+        for i, placement in enumerate(placements)
     )
     return PolicyEvaluation(
         policy_name=policy.name, outcomes=outcomes, ledger=own_ledger
@@ -178,16 +203,27 @@ def evaluate_policy(
 
 
 def compare_policies(
-    jobs: Sequence[Job],
+    jobs: JobStream,
     policies: Sequence[SchedulingPolicy],
     service: CarbonIntensityService,
     node: NodeSpec,
     **kwargs,
 ) -> Dict[str, PolicyEvaluation]:
-    """Evaluate several policies on the same workload."""
+    """Evaluate several policies on the same workload.
+
+    ``jobs`` passes through verbatim (a third-party place()-only policy
+    must see the caller's own job objects, subclass state included);
+    the columnar view backing validation and charging is encoded once
+    and shared across every policy.
+    """
+    shared = kwargs.pop("batch", None)
+    if shared is None:
+        shared = JobBatch.coerce(jobs)
     results: Dict[str, PolicyEvaluation] = {}
     for policy in policies:
         if policy.name in results:
             raise SchedulingError(f"duplicate policy name {policy.name!r}")
-        results[policy.name] = evaluate_policy(jobs, policy, service, node, **kwargs)
+        results[policy.name] = evaluate_policy(
+            jobs, policy, service, node, batch=shared, **kwargs
+        )
     return results

@@ -24,12 +24,12 @@ realistically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.errors import SchedulingError
-from repro.cluster.job import Job, Placement
+from repro.cluster.job import Job, JobBatch, Placement, charge_windows
 from repro.intensity.api import CarbonIntensityService
 
 __all__ = [
@@ -41,6 +41,8 @@ __all__ = [
     "place_jobs",
 ]
 
+JobStream = Union[Sequence[Job], JobBatch]
+
 
 class SchedulingPolicy(Protocol):
     """A policy maps jobs to placement decisions.
@@ -50,6 +52,9 @@ class SchedulingPolicy(Protocol):
     per input job, in input order, byte-identical to calling ``place``
     on each job (the built-in policies score both paths from the same
     :meth:`~repro.intensity.api.CarbonIntensityService.window_score_table`).
+    ``place_all`` accepts a job sequence **or** a columnar
+    :class:`~repro.cluster.job.JobBatch`; the built-in kernels read the
+    batch's columns directly and never materialize per-job objects.
     Third-party policies that only implement ``place`` still work
     everywhere — drive them through :func:`place_jobs`.
     """
@@ -59,11 +64,11 @@ class SchedulingPolicy(Protocol):
     def place(self, job: Job) -> Placement:  # pragma: no cover - protocol
         ...
 
-    def place_all(self, jobs: Sequence[Job]) -> List[Placement]:  # pragma: no cover
+    def place_all(self, jobs: JobStream) -> List[Placement]:  # pragma: no cover
         ...
 
 
-def place_jobs(policy: SchedulingPolicy, jobs: Sequence[Job]) -> List[Placement]:
+def place_jobs(policy: SchedulingPolicy, jobs: JobStream) -> List[Placement]:
     """Place a job stream, batched when the policy supports it.
 
     Uses ``policy.place_all`` when present (the vectorized hot path) and
@@ -80,11 +85,16 @@ def place_jobs(policy: SchedulingPolicy, jobs: Sequence[Job]) -> List[Placement]
                 f"policy {policy.name!r} returned {len(placements)} placements "
                 f"for {len(jobs)} jobs"
             )
-    for job, placement in zip(jobs, placements):
-        if placement.job_id != job.job_id:
+    expected_ids = (
+        jobs.job_ids.tolist()
+        if isinstance(jobs, JobBatch)
+        else [job.job_id for job in jobs]
+    )
+    for job_id, placement in zip(expected_ids, placements):
+        if placement.job_id != job_id:
             raise SchedulingError(
                 f"policy {policy.name!r} returned placement for job "
-                f"{placement.job_id}, expected {job.job_id}"
+                f"{placement.job_id}, expected {job_id}"
             )
     return placements
 
@@ -94,7 +104,47 @@ def _job_region(job: Job, default_region: str) -> str:
 
 
 def _window_hours(duration_h: float) -> int:
-    return max(int(np.ceil(duration_h)), 1)
+    """Scalar spelling of :func:`repro.cluster.job.charge_windows`.
+
+    Delegates rather than re-implements, so the batch/scalar placement
+    byte-identity contract cannot drift by editing one copy.
+    """
+    return int(charge_windows(duration_h))
+
+
+def _job_columns(jobs: JobStream, default_region: str):
+    """``(job_ids, submits, durations, slacks, homes)`` columns.
+
+    The kernels' one extraction chokepoint: a :class:`JobBatch` hands
+    its arrays over directly (no per-job objects), a job sequence is
+    columnized once.  Values are identical either way, which is what
+    keeps batch and object placements byte-identical.
+    """
+    if isinstance(jobs, JobBatch):
+        return (
+            jobs.job_ids,
+            jobs.submit_h,
+            jobs.duration_h,
+            jobs.slack_h,
+            jobs.home_regions(default_region),
+        )
+    jobs = list(jobs)
+    return (
+        np.array([j.job_id for j in jobs], dtype=np.int64),
+        np.array([j.submit_h for j in jobs], dtype=float),
+        np.array([j.duration_h for j in jobs], dtype=float),
+        np.array([j.slack_h for j in jobs], dtype=float),
+        [_job_region(j, default_region) for j in jobs],
+    )
+
+
+def _slack_starts(submit: float, slack: float, step_h: float) -> np.ndarray:
+    """Candidate start times of one job (the scalar path's exact grid)."""
+    submit = float(submit)
+    slack = float(slack)
+    if slack <= 0.0:
+        return np.array([submit])
+    return np.arange(submit, submit + slack + 1e-9, step_h)
 
 
 def _uniform_horizon(
@@ -157,9 +207,20 @@ class CarbonObliviousPolicy:
             duration_h=job.duration_h,
         )
 
-    def place_all(self, jobs: Sequence[Job]) -> List[Placement]:
-        """Batch path: no scoring to vectorize, just per-job identity."""
-        return [self.place(job) for job in jobs]
+    def place_all(self, jobs: JobStream) -> List[Placement]:
+        """Batch path: no scoring, straight from the columns."""
+        ids, submits, durations, _slacks, homes = _job_columns(
+            jobs, self.default_region
+        )
+        return [
+            Placement(
+                job_id=int(ids[i]),
+                region=homes[i],
+                start_h=float(submits[i]),
+                duration_h=float(durations[i]),
+            )
+            for i in range(ids.shape[0])
+        ]
 
 
 @dataclass
@@ -185,11 +246,7 @@ class TemporalShiftingPolicy:
             )
 
     def _candidate_starts(self, job: Job) -> np.ndarray:
-        if job.slack_h <= 0.0:
-            return np.array([job.submit_h])
-        return np.arange(
-            job.submit_h, job.latest_start_h + 1e-9, self.step_h
-        )
+        return _slack_starts(job.submit_h, job.slack_h, self.step_h)
 
     def place(self, job: Job) -> Placement:
         region = _job_region(job, self.default_region)
@@ -208,35 +265,41 @@ class TemporalShiftingPolicy:
             duration_h=job.duration_h,
         )
 
-    def place_all(self, jobs: Sequence[Job]) -> List[Placement]:
+    def place_all(self, jobs: JobStream) -> List[Placement]:
         """Vectorized batch placement, byte-identical to per-job ``place``.
 
         Jobs group by (region, window); each group scores every
         candidate start with one gather from the precomputed score table
         and one row-wise ``argmin``.  First-occurrence argmin ties match
-        the scalar path's first-best scan exactly.
+        the scalar path's first-best scan exactly.  Column extraction
+        goes through :func:`_job_columns`, so a :class:`JobBatch` flows
+        through without per-job objects.
         """
-        jobs = list(jobs)
-        placements: List[Optional[Placement]] = [None] * len(jobs)
+        ids, submits, durations, slacks, homes = _job_columns(
+            jobs, self.default_region
+        )
+        n_jobs = ids.shape[0]
+        windows = charge_windows(durations)
+        placements: List[Optional[Placement]] = [None] * n_jobs
         groups: Dict[Tuple[str, int], List[int]] = {}
-        for i, job in enumerate(jobs):
-            key = (_job_region(job, self.default_region), _window_hours(job.duration_h))
-            groups.setdefault(key, []).append(i)
+        for i in range(n_jobs):
+            groups.setdefault((homes[i], int(windows[i])), []).append(i)
         for (region, window), idxs in groups.items():
             table = self.service.window_score_table(region, window)
             n = table.shape[0]
-            starts_list = [self._candidate_starts(jobs[i]) for i in idxs]
+            starts_list = [
+                _slack_starts(submits[i], slacks[i], self.step_h) for i in idxs
+            ]
             matrix, pad_mask, _ = _padded_starts(starts_list)
             scores = table[np.floor(matrix).astype(np.int64) % n]
             scores[pad_mask] = np.inf
             best_cols = np.argmin(scores, axis=1)
             for row, i in enumerate(idxs):
-                job = jobs[i]
                 placements[i] = Placement(
-                    job_id=job.job_id,
+                    job_id=int(ids[i]),
                     region=region,
                     start_h=float(starts_list[row][best_cols[row]]),
-                    duration_h=job.duration_h,
+                    duration_h=float(durations[i]),
                 )
         return placements
 
@@ -286,7 +349,7 @@ class GeographicPolicy:
             migrated=best_region != home,
         )
 
-    def place_all(self, jobs: Sequence[Job]) -> List[Placement]:
+    def place_all(self, jobs: JobStream) -> List[Placement]:
         """Vectorized batch placement, byte-identical to per-job ``place``.
 
         Jobs group by window; each group scores as one column gather
@@ -294,30 +357,30 @@ class GeographicPolicy:
         the region axis (first occurrence, matching ``min``'s
         keep-first tie-break over the candidate order).
         """
-        jobs = list(jobs)
         if not _uniform_horizon(self.service, self._candidates):
             return [self.place(job) for job in jobs]
-        placements: List[Optional[Placement]] = [None] * len(jobs)
+        ids, submits, durations, _slacks, homes = _job_columns(
+            jobs, self.default_region
+        )
+        n_jobs = ids.shape[0]
+        windows = charge_windows(durations)
+        placements: List[Optional[Placement]] = [None] * n_jobs
         groups: Dict[int, List[int]] = {}
-        for i, job in enumerate(jobs):
-            groups.setdefault(_window_hours(job.duration_h), []).append(i)
+        for i in range(n_jobs):
+            groups.setdefault(int(windows[i]), []).append(i)
         for window, idxs in groups.items():
             matrix = self.service.window_score_matrix(self._candidates, window)
             n = matrix.shape[1]
-            hours = np.floor(
-                np.array([jobs[i].submit_h for i in idxs])
-            ).astype(np.int64) % n
+            hours = np.floor(submits[idxs]).astype(np.int64) % n
             region_rows = np.argmin(matrix[:, hours], axis=0)
             for row, i in zip(region_rows, idxs):
-                job = jobs[i]
                 best_region = self._candidates[int(row)]
-                home = _job_region(job, self.default_region)
                 placements[i] = Placement(
-                    job_id=job.job_id,
+                    job_id=int(ids[i]),
                     region=best_region,
-                    start_h=job.submit_h,
-                    duration_h=job.duration_h,
-                    migrated=best_region != home,
+                    start_h=float(submits[i]),
+                    duration_h=float(durations[i]),
+                    migrated=best_region != homes[i],
                 )
         return placements
 
@@ -363,7 +426,7 @@ class TemporalGeographicPolicy:
             migrated=region != home,
         )
 
-    def place_all(self, jobs: Sequence[Job]) -> List[Placement]:
+    def place_all(self, jobs: JobStream) -> List[Placement]:
         """Vectorized joint placement, byte-identical to per-job ``place``.
 
         Jobs group by window; each group gathers a ``(region, job,
@@ -372,19 +435,23 @@ class TemporalGeographicPolicy:
         (region, start) block — ``unravel_index`` order matches the
         scalar path's region-outer/start-inner first-best scan.
         """
-        jobs = list(jobs)
         candidates = self._geo._candidates
         if not _uniform_horizon(self.service, candidates):
             return [self.place(job) for job in jobs]
-        placements: List[Optional[Placement]] = [None] * len(jobs)
+        ids, submits, durations, slacks, homes = _job_columns(
+            jobs, self.default_region
+        )
+        n_jobs = ids.shape[0]
+        windows = charge_windows(durations)
+        placements: List[Optional[Placement]] = [None] * n_jobs
         groups: Dict[int, List[int]] = {}
-        for i, job in enumerate(jobs):
-            groups.setdefault(_window_hours(job.duration_h), []).append(i)
+        for i in range(n_jobs):
+            groups.setdefault(int(windows[i]), []).append(i)
         for window, idxs in groups.items():
             matrix = self.service.window_score_matrix(candidates, window)
             n = matrix.shape[1]
             starts_list = [
-                self._temporal._candidate_starts(jobs[i]) for i in idxs
+                _slack_starts(submits[i], slacks[i], self.step_h) for i in idxs
             ]
             padded, pad_mask, _ = _padded_starts(starts_list)
             hour_idx = np.floor(padded).astype(np.int64) % n
@@ -395,14 +462,12 @@ class TemporalGeographicPolicy:
                 np.argmin(flat, axis=1), (len(candidates), padded.shape[1])
             )
             for row, i in enumerate(idxs):
-                job = jobs[i]
                 region = candidates[int(region_rows[row])]
-                home = _job_region(job, self.default_region)
                 placements[i] = Placement(
-                    job_id=job.job_id,
+                    job_id=int(ids[i]),
                     region=region,
                     start_h=float(starts_list[row][start_cols[row]]),
-                    duration_h=job.duration_h,
-                    migrated=region != home,
+                    duration_h=float(durations[i]),
+                    migrated=region != homes[i],
                 )
         return placements

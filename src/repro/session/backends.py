@@ -13,6 +13,18 @@ calling conventions, per kind:
 ``intensity``
     ``factory(*, seed, forecast_error, **opts) -> CarbonIntensityService``.
     The ``constant`` backend additionally takes ``value`` and ``regions``.
+``workload``
+    ``factory(**opts) -> JobSource`` — an object satisfying
+    :class:`~repro.workloads.sources.JobSource`: ``generate(*, seed)
+    -> JobBatch`` (deterministic per seed, submits inside
+    ``[0, horizon_h)``), plus ``name`` and ``horizon_h``.  Every
+    built-in factory accepts ``home_region=`` (the facade injects the
+    scenario's home grid unless overridden); the synthetic family
+    (``synthetic``/``diurnal``/``bursty``) takes a ``params=``
+    :class:`~repro.workloads.sources.WorkloadParams` or its individual
+    fields, and ``trace`` takes ``path=`` plus replay options
+    (format/column_map/horizon clipping — see
+    :mod:`repro.cluster.traceio`).
 ``policy``
     ``factory(service, default_region, regions=None) -> policy`` — an
     object satisfying :class:`~repro.scheduler.policies.SchedulingPolicy`.
@@ -66,10 +78,11 @@ def load_builtin_backends(registry: "BackendRegistry") -> None:
     import repro.power as power
     import repro.scheduler as scheduler
     import repro.session.executors as executors
+    import repro.workloads as workloads
 
     layers = (
-        hardware, intensity, scheduler, cluster, accounting, power, analysis,
-        executors,
+        hardware, intensity, workloads, scheduler, cluster, accounting, power,
+        analysis, executors,
     )
     for layer in layers:
         layer.register_backends(registry)

@@ -46,6 +46,7 @@ BACKEND_KINDS: Tuple[str, ...] = (
     "system",
     "node",
     "intensity",
+    "workload",
     "policy",
     "simulator",
     "accounting",

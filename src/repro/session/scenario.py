@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import copy
 import math
+import pathlib
 from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Union
 
 from repro.core.config import ModelConfig
@@ -69,7 +70,9 @@ class Scenario:
         self._forecast_error: float = _DEFAULT_FORECAST_ERROR
         self._policies: List[Union[str, Any]] = []
         self._workload: Optional[Any] = None
+        self._workload_opts: dict = {}
         self._workload_seed: int = _DEFAULT_WORKLOAD_SEED
+        self._hourly_training_pue: bool = False
         self._training: Optional[dict] = None
         self._upgrade: Optional[dict] = None
         self._cluster_nodes: Optional[int] = None
@@ -143,10 +146,43 @@ class Scenario:
         return self._set("forecast_error", float(fraction))
 
     # --- work ------------------------------------------------------------
-    def workload(self, workload: Any, *, seed: Optional[int] = None) -> "Scenario":
-        """Jobs to schedule: :class:`~repro.cluster.WorkloadParams` (drawn
-        with ``seed``) or an explicit job sequence."""
+    def workload(
+        self, workload: Any, *, seed: Optional[int] = None, **opts
+    ) -> "Scenario":
+        """Jobs to schedule.  Five spellings, one resolution:
+
+        * a ``workload`` registry key with factory options —
+          ``.workload("diurnal", target_usage=0.6)``,
+          ``.workload("bursty", mean_on_h=4)`` — resolved at build time
+          against the backend registry; provenance records
+          ``workload:<key>``.
+        * a :class:`~repro.workloads.sources.WorkloadParams` — the
+          legacy exact path, resolved through ``workload:synthetic``
+          and drawn with ``seed`` (byte-identical to historical runs,
+          and serialized identically: no provenance row is added, so
+          committed fixtures stay stable).
+        * a workload trace path (``.json`` schema or ``.swf`` log, as a
+          :class:`pathlib.Path` or a path-looking string) — replayed
+          through ``workload:trace``; ``opts`` become replay options
+          (``horizon_h=``, ``column_map=``, ...).
+        * a :class:`~repro.workloads.sources.JobSource` object — used
+          as-is (the plugin spelling).
+        * an explicit job sequence or columnar
+          :class:`~repro.cluster.job.JobBatch`.
+
+        ``seed`` keys the generator draw (default: the facade's
+        historical workload seed); trace replays ignore it.
+        """
+        if opts and not isinstance(workload, (str, pathlib.Path)):
+            raise SessionError(
+                "workload options only apply to a registry key or trace "
+                f"path, got {type(workload).__name__} with options "
+                f"{sorted(opts)}"
+            )
+        if isinstance(workload, str) and not workload.strip():
+            raise SessionError("workload backend key must be non-empty")
         self._set("workload", workload)
+        self._workload_opts = dict(opts)
         if seed is not None:
             self._set("workload_seed", int(seed))
         return self
@@ -260,6 +296,22 @@ class Scenario:
         # economics, like workloads and policies).
         self._pue_opts = {}
         return self._set("pue", value)
+
+    def hourly_training_pue(self, enabled: bool = True) -> "Scenario":
+        """Charge training runs through the hour-resolved PUE profile.
+
+        Off by default: the training section historically charges the
+        profile's annual-mean scalar (the number a facility reports),
+        and the committed golden fixtures pin those bytes.  Opting in
+        routes the resolved ``pue`` profile into
+        :class:`~repro.power.tracker.CarbonTracker`, which weights every
+        metering sample by that hour's facility overhead —
+        :func:`~repro.power.pue.operational_carbon_seasonal`'s Eq. 6
+        arithmetic at the tracker's resolution.  With a constant (or
+        absent) PUE the two paths are bit-identical, so enabling the
+        flag is safe to leave on.
+        """
+        return self._set("hourly_training_pue", bool(enabled))
 
     def config(self, config: ModelConfig) -> "Scenario":
         """Model constants for every layer this scenario touches."""
@@ -422,6 +474,7 @@ class Scenario:
         clone = copy.copy(self)
         clone._explicit = set(self._explicit)
         clone._policies = list(self._policies)
+        clone._workload_opts = dict(self._workload_opts)
         clone._executor_opts = dict(self._executor_opts)
         clone._accounting_opts = dict(self._accounting_opts)
         clone._pue_opts = dict(self._pue_opts)

@@ -38,7 +38,61 @@ from repro.session.types import SystemDeployment
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.intensity.api import CarbonIntensityService
 
-__all__ = ["Session", "run_scenario"]
+__all__ = ["Session", "create_workload_source", "run_scenario"]
+
+
+def create_workload_source(
+    key_or_path,
+    opts: Optional[dict] = None,
+    *,
+    region: Optional[str] = None,
+    error: type = SessionError,
+):
+    """Construct a ``workload`` backend from a key-or-path spelling.
+
+    The single resolution core behind :meth:`Scenario.workload` and the
+    CLI's workload commands: trace paths map onto the ``trace`` backend
+    (``path`` injected), the home ``region`` is defaulted in per the
+    workload-kind contract (skipped when the caller passes a
+    ``params=`` object, which carries its own), and factory signature
+    mismatches surface as the caller's typed ``error``.
+    """
+    import pathlib
+
+    from repro.workloads.sources import looks_like_trace_path
+
+    opts = dict(opts or {})
+    if isinstance(key_or_path, pathlib.Path) or (
+        isinstance(key_or_path, str) and looks_like_trace_path(key_or_path)
+    ):
+        if "path" in opts:
+            # A path spelling plus a path= option is ambiguous;
+            # resolving it silently would hide which file actually ran.
+            raise error(
+                f"the workload is already a trace path ({key_or_path!r}); "
+                "drop the path= option"
+            )
+        key = "trace"
+        opts["path"] = key_or_path
+    else:
+        key = str(key_or_path).strip()
+    if region is not None and "params" not in opts:
+        opts.setdefault("home_region", region)
+    factory = resolve_backend("workload", key)
+    try:
+        source = factory(**opts)
+    except SessionError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise error(
+            f"workload backend {key!r} rejected its options: {exc}"
+        ) from None
+    if not callable(getattr(source, "generate", None)):
+        raise error(
+            f"workload backend {key!r} returned "
+            f"{type(source).__name__}, which lacks generate(seed=...)"
+        )
+    return source
 
 
 class Session:
@@ -148,6 +202,15 @@ class Session:
         if s._regions is not None:
             note("regions", s._regions)
 
+        # Workload: registry keys, trace paths, WorkloadParams, and
+        # JobSource objects all resolve to one JobSource here; explicit
+        # job sequences stay as-is and are columnized at run time.
+        # Provenance records workload:<key> for the key/path/source
+        # spellings; the legacy WorkloadParams and explicit-jobs
+        # spellings stay row-free so historical serialized results (and
+        # the committed golden fixtures) keep their exact bytes.
+        self._workload_source = self._resolve_workload(s, note)
+
         # Policies: the carbon-oblivious baseline is always present so
         # savings have a reference.  Detection is by the *constructed*
         # policy's name, so registry aliases of the baseline count too.
@@ -239,6 +302,10 @@ class Session:
         for knob in ("forecast_error", "usage", "lifetime_years"):
             note(knob, getattr(s, f"_{knob}"))
         note("pue", pue_note, backend=pue_backend)
+        if "hourly_training_pue" in s._explicit:
+            # Opt-in knob: recorded only when set, so default scenarios
+            # serialize identically to earlier releases.
+            note("hourly_training_pue", s._hourly_training_pue)
         for knob in ("window_h", "workload_seed"):
             note(knob, getattr(s, f"_{knob}"))
         note("config", s._config if s._config is not None else "active ModelConfig")
@@ -246,6 +313,56 @@ class Session:
         self._result: Optional[ScenarioResult] = None
         self._sealed = True
         return self
+
+    @staticmethod
+    def _resolve_workload(s: Scenario, note):
+        """Resolve the scenario's workload spelling into a JobSource.
+
+        Returns ``None`` for trace-free scenarios and for explicit job
+        sequences (those are columnized lazily by :meth:`_jobs`).
+        """
+        if s._workload is None:
+            return None
+        import pathlib
+
+        from repro.cluster.job import JobBatch
+        from repro.workloads.sources import (
+            WorkloadParams,
+            canonical_key,
+            looks_like_trace_path,
+        )
+
+        workload = s._workload
+
+        if isinstance(workload, (str, pathlib.Path)):
+            is_path = isinstance(workload, pathlib.Path) or looks_like_trace_path(
+                workload
+            )
+            source = create_workload_source(
+                workload, s._workload_opts, region=s._region
+            )
+            # Provenance records the constructed source (its repr
+            # carries the factory options, like the pue kind's profile
+            # note) under the canonical backend key, so alias spellings
+            # (poisson/synthetic) serialize identically and option
+            # sweeps stay distinguishable.
+            key = "trace" if is_path else canonical_key(str(workload))
+            note("workload", source, backend=f"workload:{key}")
+            return source
+        if isinstance(workload, WorkloadParams):
+            # The legacy exact path: resolved through workload:synthetic,
+            # byte-identical to historical runs; no provenance row (the
+            # golden fixtures pin these bytes).
+            return create_workload_source(
+                "synthetic", {"params": workload}, region=s._region
+            )
+        if not isinstance(workload, JobBatch) and callable(
+            getattr(workload, "generate", None)
+        ):
+            # A JobSource object (the plugin spelling).
+            note("workload", workload)
+            return workload
+        return None  # explicit job sequence / JobBatch
 
     # --- introspection ----------------------------------------------------
     @property
@@ -328,10 +445,17 @@ class Session:
             n_gpus=s._training["n_gpus"],
             epochs=s._training["epochs"],
             intensity=self._region_intensity(),
-            # Training charges the annual-mean scalar (the number a
-            # facility reports); hour-resolved training accounting goes
-            # through operational_carbon_seasonal directly.
-            pue=self._pue_scalar,
+            # Default: the annual-mean scalar (the number a facility
+            # reports; the golden fixtures pin these bytes).  The
+            # opt-in .hourly_training_pue() flag routes the resolved
+            # profile into CarbonTracker, which charges every metering
+            # sample at that hour's facility overhead
+            # (operational_carbon_seasonal's Eq. 6 weighting).
+            pue=(
+                self._pue_resolved
+                if s._hourly_training_pue
+                else self._pue_scalar
+            ),
         )
         return TrainingSection(
             model=run.model_name,
@@ -345,13 +469,26 @@ class Session:
             result=run,
         )
 
-    def _jobs(self) -> List[Any]:
-        s = self._scenario
-        from repro.cluster.workload_gen import WorkloadParams, generate_workload
+    def _jobs(self):
+        """The scenario's workload as a columnar JobBatch.
 
-        if isinstance(s._workload, WorkloadParams):
-            return generate_workload(s._workload, seed=s._workload_seed)
-        return list(s._workload)
+        Generator scenarios draw through the resolved ``workload``
+        backend (deterministic per seed); explicit job sequences are
+        columnized once.  Everything downstream — placement kernels,
+        charging engines, the embodied proration — reads the batch's
+        columns, with scalar :class:`~repro.cluster.job.Job` views
+        constructed lazily where objects are genuinely needed.
+        """
+        s = self._scenario
+        from repro.cluster.job import JobBatch
+
+        if self._workload_source is not None:
+            batch = self._workload_source.generate(seed=s._workload_seed)
+            if not isinstance(batch, JobBatch):
+                # Third-party sources may return job sequences.
+                batch = JobBatch.coerce(batch)
+            return batch
+        return JobBatch.coerce(s._workload)
 
     def _run_scheduling(self, jobs) -> Optional[SchedulingSection]:
         s = self._scenario
@@ -390,7 +527,7 @@ class Session:
         return SchedulingSection(
             baseline=baseline_name,
             n_jobs=len(jobs),
-            gpu_hours=float(sum(j.gpu_hours for j in jobs)),
+            gpu_hours=jobs.total_gpu_hours(),
             outcomes=outcomes,
             evaluations=evaluations,
         )
@@ -400,14 +537,12 @@ class Session:
         if self._simulate is None:
             return None, None
         from repro.cluster.simulator import Cluster
-        from repro.cluster.workload_gen import WorkloadParams
 
         horizon = s._window_h
+        if horizon is None and self._workload_source is not None:
+            horizon = getattr(self._workload_source, "horizon_h", None)
         if horizon is None:
-            if isinstance(s._workload, WorkloadParams):
-                horizon = s._workload.horizon_h
-            else:
-                horizon = max((j.submit_h + j.duration_h for j in jobs), default=1.0)
+            horizon = jobs.span_h() if len(jobs) else 1.0
         cluster = Cluster(self._node, s._cluster_nodes)
         sim = self._simulate(
             jobs,
@@ -475,8 +610,6 @@ class Session:
         the hardware they occupied (the model-card LCA attribution), so
         scheduling results and audits finally speak one Eq. 1 currency.
         """
-        import numpy as np
-
         from repro.accounting import CarbonLedger
 
         s = self._scenario
@@ -501,8 +634,9 @@ class Session:
 
             node_embodied = self._node.embodied(config=s._config).total_g
             gpu_count = self._node.gpu_count
-            gpus = np.array([job.n_gpus for job in jobs], dtype=float)
-            durations = np.array([job.duration_h for job in jobs], dtype=float)
+            # Straight off the batch columns (no per-job objects).
+            gpus = jobs.n_gpus.astype(float)
+            durations = jobs.duration_h
             per_hour = amortized_embodied_g(
                 node_embodied, 1.0, s._lifetime_years
             )
@@ -512,7 +646,7 @@ class Session:
                 carbon_g=amortized,
                 regions=[o.placement.region for o in evaluation.outcomes],
                 policy=best.policy,
-                job_ids=np.array([job.job_id for job in jobs], dtype=np.int64),
+                job_ids=jobs.job_ids,
             )
             embodied_g = primary.embodied_g
             source = f"scheduling:{best.policy}"

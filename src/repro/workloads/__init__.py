@@ -1,5 +1,12 @@
-"""Benchmark workload models and performance calibration (Tables 4-6,
-Fig. 4)."""
+"""Benchmark workload models, performance calibration (Tables 4-6,
+Fig. 4), and the ``workload`` backend kind (job sources).
+
+:mod:`repro.workloads.sources` owns workload *generation*: the
+:class:`~repro.workloads.sources.JobSource` protocol and the built-in
+``synthetic`` / ``diurnal`` / ``bursty`` / ``trace`` backends the
+session facade resolves by key.  Its names are exposed lazily here so
+importing the calibration tables never drags the cluster substrate in.
+"""
 
 from repro.workloads.distributed import (
     SLINGSHOT_200G,
@@ -64,4 +71,43 @@ __all__ = [
     "ModelCard",
     "model_card",
     "model_card_table",
+    "WorkloadParams",
+    "generate_workload",
+    "JobSource",
+    "SyntheticSource",
+    "DiurnalSource",
+    "BurstySource",
+    "TraceReplaySource",
+    "register_backends",
 ]
+
+#: Names served lazily from repro.workloads.sources (PEP 562): sources
+#: imports repro.cluster.job, which imports repro.workloads.models —
+#: deferring the hop keeps this package importable from anywhere in
+#: that chain.
+_SOURCE_EXPORTS = frozenset(
+    {
+        "WorkloadParams",
+        "generate_workload",
+        "JobSource",
+        "SyntheticSource",
+        "DiurnalSource",
+        "BurstySource",
+        "TraceReplaySource",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _SOURCE_EXPORTS:
+        from repro.workloads import sources
+
+        return getattr(sources, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def register_backends(registry) -> None:
+    """Self-register the job sources under the ``workload`` kind."""
+    from repro.workloads.sources import register_backends as _register
+
+    _register(registry)

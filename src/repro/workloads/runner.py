@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro.accounting.pue import PUELike
 from repro.core.errors import WorkloadError
 from repro.core.units import CarbonMass, Energy
 from repro.hardware.node import NodeSpec, get_node_generation
@@ -60,7 +61,7 @@ def simulate_training_run(
     epochs: int = 1,
     intensity: Union[float, IntensityTrace] = 200.0,
     start_hour: float = 0.0,
-    pue: Optional[float] = None,
+    pue: "PUELike" = None,
 ) -> TrainingResult:
     """Simulate training ``model`` for ``epochs`` on ``node``.
 
@@ -68,6 +69,8 @@ def simulate_training_run(
     any :class:`~repro.hardware.node.NodeSpec` whose GPU model is one of
     the studied generations.  ``n_gpus`` defaults to all GPUs in the
     node.  ``intensity`` is a constant gCO2/kWh or an hourly trace.
+    ``pue`` is a float (the exact legacy path) or an hourly profile /
+    profile model, charged hour-resolved by the tracker.
     """
     spec = get_model(model) if isinstance(model, str) else model
     node_spec = get_node_generation(node) if isinstance(node, str) else node
@@ -115,7 +118,7 @@ def simulate_suite(
     n_gpus: Optional[int] = None,
     epochs: int = 1,
     intensity: Union[float, IntensityTrace] = 200.0,
-    pue: Optional[float] = None,
+    pue: "PUELike" = None,
 ) -> list[TrainingResult]:
     """Run every model of a suite (paper-style benchmarking campaign)."""
     return [

@@ -399,7 +399,7 @@ class TestCarbonLedger:
 class TestSubsystemConsolidation:
     def test_simulator_ledger_matches_result(self, node):
         from repro.cluster.simulator import Cluster, simulate_cluster
-        from repro.cluster.workload_gen import WorkloadParams, generate_workload
+        from repro.workloads.sources import WorkloadParams, generate_workload
         from repro.intensity.generator import generate_trace
 
         jobs = generate_workload(

@@ -45,6 +45,20 @@ def flat_service():
 
 
 @pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    """A small committed-schema JSON trace for the workload:trace backend."""
+    from repro.cluster.traceio import save_jobs
+    from repro.workloads.sources import WorkloadParams, generate_workload
+
+    jobs = generate_workload(
+        WorkloadParams(horizon_h=24.0, total_gpus=4, home_region="ESO"), seed=5
+    )
+    return str(
+        save_jobs(jobs, tmp_path_factory.mktemp("conformance") / "trace.json")
+    )
+
+
+@pytest.fixture(scope="module")
 def v100_node():
     return resolve_backend("node", "V100")()
 
@@ -77,6 +91,35 @@ def _check_intensity(key, factory, ctx):
     values = np.asarray(trace.values, dtype=float)
     assert values.ndim == 1 and values.size > 0
     assert np.all(np.isfinite(values)) and float(values.min()) >= 0.0
+
+
+def _check_workload(key, factory, ctx):
+    from repro.cluster.job import JobBatch
+
+    if key in ("trace", "replay"):
+        kwargs = {"path": ctx["trace_path"]}
+    else:
+        kwargs = {"horizon_h": 48.0, "total_gpus": 8, "home_region": "ESO"}
+    source = factory(**kwargs)
+    assert isinstance(source.name, str) and source.name
+    assert hasattr(source, "horizon_h")
+    batch = source.generate(seed=3)
+    assert isinstance(batch, JobBatch), (
+        f"workload {key!r} returned {type(batch).__name__}, expected JobBatch"
+    )
+    assert len(batch) >= 1, f"workload {key!r} generated no jobs"
+    assert np.all(batch.duration_h > 0.0)
+    assert np.all(batch.n_gpus >= 1)
+    assert np.all(batch.submit_h >= 0.0)
+    horizon = source.horizon_h
+    if horizon is not None:
+        assert float(batch.submit_h.max()) < horizon, (
+            f"workload {key!r} submitted past its horizon"
+        )
+    # Deterministic per seed (the sweep-reproducibility contract).
+    assert factory(**kwargs).generate(seed=3) == batch
+    # The columnar batch round-trips losslessly through scalar Jobs.
+    assert JobBatch.from_jobs(batch.to_jobs()) == batch
 
 
 def _check_policy(key, factory, ctx):
@@ -161,6 +204,7 @@ _CHECKERS = {
     "system": _check_system,
     "node": _check_node,
     "intensity": _check_intensity,
+    "workload": _check_workload,
     "policy": _check_policy,
     "simulator": _check_simulator,
     "accounting": _check_accounting,
@@ -178,13 +222,17 @@ def _all_builtin_pairs():
 
 
 @pytest.mark.parametrize("kind,key", _all_builtin_pairs())
-def test_builtin_backend_conforms(kind, key, flat_service, v100_node):
+def test_builtin_backend_conforms(kind, key, flat_service, v100_node, trace_path):
     checker = _CHECKERS.get(kind)
     assert checker is not None, (
         f"registry kind {kind!r} has no conformance checker; add one to "
         "tests/test_backend_conformance.py"
     )
-    ctx = {"flat_service": flat_service, "v100_node": v100_node}
+    ctx = {
+        "flat_service": flat_service,
+        "v100_node": v100_node,
+        "trace_path": trace_path,
+    }
     checker(key, resolve_backend(kind, key), ctx)
 
 
@@ -197,3 +245,10 @@ def test_every_kind_has_builtins_and_a_checker():
 def test_pue_kind_is_registered():
     assert "pue" in BACKEND_KINDS
     assert {"constant", "seasonal", "profile"} <= set(available_backends("pue"))
+
+
+def test_workload_kind_is_registered():
+    assert "workload" in BACKEND_KINDS
+    assert {"synthetic", "diurnal", "bursty", "trace"} <= set(
+        available_backends("workload")
+    )

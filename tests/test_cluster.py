@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 from repro.core.errors import SimulationError
 from repro.cluster.job import Job, Placement
 from repro.cluster.simulator import Cluster, simulate_cluster
-from repro.cluster.workload_gen import WorkloadParams, generate_workload
+from repro.workloads.sources import WorkloadParams, generate_workload
 from repro.hardware.node import v100_node
 from repro.intensity.trace import IntensityTrace
 from repro.workloads.models import get_model

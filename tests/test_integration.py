@@ -14,7 +14,7 @@ import pytest
 from repro.core.model import CarbonLedger
 from repro.core.units import HOURS_PER_YEAR
 from repro.cluster.simulator import Cluster, simulate_cluster
-from repro.cluster.workload_gen import WorkloadParams, generate_workload
+from repro.workloads.sources import WorkloadParams, generate_workload
 from repro.hardware.node import a100_node, v100_node
 from repro.hardware.parts import ComponentClass
 from repro.hardware.systems import frontier

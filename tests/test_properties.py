@@ -13,7 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster.simulator import Cluster, simulate_cluster
-from repro.cluster.workload_gen import WorkloadParams, generate_workload
+from repro.workloads.sources import WorkloadParams, generate_workload
 from repro.core.operational import operational_carbon_trace
 from repro.hardware.node import NodeSpec, v100_node
 from repro.hardware.catalog import CPU_XEON_6240R, DRAM_64GB, GPU_V100

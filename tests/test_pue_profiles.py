@@ -20,7 +20,7 @@ from hypothesis import strategies as st
 from repro.accounting import CarbonLedger, resolve_pue
 from repro.analysis.audit import CenterAuditor
 from repro.cluster import WorkloadParams
-from repro.cluster.workload_gen import generate_workload
+from repro.workloads.sources import generate_workload
 from repro.core.errors import PUEError, SessionError, UnknownBackendError
 from repro.hardware import get_node_generation
 from repro.intensity.api import CarbonIntensityService

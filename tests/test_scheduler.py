@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.errors import SchedulingError
 from repro.cluster.job import Job, Placement
-from repro.cluster.workload_gen import WorkloadParams, generate_workload
+from repro.workloads.sources import WorkloadParams, generate_workload
 from repro.hardware.node import v100_node
 from repro.intensity.api import CarbonIntensityService
 from repro.intensity.trace import IntensityTrace

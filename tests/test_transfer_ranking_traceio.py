@@ -13,7 +13,7 @@ from repro.cluster.traceio import (
     load_jobs,
     save_jobs,
 )
-from repro.cluster.workload_gen import WorkloadParams, generate_workload
+from repro.workloads.sources import WorkloadParams, generate_workload
 from repro.core.errors import ExperimentError, SchedulingError, SimulationError
 from repro.hardware.node import a100_node, v100_node
 from repro.scheduler.transfer import (
