@@ -1,0 +1,178 @@
+"""Sweep-service benchmarks: result cache and shared trace store.
+
+Measures the two wins the ``repro.sweep`` subsystem exists for:
+
+1. *Warm-cache re-runs* — wall-time of the canonical 2-system x
+   2-policy x 2-workload grid cold (every cell computed) vs warm (every
+   cell served from the provenance-keyed disk cache).  The acceptance
+   floor: warm must be at least 10x faster.
+2. *Shared-store warm-up* — time for a fresh process-pool worker to
+   warm its trace memo by regenerating from scratch vs attaching the
+   memory-mapped ``.npy`` files the parent wrote once.
+
+``python benchmarks/bench_sweep.py --write`` records the numbers to
+``BENCH_sweep.json`` at the repo root; the committed file is the perf
+baseline future PRs regress against (see ROADMAP's BENCH_*.json
+convention).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_sweep.json"
+
+#: Warm runs must beat cold by at least this factor (the PR 6
+#: acceptance criterion: a cache hit skips the whole pipeline).
+WARM_SPEEDUP_FLOOR = 10.0
+
+#: A "hard regression" vs the committed baseline: CI machines vary a
+#: lot, so only an order-of-magnitude collapse fails the smoke job.
+BASELINE_FRACTION = 0.15
+
+#: The canonical grid: 2 systems x 2 policies x 2 workloads.
+_GRID_SPEC = {
+    "name": "bench",
+    "base": {
+        "node": "V100",
+        "region": "ESO",
+        "seed": 7,
+        "workload_opts": {"horizon_h": 48.0, "total_gpus": 8},
+    },
+    "axes": {
+        "system": ["frontier", "perlmutter"],
+        "policy": ["carbon-oblivious", "temporal+geographic"],
+        "workload": ["synthetic", "diurnal"],
+    },
+}
+
+
+def bench_cache_grid() -> dict:
+    """Cold vs warm-cache wall-time over the canonical 8-cell grid."""
+    from repro.sweep import SweepService
+
+    with tempfile.TemporaryDirectory() as tmp:
+        service = SweepService(cache_dir=pathlib.Path(tmp) / "cache")
+        t0 = time.perf_counter()
+        cold = service.run(_GRID_SPEC)
+        cold_s = time.perf_counter() - t0
+
+        # A fresh service against the same directory: disk tier only,
+        # the cross-process re-run shape.
+        warm_service = SweepService(cache_dir=pathlib.Path(tmp) / "cache")
+        t0 = time.perf_counter()
+        warm = warm_service.run(_GRID_SPEC)
+        warm_s = time.perf_counter() - t0
+
+    return {
+        "n_cells": cold.n_cells,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s,
+        "cold_ran": cold.n_ran,
+        "warm_hits": warm.stats.hits,
+    }
+
+
+def bench_store_warmup() -> dict:
+    """Worker warm-up: regenerate the Table 3 trace set vs mmap-attach."""
+    from repro.intensity.generator import (
+        generate_all_traces,
+        trace_cache_clear,
+    )
+    from repro.sweep.store import SharedTraceStore
+
+    seed = 7
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SharedTraceStore(pathlib.Path(tmp) / "store")
+        store.ensure_traces(seed=seed)  # the parent's one-time write
+
+        # Cold worker: empty memo, full RNG regeneration.
+        trace_cache_clear()
+        t0 = time.perf_counter()
+        generate_all_traces(seed=seed)
+        generate_s = time.perf_counter() - t0
+
+        # Shared-store worker: empty memo, mmap attach. A fresh store
+        # instance mirrors a fork (no in-process _trace_sets memo).
+        trace_cache_clear()
+        t0 = time.perf_counter()
+        with SharedTraceStore(pathlib.Path(tmp) / "store"):
+            generate_all_traces(seed=seed)
+        attach_s = time.perf_counter() - t0
+        trace_cache_clear()
+
+    return {
+        "generate_s": generate_s,
+        "attach_s": attach_s,
+        "speedup": generate_s / attach_s,
+    }
+
+
+def collect() -> dict:
+    return {
+        "schema": 1,
+        "cache_grid": bench_cache_grid(),
+        "store_warmup": bench_store_warmup(),
+        "python": sys.version.split()[0],
+    }
+
+
+# --- pytest entry points ----------------------------------------------------
+def test_warm_cache_grid_is_10x_faster():
+    """The PR 6 acceptance criterion, asserted in quick mode."""
+    stats = bench_cache_grid()
+    assert stats["cold_ran"] == stats["n_cells"]
+    assert stats["warm_hits"] == stats["n_cells"]
+    assert stats["speedup"] >= WARM_SPEEDUP_FLOOR, (
+        f"warm-cache grid only {stats['speedup']:.1f}x faster than cold "
+        f"(floor {WARM_SPEEDUP_FLOOR:.0f}x): cold {stats['cold_s']:.2f}s, "
+        f"warm {stats['warm_s']:.2f}s"
+    )
+    print(
+        f"\ncache grid: {stats['n_cells']} cells, cold {stats['cold_s']:.2f}s "
+        f"-> warm {stats['warm_s']:.3f}s ({stats['speedup']:.0f}x)"
+    )
+
+
+def test_store_attach_beats_regeneration():
+    stats = bench_store_warmup()
+    # mmap-attach skips the full RNG pass; it must never cost more
+    # (generous 0.9 floor for CI noise on tiny absolute times).
+    assert stats["speedup"] >= 0.9, (
+        f"store attach {stats['speedup']:.2f}x vs regeneration — the "
+        "shared store is slower than the work it replaces"
+    )
+    print(
+        f"\nstore warmup: regenerate {stats['generate_s'] * 1e3:.0f}ms -> "
+        f"attach {stats['attach_s'] * 1e3:.0f}ms ({stats['speedup']:.1f}x)"
+    )
+
+
+def test_no_hard_regression_vs_baseline():
+    """The committed BENCH_sweep.json is the perf floor."""
+    if not BASELINE_PATH.exists():
+        import pytest
+
+        pytest.skip("no committed BENCH_sweep.json baseline")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    current = bench_cache_grid()
+    floor = baseline["cache_grid"]["speedup"] * BASELINE_FRACTION
+    assert current["speedup"] >= floor, (
+        f"warm-cache speedup {current['speedup']:.1f}x fell below "
+        f"{BASELINE_FRACTION:.0%} of the committed baseline "
+        f"({baseline['cache_grid']['speedup']:.1f}x)"
+    )
+
+
+if __name__ == "__main__":
+    stats = collect()
+    print(json.dumps(stats, indent=2))
+    if "--write" in sys.argv:
+        BASELINE_PATH.write_text(json.dumps(stats, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")

@@ -99,3 +99,29 @@ for key, best in by_arrivals.items():
         f"  {key:9s} {best.carbon_g / 1000:7.2f} kgCO2 "
         f"({best.savings_fraction:+.1%} vs run-at-submit)"
     )
+
+# --- 7. grids as data: the sweep service ------------------------------------
+# Whole scenario grids are declarative (repro.sweep): a three-line spec
+# — base knobs plus axes — expands into fingerprint-deduplicated cells,
+# and results are cached under each cell's provenance hash, so re-runs
+# (and overlapping grids) are served from disk instead of recomputed.
+# The same spec drives the CLI:  repro-hpc sweep run grid.yaml
+import tempfile
+
+from repro.sweep import SweepService
+
+spec = {
+    "base": {"node": "A100", "region": "ESO", "seed": 7,
+             "workload": "synthetic",
+             "workload_opts": {"horizon_h": 48.0, "total_gpus": 8}},
+    "axes": {"policy": ["carbon-oblivious", "temporal-shifting"]},
+}
+with tempfile.TemporaryDirectory() as cache_dir:
+    service = SweepService(cache_dir=cache_dir)
+    cold = service.run(spec)
+    warm = service.run(spec)
+print(
+    f"\nSweep grid: {cold.n_cells} cells ran cold ({cold.n_ran} computed); "
+    f"the re-run served {warm.stats.hits} from cache and computed "
+    f"{warm.n_ran}."
+)

@@ -626,8 +626,10 @@ def _reject_unused_scoped_args(per_key: dict, run_keys) -> None:
 
 
 def _require_json_dest(path: str, command: str) -> None:
-    """Both trace writers emit the JSON schema; an ``.swf``-named output
-    would later be mis-sniffed into the SWF parser."""
+    """``generate`` emits the JSON schema only; an ``.swf``-named output
+    would later be mis-sniffed into the SWF parser.  (``convert`` routes
+    by suffix instead: a ``.swf`` dest writes Standard Workload Format.)
+    """
     if path.strip().lower().endswith(".swf"):
         from repro.core.errors import WorkloadError
 
@@ -698,12 +700,13 @@ def _run_workload_command(args) -> int:
             if regions:
                 print(f"regions: {', '.join(regions)}")
             return 0
-        # convert: any readable trace -> the versioned JSON schema.
-        from repro.cluster.traceio import save_jobs
+        # convert: any readable trace -> the versioned JSON schema, or
+        # SWF when the destination is named *.swf.
+        from repro.cluster.traceio import save_jobs, save_swf
         from repro.core.errors import WorkloadError
         from repro.workloads.sources import looks_like_trace_path
 
-        _require_json_dest(args.dest, "convert")
+        to_swf = args.dest.strip().lower().endswith(".swf")
         if not looks_like_trace_path(args.source):
             raise WorkloadError(
                 "workload convert takes a trace file as its source, got "
@@ -723,7 +726,8 @@ def _run_workload_command(args) -> int:
             )
         source = _make_workload_source(args.source, opts)
         batch = source.generate()
-        path = save_jobs(batch.to_jobs(), args.dest)
+        writer = save_swf if to_swf else save_jobs
+        path = writer(batch.to_jobs(), args.dest)
         print(
             f"converted {args.source} -> {path} ({len(batch)} jobs, "
             f"{batch.total_gpu_hours():,.1f} GPU-hours)"
@@ -731,6 +735,69 @@ def _run_workload_command(args) -> int:
         return 0
     except ReproError as error:
         print(f"workload error: {error}", file=sys.stderr)
+        return 2
+
+
+def _run_sweep_command(args) -> int:
+    """The ``sweep`` subcommand: plan / run a spec, or inspect the cache."""
+    import pathlib
+
+    from repro.core.errors import ReproError
+
+    try:
+        if args.sweep_command == "cache":
+            from repro.sweep.cache import ResultCache, default_cache_dir
+
+            directory = (
+                pathlib.Path(args.cache_dir)
+                if args.cache_dir
+                else default_cache_dir()
+            )
+            cache = ResultCache(directory)
+            if args.clear:
+                removed = cache.clear(disk=True)
+                print(f"cleared {removed} cached result(s) under {directory}")
+                return 0
+            entries = list(cache.entries())
+            print(f"cache {directory}: {len(entries)} result(s)")
+            for fingerprint, path in entries:
+                print(f"  {fingerprint[:16]}  {path.stat().st_size:>9,d} B")
+            return 0
+
+        from repro.session import resolve_backend
+
+        if args.sweep_command == "plan":
+            service = resolve_backend("sweep", "direct")()
+            for line in service.plan(args.spec).summary_lines():
+                print(line)
+            return 0
+
+        # run
+        opts = {}
+        if args.executor:
+            opts["executor"] = args.executor
+        if args.max_workers is not None:
+            opts["max_workers"] = args.max_workers
+        if args.no_cache:
+            if args.cache_dir:
+                from repro.core.errors import SweepError
+
+                raise SweepError("--cache-dir is meaningless with --no-cache")
+            service = resolve_backend("sweep", "direct")(**opts)
+        else:
+            if args.cache_dir:
+                opts["cache_dir"] = args.cache_dir
+            service = resolve_backend("sweep", "cached")(**opts)
+        outcome = service.run(args.spec)
+        for index, result in enumerate(outcome.results):
+            fingerprint = result.fingerprint()
+            key = fingerprint[:12] if fingerprint else "uncacheable"
+            print(f"  cell {index}: {result.name}  [{key}]")
+        for line in outcome.summary_lines():
+            print(line)
+        return 0
+    except ReproError as error:
+        print(f"sweep error: {error}", file=sys.stderr)
         return 2
 
 
@@ -907,6 +974,42 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         help="trace reader option (repeatable), e.g. model=ResNet50, "
              "procs_per_gpu=8, or column_map=run_s:8,user_id:11",
     )
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="plan/run declarative scenario grids with result caching"
+    )
+    sweep_sub = sweep_parser.add_subparsers(dest="sweep_command", required=True)
+    sweep_run = sweep_sub.add_parser(
+        "run", help="evaluate a sweep spec (YAML/TOML/JSON) through the cache"
+    )
+    sweep_run.add_argument("spec", help="sweep spec file (name/base/axes)")
+    sweep_run.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default ~/.cache/repro-hpc or "
+             "$REPRO_HPC_CACHE_DIR)",
+    )
+    sweep_run.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every unique cell (deduplication still applies)",
+    )
+    sweep_run.add_argument(
+        "--executor", default=None,
+        help="executor backend key (serial/process/shared)",
+    )
+    sweep_run.add_argument(
+        "--max-workers", type=int, default=None,
+        help="worker count for parallel executors",
+    )
+    sweep_plan = sweep_sub.add_parser(
+        "plan", help="expand + deduplicate a spec without running anything"
+    )
+    sweep_plan.add_argument("spec", help="sweep spec file (name/base/axes)")
+    sweep_cache = sweep_sub.add_parser(
+        "cache", help="list or clear the on-disk result cache"
+    )
+    sweep_cache.add_argument("--cache-dir", default=None)
+    sweep_cache.add_argument(
+        "--clear", action="store_true", help="delete every cached result"
+    )
     models_parser = subparsers.add_parser(
         "models", help="training footprint cards for a benchmark suite"
     )
@@ -925,7 +1028,7 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list":
         for name in list(_EXPERIMENTS) + [
             "report", "export", "audit", "advise", "models", "scenario",
-            "workload",
+            "workload", "sweep",
         ]:
             print(name)
         return 0
@@ -990,6 +1093,8 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_scenario_command(args)
     if args.command == "workload":
         return _run_workload_command(args)
+    if args.command == "sweep":
+        return _run_sweep_command(args)
     if args.command == "models":
         from repro.intensity.generator import generate_trace
         from repro.workloads.energy import model_card_table

@@ -459,6 +459,27 @@ class JobBatch:
             "regions": self.regions,
         }
 
+    def content_digest(self) -> str:
+        """SHA-256 identity of the decoded rows.
+
+        Encoding-independent, consistent with the semantic ``__eq__``:
+        batches that compare equal share a digest regardless of how
+        their dictionary tables are laid out.  The sweep fingerprint
+        uses this to key scenarios carrying explicit job batches.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(str(len(self)).encode("ascii"))
+        for name in ("job_ids", "submit_h", "duration_h", "n_gpus", "slack_h"):
+            digest.update(name.encode("ascii"))
+            digest.update(np.ascontiguousarray(getattr(self, name)).tobytes())
+        for rows in self._decoded_rows():
+            # Decoded object rows (user strings, ModelSpec dataclasses,
+            # region strings) all carry value-bearing reprs.
+            digest.update(repr(rows.tolist()).encode("utf-8"))
+        return digest.hexdigest()
+
     # --- equality / pickling ---------------------------------------------
     def _decoded_rows(self):
         """Per-row (user, model, region) values, encoding-independent."""

@@ -55,8 +55,10 @@ __all__ = [
     "SWF_COLUMNS",
     "jobs_to_json",
     "jobs_from_json",
+    "jobs_to_swf",
     "parse_column_map",
     "save_jobs",
+    "save_swf",
     "load_jobs",
     "load_swf",
     "read_workload",
@@ -163,6 +165,55 @@ def load_jobs(path: PathLike) -> List[Job]:
 
 
 # --- Standard Workload Format ------------------------------------------------
+#: Fields per SWF record (the 18-field standard layout).
+SWF_FIELD_COUNT = 18
+
+
+def _swf_seconds(hours: float) -> str:
+    # Full-precision float seconds: the standard allows fractional
+    # times, and repr is Python's shortest exact round-trip spelling.
+    return repr(float(hours) * SECONDS_PER_HOUR)
+
+
+def jobs_to_swf(jobs: Sequence[Job]) -> str:
+    """Serialize jobs to a Standard Workload Format document string.
+
+    Emits the 18-field standard layout under the :data:`SWF_COLUMNS`
+    mapping :func:`load_swf` reads back, so a written log replays
+    through the same pipeline.  SWF cannot carry model, slack, or home
+    region — those columns are dropped (``load_swf``'s ``model`` /
+    ``slack_fraction`` options re-layer them on replay); users map to
+    dense ids in first-seen order; fields outside the mapping are -1.
+    """
+    lines = [
+        "; SWF export (repro-hpc workload convert)",
+        f"; MaxJobs: {len(jobs)}",
+        "; Fields outside the default repro-hpc column map are -1",
+    ]
+    users: Dict[str, int] = {}
+    for job in jobs:
+        fields = ["-1"] * SWF_FIELD_COUNT
+        fields[SWF_COLUMNS["job_id"]] = str(int(job.job_id))
+        fields[SWF_COLUMNS["submit_s"]] = _swf_seconds(job.submit_h)
+        fields[SWF_COLUMNS["run_s"]] = _swf_seconds(job.duration_h)
+        fields[SWF_COLUMNS["n_procs"]] = str(int(job.n_gpus))
+        fields[SWF_COLUMNS["requested_procs"]] = str(int(job.n_gpus))
+        fields[10] = "1"  # status: completed
+        fields[SWF_COLUMNS["user_id"]] = str(
+            users.setdefault(job.user, len(users))
+        )
+        lines.append(" ".join(fields))
+    return "\n".join(lines) + "\n"
+
+
+def save_swf(jobs: Sequence[Job], path: PathLike) -> pathlib.Path:
+    """Write jobs to an SWF log; returns the path."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(jobs_to_swf(jobs), encoding="utf-8")
+    return target
+
+
 def parse_column_map(spec) -> Optional[Dict[str, int]]:
     """Normalize a column-map spec into ``{name: index}``.
 

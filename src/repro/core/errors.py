@@ -26,6 +26,7 @@ __all__ = [
     "ExperimentError",
     "SessionError",
     "PUEError",
+    "SweepError",
     "UnknownBackendError",
 ]
 
@@ -143,6 +144,18 @@ class PUEError(SessionError):
     Raised by :meth:`~repro.session.Scenario.pue` for non-finite values
     (``nan``/``inf``), values below the physical floor of 1.0, and
     malformed profile specifications.  Subclasses
+    :class:`SessionError`, so existing facade-level handlers keep
+    working.
+    """
+
+
+class SweepError(SessionError):
+    """A sweep-service request is invalid.
+
+    Examples: a declarative sweep spec with an unknown knob or a
+    mis-typed axis value, a scenario whose knobs cannot be fingerprinted
+    for the result cache (an object with no stable identity), or a
+    malformed shared-store directory.  Subclasses
     :class:`SessionError`, so existing facade-level handlers keep
     working.
     """

@@ -24,11 +24,40 @@ from repro.core.errors import TraceError
 from repro.intensity.generator import DEFAULT_SEED, generate_all_traces
 from repro.intensity.trace import IntensityTrace
 
-__all__ = ["CarbonIntensityService"]
+__all__ = ["CarbonIntensityService", "set_table_provider", "table_provider"]
 
 #: Lead-time chunk width for noisy score-table construction: caps the
 #: dense per-chunk work arrays at (trace length × this) elements.
 _SCORE_CHUNK_HOURS = 512
+
+#: Externalizable table memo hook.  When set,
+#: ``provider(kind, identity, region, window, build)`` is consulted on a
+#: per-instance memo miss before building a score/truth window table:
+#: ``kind`` is ``"score"`` or ``"truth"``, ``identity`` carries the
+#: content digest of the region trace plus the noise inputs
+#: (seed/forecast error), and ``build`` computes the table when the
+#: provider has no copy.  :class:`repro.sweep.store.SharedTraceStore`
+#: uses this to serialize tables once to memory-mapped ``.npy`` files
+#: that every sweep worker attaches to.  Providers must be
+#: byte-faithful; the builds are deterministic per identity, so a
+#: last-writer-wins store converges on identical bytes.
+_table_provider = None
+
+
+def set_table_provider(provider):
+    """Install (or with ``None`` clear) the external table provider.
+
+    Returns the previously installed provider so callers can restore it.
+    """
+    global _table_provider
+    previous = _table_provider
+    _table_provider = provider
+    return previous
+
+
+def table_provider():
+    """The currently installed external table provider (or ``None``)."""
+    return _table_provider
 
 
 class CarbonIntensityService:
@@ -69,6 +98,27 @@ class CarbonIntensityService:
         self._score_tables: Dict[Tuple[str, int], np.ndarray] = {}
         self._score_matrices: Dict[Tuple[Tuple[str, ...], int], np.ndarray] = {}
         self._truth_tables: Dict[Tuple[str, int], np.ndarray] = {}
+        self._trace_digests: Dict[str, str] = {}
+
+    def _table_identity(self, region: str) -> Dict[str, object]:
+        """What a window table's bytes depend on, for external memo keys.
+
+        Truth tables are pure functions of the trace content; score
+        tables additionally fold in the deterministic noise inputs.
+        Providers key their storage off the relevant subset.
+        """
+        digest = self._trace_digests.get(region)
+        if digest is None:
+            import hashlib
+
+            values = np.ascontiguousarray(self.trace(region).values)
+            digest = hashlib.sha256(values.tobytes()).hexdigest()
+            self._trace_digests[region] = digest
+        return {
+            "trace": digest,
+            "seed": self._seed,
+            "forecast_error": repr(self._forecast_error),
+        }
 
     # --- catalog ------------------------------------------------------------
     @property
@@ -145,6 +195,21 @@ class CarbonIntensityService:
         table = self._score_tables.get(key)
         if table is not None:
             return table
+        if _table_provider is not None:
+            table = _table_provider(
+                "score",
+                self._table_identity(region),
+                region,
+                window,
+                lambda: self._build_score_table(region, window),
+            )
+        if table is None:
+            table = self._build_score_table(region, window)
+        table.setflags(write=False)
+        self._score_tables[key] = table
+        return table
+
+    def _build_score_table(self, region: str, window: int) -> np.ndarray:
         trace = self.trace(region)
         if self._forecast_error == 0.0:
             table = trace.forward_window_mean(window)
@@ -168,8 +233,6 @@ class CarbonIntensityService:
                 )
                 acc += np.maximum(trace.values[idx] * factor, 0.0).sum(axis=1)
             table = acc / window
-        table.setflags(write=False)
-        self._score_tables[key] = table
         return table
 
     def window_score_matrix(
@@ -235,6 +298,21 @@ class CarbonIntensityService:
         table = self._truth_tables.get(key)
         if table is not None:
             return table
+        if _table_provider is not None:
+            table = _table_provider(
+                "truth",
+                self._table_identity(region),
+                region,
+                window,
+                lambda: self._build_truth_table(region, window),
+            )
+        if table is None:
+            table = self._build_truth_table(region, window)
+        table.setflags(write=False)
+        self._truth_tables[key] = table
+        return table
+
+    def _build_truth_table(self, region: str, window: int) -> np.ndarray:
         values = self.trace(region).values
         n = values.shape[0]
         table = np.empty(n)
@@ -244,8 +322,6 @@ class CarbonIntensityService:
             t1 = min(t0 + chunk, n)
             idx = (np.arange(t0, t1)[:, None] + offsets) % n
             table[t0:t1] = values[idx].mean(axis=1)
-        table.setflags(write=False)
-        self._truth_tables[key] = table
         return table
 
     def forecast_window_mean(

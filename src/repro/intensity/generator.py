@@ -38,10 +38,39 @@ __all__ = [
     "DEFAULT_SEED",
     "trace_cache_info",
     "trace_cache_clear",
+    "set_trace_provider",
+    "trace_provider",
 ]
 
 #: Library-wide default seed for the 2021 study traces.
 DEFAULT_SEED = 2021
+
+#: Externalizable memo hook: when set, :func:`generate_all_traces`
+#: consults ``provider(codes, n_hours, seed)`` before generating; a
+#: non-``None`` tuple of traces (aligned with ``codes``) is used as-is.
+#: This is how :class:`repro.sweep.store.SharedTraceStore` lets process
+#: workers attach to memory-mapped trace files instead of re-running
+#: the generator per worker.  The provider must be byte-faithful: the
+#: library's determinism contracts assume provided traces equal
+#: generated ones exactly.
+_trace_provider = None
+
+
+def set_trace_provider(provider):
+    """Install (or with ``None`` clear) the external trace provider.
+
+    Returns the previously installed provider so callers can restore it
+    (the shared-store attach/detach protocol).
+    """
+    global _trace_provider
+    previous = _trace_provider
+    _trace_provider = provider
+    return previous
+
+
+def trace_provider():
+    """The currently installed external trace provider (or ``None``)."""
+    return _trace_provider
 
 _DAYS_PER_YEAR = 365.0
 #: Jan 1 2021 was a Friday; with Monday=0 its weekday index is 4.
@@ -171,6 +200,10 @@ def generate_all_traces(
     to observe or reset the cache (benchmarks and tests do).
     """
     codes = tuple(regions) if regions is not None else tuple(REGIONS)
+    if _trace_provider is not None:
+        provided = _trace_provider(codes, int(n_hours), int(seed))
+        if provided is not None:
+            return dict(zip(codes, provided))
     return dict(zip(codes, _cached_traces(codes, int(n_hours), int(seed))))
 
 

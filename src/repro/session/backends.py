@@ -54,8 +54,17 @@ calling conventions, per kind:
 ``executor``
     ``factory(**opts) -> callable(items) -> list[ScenarioResult]`` — a
     sweep engine for :meth:`Session.run_many` (see
-    :mod:`repro.session.executors`).  ``serial`` and ``process`` ship
-    built-in; ``process`` takes ``max_workers`` and ``chunk_size``.
+    :mod:`repro.session.executors`).  ``serial``, ``process``, and
+    ``shared`` ship built-in; the parallel engines take ``max_workers``
+    and ``chunk_size``, and ``shared`` additionally ``store_dir``.
+``sweep``
+    ``factory(**opts) -> service`` — a cache-aware sweep service
+    exposing ``plan(grid)`` and ``run(grid, ...) -> SweepOutcome`` over
+    a SweepSpec / spec mapping / spec path / Scenario list, results in
+    input order (see :mod:`repro.sweep.runner`).  ``cached`` (default)
+    takes ``cache_dir``/``disk``/``memory_slots`` plus executor
+    defaults; ``direct`` is the cache-free variant.  Running an empty
+    grid must return an empty outcome without touching disk.
 """
 
 from __future__ import annotations
@@ -78,11 +87,12 @@ def load_builtin_backends(registry: "BackendRegistry") -> None:
     import repro.power as power
     import repro.scheduler as scheduler
     import repro.session.executors as executors
+    import repro.sweep as sweep
     import repro.workloads as workloads
 
     layers = (
         hardware, intensity, workloads, scheduler, cluster, accounting, power,
-        analysis, executors,
+        analysis, executors, sweep,
     )
     for layer in layers:
         layer.register_backends(registry)

@@ -40,7 +40,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.session.scenario import Scenario
     from repro.session.session import Session
 
-__all__ = ["SweepExecutor", "serial_executor", "process_executor", "register_backends"]
+__all__ = [
+    "SweepExecutor",
+    "serial_executor",
+    "process_executor",
+    "shared_executor",
+    "register_backends",
+]
 
 _SweepItem = Union["Scenario", "Session"]
 
@@ -132,6 +138,86 @@ def process_executor(
     )
 
 
+def _attach_store_worker(store_dir: str, seeds: Tuple[int, ...]) -> None:
+    """Pool initializer: attach the shared store, then warm the memos.
+
+    With the store attached, ``generate_all_traces`` loads each seed's
+    set from the parent's memory-mapped ``.npy`` file instead of
+    re-running the generator — the per-worker warm-up PR 2 recorded
+    becomes a file read.
+    """
+    from repro.sweep.store import SharedTraceStore
+
+    SharedTraceStore(store_dir).attach()
+    _warm_worker(seeds)
+
+
+class _SharedSweep(_ProcessSweep):
+    """Chunked process sweep over a shared mmap trace store."""
+
+    def __init__(
+        self, max_workers: int, chunk_size: int | None, store_dir=None
+    ) -> None:
+        super().__init__(max_workers, chunk_size)
+        self.store_dir = store_dir
+
+    def __call__(self, items: Sequence[_SweepItem]) -> List["ScenarioResult"]:
+        items = list(items)
+        if not items:
+            return []  # no work: touch no disk (the conformance contract)
+        from repro.sweep.store import SharedTraceStore
+
+        store = SharedTraceStore(self.store_dir)
+        seeds = _sweep_seeds(items)
+        for seed in seeds:
+            # Parent-side pre-warm: the files exist before any worker
+            # forks, so workers only ever mmap-attach.
+            store.ensure_traces(seed=seed)
+        workers = min(self.max_workers, len(items))
+        if workers <= 1:
+            with store:
+                return _run_chunk(items)
+        size = self.chunk_size or -(-len(items) // workers)
+        chunks = [items[i : i + size] for i in range(0, len(items), size)]
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_attach_store_worker,
+            initargs=(str(store.directory), seeds),
+        ) as pool:
+            return [
+                result
+                for chunk_results in pool.map(_run_chunk, chunks)
+                for result in chunk_results
+            ]
+
+
+def shared_executor(
+    *,
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
+    store_dir=None,
+) -> "SweepExecutor":
+    """Parallel sweep executor backed by the shared trace store.
+
+    Like ``process``, but the parent serializes every sweep seed's trace
+    set to memory-mapped ``.npy`` files under ``store_dir`` (default:
+    the sweep cache's ``store/`` directory) before forking, and each
+    worker attaches a :class:`repro.sweep.store.SharedTraceStore`
+    instead of regenerating traces and window tables from scratch.
+    """
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    if int(max_workers) < 1:
+        raise SessionError(f"max_workers must be >= 1, got {max_workers!r}")
+    if chunk_size is not None and int(chunk_size) < 1:
+        raise SessionError(f"chunk_size must be >= 1, got {chunk_size!r}")
+    return _SharedSweep(
+        int(max_workers),
+        None if chunk_size is None else int(chunk_size),
+        store_dir,
+    )
+
+
 def register_backends(registry) -> None:
     """Self-register the built-in sweep executors.
 
@@ -141,4 +227,7 @@ def register_backends(registry) -> None:
     registry.add("executor", "serial", serial_executor, aliases=("inline",))
     registry.add(
         "executor", "process", process_executor, aliases=("processes", "parallel")
+    )
+    registry.add(
+        "executor", "shared", shared_executor, aliases=("shared-store",)
     )

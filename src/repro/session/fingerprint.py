@@ -1,0 +1,185 @@
+"""Provenance-keyed scenario fingerprints.
+
+A fingerprint is a SHA-256 over the *canonical JSON* of everything that
+determines a session's serialized result: the derived name, the set of
+explicitly-set knobs (provenance rows spell ``explicit`` vs ``default``,
+so the same value set two ways serializes differently), every builder
+knob's canonical value, and the recorded provenance rows themselves.
+Two sessions share a fingerprint exactly when ``run()`` would produce
+byte-identical ``ScenarioResult.to_dict()`` JSON — the contract the
+:mod:`repro.sweep` result cache and grid planner are built on.
+
+Provenance rows alone are *not* a sufficient key: the facade keeps some
+spellings row-free for golden-fixture byte stability (the legacy
+``WorkloadParams`` path, ``training``/``upgrade``/``cluster`` knobs), so
+the full knob map is hashed alongside them.
+
+Values that carry no stable cross-process identity (an object whose
+``repr`` embeds a memory address, a live policy instance without a
+value-bearing ``repr``) make a scenario *uncacheable*:
+:func:`session_fingerprint` raises :class:`~repro.core.errors.SweepError`
+and the sweep service falls back to recomputing that cell every time —
+conservative, never wrong.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import pathlib
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.core.errors import SweepError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.session import Session
+
+__all__ = ["canonical_json", "canonical_value", "session_fingerprint"]
+
+#: Preimage layout version; bump on any canonicalization change so old
+#: cache directories invalidate wholesale instead of colliding.
+FINGERPRINT_SCHEMA = 1
+
+#: Every Scenario builder knob, in declaration order.  The fingerprint
+#: hashes all of them (sorted JSON keys), so a knob the provenance
+#: record skips still invalidates the cache when it changes.
+_SCENARIO_KNOBS = (
+    "name",
+    "system",
+    "node",
+    "region",
+    "regions",
+    "intensity_source",
+    "constant_intensity",
+    "seed",
+    "forecast_error",
+    "policies",
+    "workload",
+    "workload_opts",
+    "workload_seed",
+    "hourly_training_pue",
+    "training",
+    "upgrade",
+    "cluster_nodes",
+    "simulator",
+    "window_h",
+    "lifetime_years",
+    "usage",
+    "pue",
+    "pue_opts",
+    "config",
+    "lifecycle",
+    "n_nodes",
+    "nics_per_node",
+    "renderer",
+    "executor",
+    "executor_opts",
+    "accounting",
+    "accounting_opts",
+)
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace, ASCII-only."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
+def _qualname(value: Any) -> str:
+    cls = type(value)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def canonical_value(value: Any, *, knob: str = "?") -> Any:
+    """A JSON-able canonical form of one knob value.
+
+    Raises :class:`SweepError` when the value has no stable identity
+    (its fallback ``repr`` embeds a memory address), which the sweep
+    layer treats as "uncacheable scenario", not as a failure.
+    """
+    import numpy as np
+
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_, np.integer, np.floating)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        data = np.ascontiguousarray(value)
+        return {
+            "__ndarray__": hashlib.sha256(data.tobytes()).hexdigest(),
+            "dtype": str(data.dtype),
+            "shape": list(data.shape),
+        }
+    if isinstance(value, enum.Enum):
+        return {"__enum__": _qualname(value), "value": value.name}
+    if isinstance(value, pathlib.PurePath):
+        return {"__path__": str(value)}
+    from repro.cluster.job import JobBatch
+
+    if isinstance(value, JobBatch):
+        return {"__jobbatch__": value.content_digest()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": _qualname(value),
+            "fields": {
+                f.name: canonical_value(getattr(value, f.name), knob=knob)
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item, knob=knob) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return {
+            "__set__": sorted(
+                canonical_json(canonical_value(item, knob=knob)) for item in value
+            )
+        }
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value):
+            return {
+                key: canonical_value(item, knob=knob)
+                for key, item in value.items()
+            }
+        return {
+            "__items__": sorted(
+                (
+                    canonical_json(canonical_value(key, knob=knob)),
+                    canonical_value(item, knob=knob),
+                )
+                for key, item in value.items()
+            )
+        }
+    # Arbitrary object: a value-bearing repr (backend sources, profile
+    # objects, ModelConfig-likes) is a stable identity; the default
+    # object.__repr__ embeds an address and is not.
+    text = repr(value)
+    if " at 0x" in text:
+        raise SweepError(
+            f"knob {knob!r} holds a {_qualname(value)} with no stable "
+            "identity (its repr embeds a memory address); this scenario "
+            "cannot be fingerprinted for the result cache"
+        )
+    return {"__repr__": _qualname(value), "repr": text}
+
+
+def session_fingerprint(session: "Session") -> str:
+    """The canonical-JSON SHA-256 identity of a built session.
+
+    Deterministic across processes and runs: every component is either
+    a plain value, a content hash, or a stable ``repr``.
+    """
+    s = session._scenario
+    preimage: Dict[str, Any] = {
+        "schema": FINGERPRINT_SCHEMA,
+        "name": session.name,
+        "explicit": sorted(s._explicit),
+        "knobs": {
+            knob: canonical_value(getattr(s, f"_{knob}"), knob=knob)
+            for knob in _SCENARIO_KNOBS
+        },
+        "provenance": [
+            [p.knob, p.value, p.source, p.backend] for p in session.provenance
+        ],
+    }
+    return hashlib.sha256(canonical_json(preimage).encode("ascii")).hexdigest()

@@ -54,6 +54,7 @@ BACKEND_KINDS: Tuple[str, ...] = (
     "renderer",
     "report",
     "executor",
+    "sweep",
 )
 
 

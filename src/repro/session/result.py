@@ -197,6 +197,22 @@ class ScenarioResult:
     upgrade: Optional[UpgradeSection] = None
     carbon: Optional[CarbonSection] = None
     provenance: Tuple[Provenance, ...] = ()
+    #: Provenance-keyed cache identity stamped by Session.run(); not
+    #: serialized (to_dict/from_dict bytes are unchanged) and not
+    #: compared, so cached and recomputed results stay equal.
+    provenance_hash: Optional[str] = field(default=None, compare=False, repr=False)
+
+    # --- identity ---------------------------------------------------------
+    def fingerprint(self) -> Optional[str]:
+        """The canonical-JSON provenance/knob hash this result was run under.
+
+        Stamped by :meth:`Session.run` (``None`` for results rebuilt via
+        :meth:`from_dict` or produced by scenarios whose knobs carry no
+        stable identity).  Two runs share a fingerprint exactly when
+        their scenarios resolve to the same knob map — the key the
+        :mod:`repro.sweep` result cache stores entries under.
+        """
+        return self.provenance_hash
 
     # --- presentation -----------------------------------------------------
     def summary_lines(self) -> list[str]:

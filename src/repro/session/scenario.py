@@ -32,7 +32,16 @@ from __future__ import annotations
 import copy
 import math
 import pathlib
-from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.core.config import ModelConfig
 from repro.core.errors import PUEError, SessionError
@@ -91,6 +100,43 @@ class Scenario:
         self._executor_opts: dict = {}
         self._accounting: str = "vectorized"
         self._accounting_opts: dict = {}
+
+    # --- declarative construction ----------------------------------------
+    @classmethod
+    def from_spec(
+        cls, spec: Union[str, pathlib.Path, Mapping[str, Any]]
+    ) -> "Scenario":
+        """Build a scenario from a declarative knob mapping.
+
+        ``spec`` is either a flat mapping of knob names to values
+        (validated against the typed table in :mod:`repro.sweep.spec`)
+        or a path to a YAML/TOML/JSON document holding one.  A document
+        with a ``base`` section applies it; one declaring ``axes`` is a
+        *grid*, which a single scenario cannot represent — expand it
+        through :class:`repro.sweep.SweepSpec` instead.
+        """
+        from repro.sweep.spec import apply_knobs, load_spec_mapping
+
+        if isinstance(spec, (str, pathlib.Path)):
+            data: Mapping[str, Any] = load_spec_mapping(spec)
+        elif isinstance(spec, Mapping):
+            data = spec
+        else:
+            raise SessionError(
+                f"from_spec takes a mapping or a spec path, got "
+                f"{type(spec).__name__}"
+            )
+        if "axes" in data:
+            raise SessionError(
+                "spec declares a sweep grid ('axes'); one Scenario cannot "
+                "hold a grid — expand it with repro.sweep.SweepSpec"
+            )
+        if "base" in data:
+            merged = dict(data["base"] or {})
+            if isinstance(data.get("name"), str):
+                merged.setdefault("name", data["name"])
+            data = merged
+        return apply_knobs(cls(), data, where="from_spec")
 
     # --- internals --------------------------------------------------------
     def _set(self, knob: str, value) -> "Scenario":

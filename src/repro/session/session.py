@@ -378,6 +378,25 @@ class Session:
         """The resolved intensity service (None for trace-free scenarios)."""
         return self._service
 
+    def fingerprint(self) -> str:
+        """The provenance-keyed cache identity of this session.
+
+        A SHA-256 over the canonical JSON of the derived name, the
+        explicit-knob set, every builder knob's canonical value, and the
+        recorded provenance rows — see
+        :mod:`repro.session.fingerprint`.  Deterministic across
+        processes and runs; any knob change yields a new hash.  Raises
+        :class:`~repro.core.errors.SweepError` for scenarios whose knob
+        values carry no stable identity (those are uncacheable).
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            from repro.session.fingerprint import session_fingerprint
+
+            cached = session_fingerprint(self)
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
     # --- execution --------------------------------------------------------
     def _region_intensity(self):
         """The home grid as the estimation layers expect it."""
@@ -749,6 +768,12 @@ class Session:
         """
         if self._result is not None:
             return self._result
+        from repro.core.errors import SweepError
+
+        try:
+            fingerprint = self.fingerprint()
+        except SweepError:
+            fingerprint = None  # uncacheable knobs: run, but don't key
         s = self._scenario
         jobs = self._jobs() if s._workload is not None else []
         embodied = self._run_embodied()
@@ -772,6 +797,7 @@ class Session:
                 upgrade_decision,
             ),
             provenance=self.provenance,
+            provenance_hash=fingerprint,
         )
         object.__setattr__(self, "_result", result)
         return result

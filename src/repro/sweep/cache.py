@@ -1,0 +1,237 @@
+"""The provenance-keyed result cache.
+
+Entries are keyed by :meth:`~repro.session.session.Session.fingerprint`
+— the canonical-JSON hash of every knob and provenance row — and hold a
+:meth:`~repro.session.result.ScenarioResult.to_dict` payload, so a
+cache hit deserializes to exactly the bytes the original run would have
+serialized to (the sweep service's byte-identity contract).
+
+Two tiers, both optional:
+
+* an in-memory LRU (``memory_slots`` entries, the hot tier for repeated
+  grids inside one process);
+* an on-disk store under ``cache_dir`` (default ``~/.cache/repro-hpc``)
+  with one JSON file per fingerprint, written atomically
+  (tmp + ``os.replace``) so concurrent sweep workers can race on the
+  same entry without torn files.
+
+Corrupted, truncated, or schema-mismatched disk entries *fail soft*:
+they count in ``stats.errors`` and read as a miss, so a damaged cache
+directory degrades to recomputation, never to a wrong result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.core.errors import SweepError
+from repro.session.result import ScenarioResult
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
+
+#: On-disk entry layout version; bump on any payload change so stale
+#: directories read as misses instead of mis-parsing.
+CACHE_SCHEMA = 1
+
+#: Default in-memory LRU capacity.
+DEFAULT_MEMORY_SLOTS = 256
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_HPC_CACHE_DIR`` or ``~/.cache/repro-hpc``."""
+    override = os.environ.get("REPRO_HPC_CACHE_DIR")
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path.home() / ".cache" / "repro-hpc"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/evict/error counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    errors: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hit{'s' if self.hits != 1 else ''}, "
+            f"{self.misses} miss{'es' if self.misses != 1 else ''}, "
+            f"{self.evictions} evicted, {self.errors} errors"
+        )
+
+
+class ResultCache:
+    """In-memory + on-disk store of serialized scenario results.
+
+    ``cache_dir=None`` keeps the cache memory-only.  The directory is
+    created lazily on the first write, so constructing a cache (e.g.
+    for conformance checks or ``plan``-only calls) touches no disk.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        *,
+        memory_slots: int = DEFAULT_MEMORY_SLOTS,
+    ) -> None:
+        if memory_slots < 0:
+            raise SweepError(f"memory_slots must be >= 0, got {memory_slots!r}")
+        self._dir = pathlib.Path(cache_dir) if cache_dir is not None else None
+        self._memory_slots = int(memory_slots)
+        self._memory: "OrderedDict[str, ScenarioResult]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._errors = 0
+
+    # --- introspection ----------------------------------------------------
+    @property
+    def cache_dir(self) -> Optional[pathlib.Path]:
+        return self._dir
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            errors=self._errors,
+        )
+
+    def __len__(self) -> int:
+        """Number of on-disk entries (memory-only caches count memory)."""
+        if self._dir is None:
+            return len(self._memory)
+        return sum(1 for _ in self._entry_paths())
+
+    def entries(self) -> Iterator[Tuple[str, pathlib.Path]]:
+        """(fingerprint, path) for every on-disk entry."""
+        for path in self._entry_paths():
+            yield path.stem, path
+
+    def _entry_paths(self):
+        if self._dir is None or not self._dir.is_dir():
+            return
+        yield from sorted((self._dir / "results").glob("*/*.json"))
+
+    # --- keys -------------------------------------------------------------
+    def _path_for(self, fingerprint: str) -> pathlib.Path:
+        assert self._dir is not None
+        return self._dir / "results" / fingerprint[:2] / f"{fingerprint}.json"
+
+    @staticmethod
+    def _check_fingerprint(fingerprint: str) -> str:
+        if not isinstance(fingerprint, str) or not fingerprint.strip():
+            raise SweepError(f"cache fingerprint must be a hash, got {fingerprint!r}")
+        return fingerprint
+
+    # --- read -------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[ScenarioResult]:
+        """The cached result for ``fingerprint``, or ``None`` on a miss.
+
+        Returned results carry the fingerprint re-stamped (a
+        ``from_dict`` rebuild alone would read back ``None``), so
+        ``result.fingerprint()`` works the same for hits and recomputes.
+        """
+        fingerprint = self._check_fingerprint(fingerprint)
+        cached = self._memory.get(fingerprint)
+        if cached is not None:
+            self._memory.move_to_end(fingerprint)
+            self._hits += 1
+            return cached
+        if self._dir is not None:
+            loaded = self._load_entry(fingerprint)
+            if loaded is not None:
+                self._remember(fingerprint, loaded)
+                self._hits += 1
+                return loaded
+        self._misses += 1
+        return None
+
+    def _load_entry(self, fingerprint: str) -> Optional[ScenarioResult]:
+        path = self._path_for(fingerprint)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, UnicodeDecodeError, ValueError):
+            self._errors += 1  # torn/corrupted entry: fail soft to a miss
+            return None
+        try:
+            if payload.get("schema") != CACHE_SCHEMA:
+                raise ValueError(f"schema {payload.get('schema')!r}")
+            if payload.get("fingerprint") != fingerprint:
+                raise ValueError("entry fingerprint mismatch")
+            result = ScenarioResult.from_dict(payload["result"])
+        except (AttributeError, KeyError, TypeError, ValueError):
+            self._errors += 1  # partial/mismatched entry: fail soft
+            return None
+        return replace(result, provenance_hash=fingerprint)
+
+    # --- write ------------------------------------------------------------
+    def put(self, fingerprint: str, result: ScenarioResult) -> None:
+        """Store ``result`` under ``fingerprint`` in both tiers."""
+        fingerprint = self._check_fingerprint(fingerprint)
+        if not isinstance(result, ScenarioResult):
+            raise SweepError(
+                f"cache stores ScenarioResult, got {type(result).__name__}"
+            )
+        self._remember(fingerprint, result)
+        if self._dir is None:
+            return
+        payload: Dict[str, object] = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": fingerprint,
+            "result": result.to_dict(),
+        }
+        path = self._path_for(fingerprint)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                os.replace(tmp, path)  # atomic: readers never see torn JSON
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError as exc:
+            raise SweepError(
+                f"cannot write cache entry under {self._dir}: {exc}"
+            ) from None
+
+    def _remember(self, fingerprint: str, result: ScenarioResult) -> None:
+        if self._memory_slots == 0:
+            return
+        self._memory[fingerprint] = result
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self._memory_slots:
+            self._memory.popitem(last=False)
+            self._evictions += 1
+
+    # --- maintenance ------------------------------------------------------
+    def clear(self, *, disk: bool = True) -> int:
+        """Drop the memory tier and (optionally) every disk entry.
+
+        Returns the number of disk entries removed.
+        """
+        self._memory.clear()
+        removed = 0
+        if disk:
+            for _fingerprint, path in list(self.entries()):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    self._errors += 1
+        return removed

@@ -1,0 +1,262 @@
+"""The sweep service: plan, look up, run, cache.
+
+:class:`SweepService` is what the ``sweep`` registry kind constructs —
+``cached`` (the default, result cache on) and ``direct`` (cache off,
+still deduplicated) are thin factory variants.  A run is:
+
+1. **normalize** — a :class:`~repro.sweep.spec.SweepSpec`, a spec
+   mapping, a spec file path, or an explicit Scenario/Session list all
+   become one scenario list;
+2. **plan** — fingerprint and deduplicate into work units
+   (:func:`repro.sweep.planner.plan_sweep`);
+3. **look up** — each cacheable unit checks the provenance-keyed
+   :class:`~repro.sweep.cache.ResultCache` first;
+4. **run** — remaining units flow through a registry ``executor``
+   (serial by default; ``process``/``shared`` fan out) exactly the way
+   :meth:`Session.run_many` dispatches, so serial sweep results are
+   byte-identical to ``run_many``'s output;
+5. **cache** — fresh results are written back under their fingerprints.
+
+The returned :class:`SweepOutcome` carries results in input order plus
+the hit/miss/evict/error stats the run generated.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import SweepError
+from repro.session.registry import resolve_backend
+from repro.session.result import ScenarioResult
+from repro.session.scenario import Scenario
+from repro.session.session import Session
+from repro.sweep.cache import CacheStats, ResultCache, default_cache_dir
+from repro.sweep.planner import SweepPlan, plan_sweep
+from repro.sweep.spec import SweepSpec
+
+__all__ = [
+    "SweepOutcome",
+    "SweepService",
+    "cached_sweep_service",
+    "direct_sweep_service",
+    "register_backends",
+]
+
+#: What a run may be asked to sweep.
+SweepInput = Union[
+    SweepSpec,
+    Mapping[str, Any],
+    str,
+    pathlib.Path,
+    Sequence[Union[Scenario, Session]],
+]
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Results of one sweep run, in input (grid) order."""
+
+    results: Tuple[ScenarioResult, ...]
+    stats: CacheStats
+    n_cells: int
+    n_unique: int
+    n_ran: int
+    executor: str
+
+    @property
+    def n_hits(self) -> int:
+        return self.n_unique - self.n_ran
+
+    def summary_lines(self) -> List[str]:
+        return [
+            f"sweep: {self.n_cells} cell{'s' if self.n_cells != 1 else ''} "
+            f"-> {self.n_unique} unique, {self.n_hits} served from cache, "
+            f"{self.n_ran} ran (executor {self.executor})",
+            f"cache: {self.stats.summary()}",
+        ]
+
+
+class SweepService:
+    """The sharded, cache-aware sweep engine.
+
+    Parameters
+    ----------
+    cache:
+        ``False`` disables the result cache entirely (the ``direct``
+        backend); deduplication still applies.
+    cache_dir:
+        On-disk tier location (default ``~/.cache/repro-hpc``); ``None``
+        with ``disk=False`` keeps the cache memory-only.
+    disk:
+        ``False`` skips the on-disk tier (memory LRU only).
+    executor / max_workers / chunk_size:
+        Default execution engine for :meth:`run`; per-call arguments and
+        swept scenarios' explicit ``executor`` knobs override it the
+        same way :meth:`Session.run_many` resolves engines.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: bool = True,
+        cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        disk: bool = True,
+        memory_slots: Optional[int] = None,
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self._cache: Optional[ResultCache] = None
+        if cache:
+            directory: Optional[pathlib.Path] = None
+            if disk:
+                directory = (
+                    pathlib.Path(cache_dir)
+                    if cache_dir is not None
+                    else default_cache_dir()
+                )
+            kwargs = {} if memory_slots is None else {"memory_slots": memory_slots}
+            self._cache = ResultCache(directory, **kwargs)
+        elif cache_dir is not None:
+            raise SweepError("cache_dir is meaningless with cache=False")
+        self._executor = executor
+        self._max_workers = max_workers
+        self._chunk_size = chunk_size
+
+    # --- introspection ----------------------------------------------------
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self._cache
+
+    # --- input normalization ----------------------------------------------
+    @staticmethod
+    def _normalize(sweep_input: SweepInput) -> List[Union[Scenario, Session]]:
+        if isinstance(sweep_input, SweepSpec):
+            return list(sweep_input.scenarios())
+        if isinstance(sweep_input, (str, pathlib.Path)):
+            from repro.sweep.spec import load_spec_mapping
+
+            sweep_input = load_spec_mapping(sweep_input)
+        if isinstance(sweep_input, Mapping):
+            if set(sweep_input) <= {"name", "base", "axes"}:
+                return list(SweepSpec.from_mapping(sweep_input).scenarios())
+            # A flat knob mapping: a grid of one.
+            return [Scenario.from_spec(sweep_input)]
+        try:
+            items = list(sweep_input)
+        except TypeError:
+            raise SweepError(
+                f"cannot sweep a {type(sweep_input).__name__}; pass a "
+                "SweepSpec, a spec mapping/path, or Scenario/Session items"
+            ) from None
+        return items
+
+    # --- planning ---------------------------------------------------------
+    def plan(self, sweep_input: SweepInput) -> SweepPlan:
+        """Expand + fingerprint + deduplicate, without running anything."""
+        return plan_sweep(self._normalize(sweep_input))
+
+    # --- execution --------------------------------------------------------
+    def _resolve_executor(
+        self,
+        items: Sequence[Union[Scenario, Session]],
+        executor: Optional[str],
+        max_workers: Optional[int],
+    ) -> Tuple[str, dict]:
+        key = executor if executor is not None else self._executor
+        opts: dict = {}
+        if key is None:
+            for item in items:
+                knobs = item if isinstance(item, Scenario) else item._scenario
+                if "executor" in knobs._explicit:
+                    key = knobs._executor
+                    opts = dict(knobs._executor_opts)
+                    break
+        if key is None:
+            key = "serial"
+        workers = max_workers if max_workers is not None else self._max_workers
+        if workers is not None:
+            opts["max_workers"] = int(workers)
+        if self._chunk_size is not None:
+            opts.setdefault("chunk_size", int(self._chunk_size))
+        return key, opts
+
+    def run(
+        self,
+        sweep_input: SweepInput,
+        *,
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
+    ) -> SweepOutcome:
+        """Evaluate the grid: cache lookups first, then one executor pass."""
+        items = self._normalize(sweep_input)
+        plan = plan_sweep(items)
+        before = self._cache.stats if self._cache is not None else CacheStats()
+        results: List[Optional[ScenarioResult]] = [None] * plan.n_cells
+        to_run = []
+        for unit in plan.units:
+            if self._cache is not None and unit.fingerprint is not None:
+                hit = self._cache.get(unit.fingerprint)
+                if hit is not None:
+                    for index in unit.indices:
+                        results[index] = hit
+                    continue
+            to_run.append(unit)
+
+        key = "none"
+        if to_run:
+            key, opts = self._resolve_executor(items, executor, max_workers)
+            engine = resolve_backend("executor", key)(**opts)
+            fresh = list(engine([unit.item for unit in to_run]))
+            if len(fresh) != len(to_run):
+                raise SweepError(
+                    f"executor {key!r} returned {len(fresh)} results for "
+                    f"{len(to_run)} work units"
+                )
+            for unit, result in zip(to_run, fresh):
+                for index in unit.indices:
+                    results[index] = result
+                if self._cache is not None and unit.fingerprint is not None:
+                    self._cache.put(unit.fingerprint, result)
+
+        after = self._cache.stats if self._cache is not None else CacheStats()
+        return SweepOutcome(
+            results=tuple(results),
+            stats=CacheStats(
+                hits=after.hits - before.hits,
+                misses=after.misses - before.misses,
+                evictions=after.evictions - before.evictions,
+                errors=after.errors - before.errors,
+            ),
+            n_cells=plan.n_cells,
+            n_unique=plan.n_unique,
+            n_ran=len(to_run),
+            executor=key,
+        )
+
+
+def cached_sweep_service(**opts) -> SweepService:
+    """The default ``sweep`` backend: dedup + provenance-keyed cache."""
+    return SweepService(**opts)
+
+
+def direct_sweep_service(**opts) -> SweepService:
+    """The cache-free variant: dedup only, every unique cell recomputes."""
+    return SweepService(cache=False, **opts)
+
+
+def register_backends(registry) -> None:
+    """Self-register the built-in sweep services.
+
+    A ``sweep`` backend is a factory ``(**opts) -> service`` exposing
+    ``plan(grid)`` and ``run(grid, ...) -> SweepOutcome`` over a
+    SweepSpec / spec mapping / spec path / Scenario list, with results
+    in input order.  ``run`` of an empty grid must return an empty
+    outcome without touching disk.
+    """
+    registry.add("sweep", "cached", cached_sweep_service, aliases=("default",))
+    registry.add(
+        "sweep", "direct", direct_sweep_service, aliases=("nocache", "no-cache")
+    )

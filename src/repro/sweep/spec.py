@@ -1,0 +1,339 @@
+"""Declarative sweep specs: scenarios as data.
+
+A sweep spec is a small YAML/TOML/JSON document with a ``base`` knob
+mapping and an ``axes`` mapping of knob-name → value-list; the grid is
+the cross product of the axes applied over the base::
+
+    base: {node: V100, pue: 1.25}
+    axes:
+      system: [frontier, perlmutter]
+      policy: [carbon-oblivious, temporal+geographic]
+
+Every knob is validated against a typed table (name, expected types,
+a human hint) *before* any scenario is built, in the spirit of
+config-check-then-run pipeline frameworks: an unknown knob or a
+mis-typed value raises :class:`~repro.core.errors.SweepError` naming
+the knob and the accepted spelling, instead of failing later inside a
+builder setter.  :meth:`Scenario.from_spec` applies one flat knob
+mapping; :class:`SweepSpec` expands the full grid in deterministic
+order (axes in declaration order, the last axis varying fastest).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.core.errors import SweepError
+from repro.session.scenario import Scenario
+
+__all__ = ["SweepSpec", "KNOWN_KNOBS", "apply_knobs", "load_spec_mapping"]
+
+
+# --- typed knob table -------------------------------------------------------
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_str_list(value: Any) -> bool:
+    return isinstance(value, (list, tuple)) and all(
+        isinstance(item, str) for item in value
+    )
+
+
+def _is_mapping(value: Any) -> bool:
+    return isinstance(value, Mapping) and all(
+        isinstance(key, str) for key in value
+    )
+
+
+#: knob name -> (type predicate, human-readable expectation).
+_KNOB_TYPES: Dict[str, Tuple[Any, str]] = {
+    "name": (lambda v: isinstance(v, str), "a string"),
+    "system": (lambda v: isinstance(v, str), "a system registry key"),
+    "node": (lambda v: isinstance(v, str), "a node registry key"),
+    "region": (lambda v: isinstance(v, str), "a Table 3 region code"),
+    "regions": (_is_str_list, "a list of region codes"),
+    "intensity_source": (lambda v: isinstance(v, str), "an intensity registry key"),
+    "constant_intensity": (_is_number, "a number (gCO2/kWh)"),
+    "seed": (_is_int, "an integer"),
+    "forecast_error": (_is_number, "a number (relative error fraction)"),
+    "policy": (lambda v: isinstance(v, str), "a policy registry key"),
+    "policies": (_is_str_list, "a list of policy registry keys"),
+    "workload": (lambda v: isinstance(v, str), "a workload registry key or trace path"),
+    "workload_opts": (_is_mapping, "a mapping of workload factory options"),
+    "workload_seed": (_is_int, "an integer"),
+    "training": (_is_mapping, "a mapping with model/epochs/n_gpus"),
+    "upgrade": (_is_mapping, "a mapping with old/new/suite"),
+    "cluster": (
+        lambda v: _is_int(v) or _is_mapping(v),
+        "a node count or a mapping with n_nodes/simulator",
+    ),
+    "window_h": (_is_number, "a number of hours"),
+    "lifetime_years": (_is_number, "a number of years"),
+    "usage": (_is_number, "a duty-cycle fraction in (0, 1]"),
+    "pue": (
+        lambda v: isinstance(v, str) or _is_number(v),
+        "a number or a pue registry key",
+    ),
+    "pue_opts": (_is_mapping, "a mapping of pue factory options"),
+    "hourly_training_pue": (lambda v: isinstance(v, bool), "a boolean"),
+    "n_nodes": (_is_int, "an integer"),
+    "nics_per_node": (_is_int, "an integer"),
+    "renderer": (lambda v: isinstance(v, str), "a renderer registry key"),
+    "accounting": (lambda v: isinstance(v, str), "an accounting registry key"),
+    "accounting_opts": (_is_mapping, "a mapping of accounting factory options"),
+    "executor": (lambda v: isinstance(v, str), "an executor registry key"),
+    "executor_opts": (_is_mapping, "a mapping with max_workers/chunk_size"),
+}
+
+#: Public view of every knob a spec may set.
+KNOWN_KNOBS: Tuple[str, ...] = tuple(_KNOB_TYPES)
+
+#: Option knobs that only make sense next to their primary.
+_REQUIRES = {
+    "workload_opts": "workload",
+    "workload_seed": "workload",
+    "pue_opts": "pue",
+    "accounting_opts": "accounting",
+    "executor_opts": "executor",
+}
+
+
+def _check_knob(knob: str, value: Any, *, where: str) -> None:
+    checker = _KNOB_TYPES.get(knob)
+    if checker is None:
+        known = ", ".join(KNOWN_KNOBS)
+        raise SweepError(
+            f"{where}: unknown knob {knob!r}; known knobs: {known}"
+        )
+    predicate, hint = checker
+    if not predicate(value):
+        raise SweepError(
+            f"{where}: knob {knob!r} expects {hint}, "
+            f"got {type(value).__name__} {value!r}"
+        )
+
+
+def _validate_cell(mapping: Mapping[str, Any], *, where: str) -> None:
+    for knob, value in mapping.items():
+        _check_knob(knob, value, where=where)
+    if "policy" in mapping and "policies" in mapping:
+        raise SweepError(
+            f"{where}: set either 'policy' or 'policies', not both"
+        )
+    for option, primary in _REQUIRES.items():
+        if option in mapping and primary not in mapping:
+            raise SweepError(
+                f"{where}: knob {option!r} requires {primary!r} to be set"
+            )
+
+
+def apply_knobs(
+    scenario: Scenario, mapping: Mapping[str, Any], *, where: str = "spec"
+) -> Scenario:
+    """Apply one validated flat knob mapping onto a builder."""
+    _validate_cell(mapping, where=where)
+    simple = {
+        "name": scenario.name,
+        "system": scenario.system,
+        "node": scenario.node,
+        "region": scenario.region,
+        "regions": scenario.regions,
+        "intensity_source": scenario.intensity_source,
+        "constant_intensity": scenario.constant_intensity,
+        "seed": scenario.seed,
+        "forecast_error": scenario.forecast_error,
+        "policy": scenario.policy,
+        "policies": scenario.policies,
+        "lifetime_years": scenario.lifetime,
+        "usage": scenario.usage,
+        "hourly_training_pue": scenario.hourly_training_pue,
+        "n_nodes": scenario.n_nodes,
+        "nics_per_node": scenario.nics_per_node,
+        "renderer": scenario.renderer,
+    }
+    for knob, value in mapping.items():
+        if knob in (
+            "workload_opts", "workload_seed", "pue_opts",
+            "accounting_opts", "executor_opts",
+        ):
+            continue  # folded into their primary below
+        if knob in simple:
+            simple[knob](value)
+        elif knob == "workload":
+            opts = dict(mapping.get("workload_opts", {}))
+            seed = mapping.get("workload_seed")
+            scenario.workload(value, seed=seed, **opts)
+        elif knob == "training":
+            payload = dict(value)
+            model = payload.pop("model", None)
+            if not isinstance(model, str):
+                raise SweepError(
+                    f"{where}: training requires a 'model' string, got {model!r}"
+                )
+            scenario.training(model, **payload)
+        elif knob == "upgrade":
+            payload = dict(value)
+            old, new = payload.pop("old", None), payload.pop("new", None)
+            if not isinstance(old, str) or not isinstance(new, str):
+                raise SweepError(
+                    f"{where}: upgrade requires 'old' and 'new' strings"
+                )
+            scenario.upgrade(old, new, **payload)
+        elif knob == "cluster":
+            if _is_mapping(value):
+                payload = dict(value)
+                n_nodes = payload.pop("n_nodes", None)
+                if not _is_int(n_nodes):
+                    raise SweepError(
+                        f"{where}: cluster requires an integer 'n_nodes'"
+                    )
+                scenario.cluster(n_nodes, **payload)
+            else:
+                scenario.cluster(value)
+        elif knob == "window_h":
+            scenario.window(hours=value)
+        elif knob == "pue":
+            scenario.pue(value, **dict(mapping.get("pue_opts", {})))
+        elif knob == "accounting":
+            scenario.accounting(value, **dict(mapping.get("accounting_opts", {})))
+        elif knob == "executor":
+            scenario.executor(value, **dict(mapping.get("executor_opts", {})))
+        else:  # pragma: no cover - _validate_cell guards this
+            raise SweepError(f"{where}: unhandled knob {knob!r}")
+    return scenario
+
+
+# --- document loading -------------------------------------------------------
+def load_spec_mapping(path: Union[str, pathlib.Path]) -> Mapping[str, Any]:
+    """Parse a YAML/TOML/JSON document into a mapping (by suffix)."""
+    path = pathlib.Path(path)
+    suffix = path.suffix.lower()
+    try:
+        if suffix in (".yaml", ".yml"):
+            try:
+                import yaml
+            except ImportError:  # pragma: no cover - PyYAML is baked in
+                raise SweepError(
+                    "YAML specs need PyYAML; install it or use JSON/TOML"
+                ) from None
+            data = yaml.safe_load(path.read_text(encoding="utf-8"))
+        elif suffix == ".toml":
+            import tomllib
+
+            with path.open("rb") as handle:
+                data = tomllib.load(handle)
+        elif suffix == ".json":
+            data = json.loads(path.read_text(encoding="utf-8"))
+        else:
+            raise SweepError(
+                f"spec {path.name!r} has unsupported suffix {suffix!r}; "
+                "use .yaml, .toml, or .json"
+            )
+    except OSError as exc:
+        raise SweepError(f"cannot read spec {path}: {exc}") from None
+    except ValueError as exc:  # JSONDecodeError, TOMLDecodeError
+        raise SweepError(f"spec {path} does not parse: {exc}") from None
+    except Exception as exc:
+        if type(exc).__name__.endswith("YAMLError"):
+            raise SweepError(f"spec {path} does not parse: {exc}") from None
+        raise
+    if not _is_mapping(data):
+        raise SweepError(
+            f"spec {path} must contain a mapping, got {type(data).__name__}"
+        )
+    return data
+
+
+# --- the grid spec ----------------------------------------------------------
+@dataclass(frozen=True)
+class SweepSpec:
+    """A validated declarative grid: base knobs × axes cross product."""
+
+    name: Optional[str]
+    base: Mapping[str, Any]
+    axes: Mapping[str, Tuple[Any, ...]]
+
+    @classmethod
+    def from_mapping(
+        cls, data: Mapping[str, Any], *, source: str = "spec"
+    ) -> "SweepSpec":
+        if not _is_mapping(data):
+            raise SweepError(
+                f"{source}: expected a mapping, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"name", "base", "axes"})
+        if unknown:
+            raise SweepError(
+                f"{source}: unknown top-level keys {unknown}; "
+                "a sweep spec has 'name', 'base', and 'axes'"
+            )
+        name = data.get("name")
+        if name is not None and not isinstance(name, str):
+            raise SweepError(f"{source}: 'name' must be a string")
+        base = data.get("base", {})
+        if not _is_mapping(base):
+            raise SweepError(f"{source}: 'base' must be a knob mapping")
+        axes_raw = data.get("axes", {})
+        if not _is_mapping(axes_raw):
+            raise SweepError(f"{source}: 'axes' must map knob names to lists")
+        axes: Dict[str, Tuple[Any, ...]] = {}
+        for knob, values in axes_raw.items():
+            if knob in base:
+                raise SweepError(
+                    f"{source}: knob {knob!r} appears in both base and axes"
+                )
+            if not isinstance(values, (list, tuple)) or not values:
+                raise SweepError(
+                    f"{source}: axis {knob!r} must be a non-empty list"
+                )
+            for value in values:
+                _check_knob(knob, value, where=f"{source} axis {knob!r}")
+            axes[knob] = tuple(values)
+        for knob, value in base.items():
+            _check_knob(knob, value, where=f"{source} base")
+        # Pairing rules (policy vs policies, *_opts next to their
+        # primary) hold per *cell*, not per section — an option in base
+        # may pair with a primary swept as an axis — so check one
+        # representative cell of the expanded grid.
+        representative = dict(base)
+        representative.update(
+            {knob: values[0] for knob, values in axes.items()}
+        )
+        _validate_cell(representative, where=source)
+        return cls(name=name, base=dict(base), axes=axes)
+
+    @classmethod
+    def from_file(cls, path: Union[str, pathlib.Path]) -> "SweepSpec":
+        path = pathlib.Path(path)
+        return cls.from_mapping(load_spec_mapping(path), source=path.name)
+
+    # --- expansion --------------------------------------------------------
+    def __len__(self) -> int:
+        cells = 1
+        for values in self.axes.values():
+            cells *= len(values)
+        return cells
+
+    def grid(self) -> Iterator[Dict[str, Any]]:
+        """Flat knob mappings, axes in declaration order (last fastest)."""
+        knobs = list(self.axes)
+        for combo in itertools.product(*self.axes.values()):
+            cell = dict(self.base)
+            cell.update(zip(knobs, combo))
+            yield cell
+
+    def scenarios(self) -> List[Scenario]:
+        """One validated builder per grid cell, in grid order."""
+        return [
+            apply_knobs(Scenario(), cell, where=self.name or "spec")
+            for cell in self.grid()
+        ]

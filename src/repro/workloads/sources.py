@@ -278,8 +278,23 @@ def _assemble(
     )
 
 
+#: Generated-batch memo shared across synthetic-family instances.  A
+#: sweep grid builds one source per cell, but cells sharing (generator
+#: knobs, seed) draw the same batch — the repr keys the memo because it
+#: already spells every knob (params + family extras).  Batches are
+#: immutable, so sharing is safe; insertion-ordered with the oldest
+#: entry evicted past the cap, like ``_TRACE_MEMO``.
+_BATCH_MEMO: Dict[tuple, JobBatch] = {}
+_BATCH_MEMO_SLOTS = 32
+
+
 class _SyntheticFamily:
-    """Common shell of the parameterized generator backends."""
+    """Common shell of the parameterized generator backends.
+
+    Subclasses implement ``_draw(seed)``; the family-level
+    :meth:`generate` wraps it with the shared batch memo so identical
+    (source, seed) draws across a sweep cost one RNG pass.
+    """
 
     def __init__(
         self,
@@ -303,6 +318,19 @@ class _SyntheticFamily:
         # records this repr for the key spelling of Scenario.workload.
         return f"{type(self).__name__}({self.params!r}{self._extra_repr()})"
 
+    def _draw(self, *, seed: int) -> JobBatch:
+        raise NotImplementedError
+
+    def generate(self, *, seed: int = DEFAULT_WORKLOAD_SEED) -> JobBatch:
+        key = (repr(self), tuple(repr(m) for m in self.models), int(seed))
+        batch = _BATCH_MEMO.get(key)
+        if batch is None:
+            batch = self._draw(seed=int(seed))
+            if len(_BATCH_MEMO) >= _BATCH_MEMO_SLOTS:
+                _BATCH_MEMO.pop(next(iter(_BATCH_MEMO)))  # drop the oldest
+            _BATCH_MEMO[key] = batch
+        return batch
+
 
 class SyntheticSource(_SyntheticFamily):
     """The seed Poisson/log-normal generator as a ``workload`` backend.
@@ -314,7 +342,7 @@ class SyntheticSource(_SyntheticFamily):
 
     name = "synthetic"
 
-    def generate(self, *, seed: int = DEFAULT_WORKLOAD_SEED) -> JobBatch:
+    def _draw(self, *, seed: int) -> JobBatch:
         rng = np.random.default_rng(seed)
         n_jobs = _job_count(self.params)
         submits = np.sort(rng.uniform(0.0, self.params.horizon_h, size=n_jobs))
@@ -367,7 +395,7 @@ class DiurnalSource(_SyntheticFamily):
             np.sin(omega * phase) - np.sin(-omega * self.peak_hour)
         )
 
-    def generate(self, *, seed: int = DEFAULT_WORKLOAD_SEED) -> JobBatch:
+    def _draw(self, *, seed: int) -> JobBatch:
         rng = np.random.default_rng(seed)
         n_jobs = _job_count(self.params)
         horizon = self.params.horizon_h
@@ -444,7 +472,7 @@ class BurstySource(_SyntheticFamily):
             intervals.append((0.0, horizon, 1.0))
         return intervals
 
-    def generate(self, *, seed: int = DEFAULT_WORKLOAD_SEED) -> JobBatch:
+    def _draw(self, *, seed: int) -> JobBatch:
         rng = np.random.default_rng(seed)
         n_jobs = _job_count(self.params)
         intervals = self._intervals(rng)

@@ -104,3 +104,67 @@ def test_golden_round_trip():
         assert result.name == data["name"]
         assert result.carbon is not None
         assert result.scheduling is not None
+
+
+# --- provenance fingerprints -------------------------------------------------
+FINGERPRINT_FIXTURE = GOLDEN_DIR / "fingerprints.json"
+
+
+def _matrix_fingerprints() -> dict:
+    return {
+        _fixture_id(system, policy): _build(system, region, policy)
+        .build()
+        .fingerprint()
+        for system, region, policy in _MATRIX
+    }
+
+
+def test_fingerprints_match_golden(update_golden):
+    """Cross-run pin: the same spec hashes identically forever.
+
+    The committed fixture was produced by a different process on a
+    different day, so a pass here is cross-process *and* cross-run
+    stability in one assertion.  A drift means the canonical preimage
+    changed — bump ``FINGERPRINT_SCHEMA`` and re-bless deliberately.
+    """
+    payload = (
+        json.dumps(_matrix_fingerprints(), indent=2, sort_keys=True) + "\n"
+    )
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        FINGERPRINT_FIXTURE.write_text(payload, encoding="utf-8")
+    assert FINGERPRINT_FIXTURE.exists(), (
+        "missing golden fingerprints; generate with --update-golden"
+    )
+    assert payload == FINGERPRINT_FIXTURE.read_text(encoding="utf-8"), (
+        "Session.fingerprint() drifted from tests/golden/fingerprints.json; "
+        "re-bless with --update-golden only for a deliberate schema change"
+    )
+
+
+def test_fingerprint_sensitivity():
+    """Any knob change — value or explicitness — keys a new hash."""
+    system, region, policy = _MATRIX[0]
+    base = _build(system, region, policy).build().fingerprint()
+    assert _build(system, region, policy).build().fingerprint() == base
+    changed = _build(system, region, policy).seed(8).build().fingerprint()
+    assert changed != base
+    workload = (
+        _build(system, region, policy)
+        .workload(
+            WorkloadParams(horizon_h=48.0, total_gpus=16, home_region=region),
+            seed=11,
+        )
+        .build()
+        .fingerprint()
+    )
+    assert workload not in (base, changed)
+
+
+def test_result_carries_fingerprint():
+    """run() stamps the session's hash; serialized bytes stay unchanged."""
+    system, region, policy = _MATRIX[0]
+    session = _build(system, region, policy).build()
+    result = session.run()
+    assert result.fingerprint() == session.fingerprint()
+    assert "provenance_hash" not in result.to_dict()
