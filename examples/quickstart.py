@@ -125,3 +125,26 @@ print(
     f"the re-run served {warm.stats.hits} from cache and computed "
     f"{warm.n_ran}."
 )
+
+# --- 8. resilient sweeps -----------------------------------------------------
+# Long grids survive flaky cells (repro.resilience): a retry budget with
+# seeded-jitter backoff and per-unit deadlines wraps every cell, crashed
+# pool workers are rebuilt and only unfinished cells re-dispatched, and a
+# JSONL journal lets an interrupted sweep resume without recomputing
+# finished cells.  Failures come back as structured entries on the
+# report instead of killing the run.  From the CLI:
+#   repro-hpc sweep run grid.yaml --retries 2 --unit-timeout 300 \
+#       --journal sweep.jsonl
+#   repro-hpc sweep run grid.yaml --resume sweep.jsonl   # after a crash
+import pathlib
+
+with tempfile.TemporaryDirectory() as tmp:
+    journal = pathlib.Path(tmp) / "sweep.jsonl"
+    service = SweepService(cache=False)
+    first = service.run(spec, retry=2, journal=journal)
+    resumed = service.run(spec, resume=journal)
+print(
+    f"\nResilient sweep: {first.n_ran} cells computed under a retry "
+    f"budget; the resumed run skipped {resumed.n_skipped} journaled "
+    f"cells and recomputed {resumed.n_ran}."
+)

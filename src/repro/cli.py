@@ -773,6 +773,8 @@ def _run_sweep_command(args) -> int:
             return 0
 
         # run
+        from repro.core.errors import SweepError
+
         opts = {}
         if args.executor:
             opts["executor"] = args.executor
@@ -780,22 +782,59 @@ def _run_sweep_command(args) -> int:
             opts["max_workers"] = args.max_workers
         if args.no_cache:
             if args.cache_dir:
-                from repro.core.errors import SweepError
-
                 raise SweepError("--cache-dir is meaningless with --no-cache")
             service = resolve_backend("sweep", "direct")(**opts)
         else:
             if args.cache_dir:
                 opts["cache_dir"] = args.cache_dir
             service = resolve_backend("sweep", "cached")(**opts)
-        outcome = service.run(args.spec)
+
+        run_kwargs = {}
+        if args.retries is not None or args.unit_timeout is not None:
+            retry = {}
+            if args.retries is not None:
+                retry["retries"] = args.retries
+            if args.unit_timeout is not None:
+                retry["unit_timeout_s"] = args.unit_timeout
+            run_kwargs["retry"] = retry
+        if args.fault_arg and not args.faults:
+            raise SweepError("--fault-arg requires --faults")
+        if args.faults:
+            fault_opts = {}
+            for raw in args.fault_arg:
+                key, sep, value = raw.partition("=")
+                if not sep or not key.strip():
+                    raise SweepError(
+                        f"--fault-arg takes K=V, got {raw!r}"
+                    )
+                fault_opts[key.strip()] = _coerce_workload_arg(value.strip())
+            run_kwargs["faults"] = {"kind": args.faults, **fault_opts}
+        if args.journal:
+            run_kwargs["journal"] = args.journal
+        if args.resume:
+            run_kwargs["resume"] = args.resume
+        if args.max_rebuilds is not None:
+            run_kwargs["max_rebuilds"] = args.max_rebuilds
+        if args.no_cache_writeback:
+            run_kwargs["cache_writeback"] = False
+
+        outcome = service.run(args.spec, **run_kwargs)
+        failed_cells = {
+            index
+            for failure in getattr(outcome, "failures", ())
+            for index in failure.indices
+        }
         for index, result in enumerate(outcome.results):
+            if result is None:
+                label = "FAILED" if index in failed_cells else "skipped (resume)"
+                print(f"  cell {index}: {label}")
+                continue
             fingerprint = result.fingerprint()
             key = fingerprint[:12] if fingerprint else "uncacheable"
             print(f"  cell {index}: {result.name}  [{key}]")
         for line in outcome.summary_lines():
             print(line)
-        return 0
+        return 1 if getattr(outcome, "failures", ()) else 0
     except ReproError as error:
         print(f"sweep error: {error}", file=sys.stderr)
         return 2
@@ -998,6 +1037,42 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     sweep_run.add_argument(
         "--max-workers", type=int, default=None,
         help="worker count for parallel executors",
+    )
+    sweep_run.add_argument(
+        "--retries", type=int, default=None,
+        help="extra attempts per failing work unit (default 0: fail fast)",
+    )
+    sweep_run.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock deadline; timed-out attempts retry",
+    )
+    sweep_run.add_argument(
+        "--faults", default=None, metavar="KEY",
+        help="fault-injector backend key (none/random/scripted) for "
+             "deterministic chaos runs",
+    )
+    sweep_run.add_argument(
+        "--fault-arg", action="append", default=[], metavar="K=V",
+        help="fault-injector factory option (repeatable), e.g. "
+             "crash_at=1 or error_p=0.2,seed=7 spelled one per flag",
+    )
+    sweep_run.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append completed-unit fingerprints to this JSONL checkpoint",
+    )
+    sweep_run.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="skip units journaled done in PATH (new completions are "
+             "journaled there too unless --journal points elsewhere)",
+    )
+    sweep_run.add_argument(
+        "--max-rebuilds", type=int, default=None,
+        help="process-pool rebuilds tolerated after worker crashes "
+             "(default 3)",
+    )
+    sweep_run.add_argument(
+        "--no-cache-writeback", action="store_true",
+        help="serve cache hits but do not write fresh results back",
     )
     sweep_plan = sweep_sub.add_parser(
         "plan", help="expand + deduplicate a spec without running anything"

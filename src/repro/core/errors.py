@@ -27,6 +27,7 @@ __all__ = [
     "SessionError",
     "PUEError",
     "SweepError",
+    "ResilienceError",
     "UnknownBackendError",
 ]
 
@@ -158,6 +159,19 @@ class SweepError(SessionError):
     malformed shared-store directory.  Subclasses
     :class:`SessionError`, so existing facade-level handlers keep
     working.
+    """
+
+
+class ResilienceError(SweepError):
+    """Fault-tolerant sweep execution could not make progress.
+
+    Raised when the resilience layer exhausts its recovery budget —
+    e.g. a process pool that keeps crashing past ``max_rebuilds``
+    rebuilds, or an invalid :class:`~repro.resilience.RetryPolicy` /
+    fault-injector specification.  Per-unit failures do *not* raise:
+    they surface as :class:`~repro.resilience.CellFailure` entries on
+    the returned :class:`~repro.sweep.runner.SweepReport`.  Subclasses
+    :class:`SweepError`, so existing sweep-level handlers keep working.
     """
 
 

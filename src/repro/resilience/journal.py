@@ -1,0 +1,114 @@
+"""The checkpoint journal: an append-only JSONL of finished cells.
+
+A resumable sweep needs exactly one durable fact per work unit: *this
+fingerprint finished*.  :class:`SweepJournal` appends one JSON line per
+completed (or terminally failed) unit — each line written in a single
+``write`` + flush + fsync of a complete record, so a crash can at worst
+tear the *final* line, and the tolerant reader simply drops it.  The
+journal lives wherever the operator points it (conventionally next to
+the :class:`~repro.sweep.cache.ResultCache` shards) and is consumed by
+``repro-hpc sweep run --resume <journal>``: units whose fingerprint
+already appears with ``status: "done"`` are never recomputed — served
+from the result cache when possible, otherwise skipped outright.
+
+Failed units are journaled too (``status: "failed"``, with the failure
+payload) for forensics, but a resume re-attempts them: only ``done``
+entries gate recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Dict, Optional, Set, Union
+
+from repro.core.errors import ResilienceError
+
+__all__ = ["SweepJournal", "JOURNAL_SCHEMA"]
+
+#: Line-format version stamped on every record.
+JOURNAL_SCHEMA = 1
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint of completed-unit fingerprints."""
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self._path = pathlib.Path(path)
+        #: Fingerprints already appended as done (suppresses duplicates
+        #: when a resumed run re-journals its cache hits).
+        self._seen: Set[str] = set()
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path
+
+    # --- read -------------------------------------------------------------
+    def load_completed(self) -> Set[str]:
+        """Fingerprints recorded ``done``, tolerating a torn last line."""
+        completed: Set[str] = set()
+        try:
+            text = self._path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return completed
+        except OSError as exc:
+            raise ResilienceError(
+                f"cannot read sweep journal {self._path}: {exc}"
+            ) from None
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail line from a crash mid-append
+            if not isinstance(record, dict):
+                continue
+            fingerprint = record.get("fingerprint")
+            if record.get("status") == "done" and isinstance(fingerprint, str):
+                completed.add(fingerprint)
+        self._seen |= completed
+        return completed
+
+    # --- write ------------------------------------------------------------
+    def record_done(
+        self, fingerprint: Optional[str], *, name: str, cached: bool = False
+    ) -> None:
+        """Append a completion record (idempotent per fingerprint)."""
+        if fingerprint is None or fingerprint in self._seen:
+            return  # uncacheable units have no resumable identity
+        self._seen.add(fingerprint)
+        self._append(
+            {
+                "schema": JOURNAL_SCHEMA,
+                "status": "done",
+                "fingerprint": fingerprint,
+                "name": name,
+                "cached": bool(cached),
+            }
+        )
+
+    def record_failed(self, failure) -> None:
+        """Append a terminal-failure record (forensics; never gates)."""
+        self._append(
+            {
+                "schema": JOURNAL_SCHEMA,
+                "status": "failed",
+                **failure.to_dict(),
+            }
+        )
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            with self._path.open("a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise ResilienceError(
+                f"cannot append to sweep journal {self._path}: {exc}"
+            ) from None

@@ -57,6 +57,18 @@ calling conventions, per kind:
     :mod:`repro.session.executors`).  ``serial``, ``process``, and
     ``shared`` ship built-in; the parallel engines take ``max_workers``
     and ``chunk_size``, and ``shared`` additionally ``store_dir``.
+``faults``
+    ``factory(**opts) -> injector`` — a deterministic fault injector
+    for chaos-testing resilient sweeps, exposing ``action(*, token,
+    index, attempt) -> FaultAction | None`` (see
+    :mod:`repro.resilience.faults`).  The injector must be
+    deterministic for equal arguments (byte-reproducible chaos) and
+    picklable (it rides into pool workers).  ``none`` is inert;
+    ``random`` takes seeded per-class probabilities (``crash_p`` /
+    ``error_p`` / ``corrupt_p`` / ``delay_p``, plus ``seed`` /
+    ``delay_s`` / ``attempts``); ``scripted`` fails exactly the listed
+    unit indices (``crash_at`` / ``error_at`` / ``corrupt_at`` /
+    ``delay_at``).
 ``sweep``
     ``factory(**opts) -> service`` — a cache-aware sweep service
     exposing ``plan(grid)`` and ``run(grid, ...) -> SweepOutcome`` over
@@ -85,6 +97,7 @@ def load_builtin_backends(registry: "BackendRegistry") -> None:
     import repro.hardware as hardware
     import repro.intensity as intensity
     import repro.power as power
+    import repro.resilience as resilience
     import repro.scheduler as scheduler
     import repro.session.executors as executors
     import repro.sweep as sweep
@@ -92,7 +105,7 @@ def load_builtin_backends(registry: "BackendRegistry") -> None:
 
     layers = (
         hardware, intensity, workloads, scheduler, cluster, accounting, power,
-        analysis, executors, sweep,
+        analysis, executors, sweep, resilience,
     )
     for layer in layers:
         layer.register_backends(registry)

@@ -92,6 +92,48 @@ def serial_executor(**_opts) -> "SweepExecutor":
     return _run_chunk
 
 
+def _terminate_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool's worker processes (the interrupt path).
+
+    Must run *before* ``pool.shutdown`` — shutdown drops the pool's
+    process table, and a worker that survives it keeps grinding until
+    its current task ends (the zombie this bugfix exists to kill).
+    """
+    for process in tuple((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # already reaped
+            pass
+
+
+def _drain_pool(
+    pool: ProcessPoolExecutor, chunks: Sequence[Sequence[_SweepItem]]
+) -> List["ScenarioResult"]:
+    """Map chunks through a pool without zombifying workers on interrupt.
+
+    The ``with ProcessPoolExecutor(...)`` idiom shuts down with
+    ``wait=True`` and *without* ``cancel_futures``, so a Ctrl-C in the
+    parent leaves every queued chunk grinding in orphaned workers.
+    Here any interrupt (``KeyboardInterrupt``/``SystemExit``) cancels
+    all unstarted chunks and terminates the workers before the
+    exception propagates; the normal path still waits cleanly.
+    """
+    try:
+        results = [
+            result
+            for chunk_results in pool.map(_run_chunk, chunks)
+            for result in chunk_results
+        ]
+    except BaseException as exc:
+        if not isinstance(exc, Exception):
+            _terminate_pool_workers(pool)
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    else:
+        pool.shutdown(wait=True)
+        return results
+
+
 class _ProcessSweep:
     """Chunked ProcessPoolExecutor sweep, order-preserving."""
 
@@ -106,16 +148,12 @@ class _ProcessSweep:
             return _run_chunk(items)
         size = self.chunk_size or -(-len(items) // workers)
         chunks = [items[i : i + size] for i in range(0, len(items), size)]
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_warm_worker,
             initargs=(_sweep_seeds(items),),
-        ) as pool:
-            return [
-                result
-                for chunk_results in pool.map(_run_chunk, chunks)
-                for result in chunk_results
-            ]
+        )
+        return _drain_pool(pool, chunks)
 
 
 def process_executor(
@@ -179,16 +217,12 @@ class _SharedSweep(_ProcessSweep):
                 return _run_chunk(items)
         size = self.chunk_size or -(-len(items) // workers)
         chunks = [items[i : i + size] for i in range(0, len(items), size)]
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_attach_store_worker,
             initargs=(str(store.directory), seeds),
-        ) as pool:
-            return [
-                result
-                for chunk_results in pool.map(_run_chunk, chunks)
-                for result in chunk_results
-            ]
+        )
+        return _drain_pool(pool, chunks)
 
 
 def shared_executor(

@@ -55,6 +55,7 @@ BACKEND_KINDS: Tuple[str, ...] = (
     "report",
     "executor",
     "sweep",
+    "faults",
 )
 
 

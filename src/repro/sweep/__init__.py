@@ -13,6 +13,7 @@ from repro.sweep.cache import CacheStats, ResultCache, default_cache_dir
 from repro.sweep.planner import SweepPlan, WorkUnit, plan_sweep
 from repro.sweep.runner import (
     SweepOutcome,
+    SweepReport,
     SweepService,
     cached_sweep_service,
     direct_sweep_service,
@@ -27,6 +28,7 @@ __all__ = [
     "SharedTraceStore",
     "SweepOutcome",
     "SweepPlan",
+    "SweepReport",
     "SweepService",
     "SweepSpec",
     "WorkUnit",

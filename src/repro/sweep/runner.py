@@ -19,15 +19,29 @@ still deduplicated) are thin factory variants.  A run is:
 
 The returned :class:`SweepOutcome` carries results in input order plus
 the hit/miss/evict/error stats the run generated.
+
+When any resilience knob is active — a retry budget, a per-attempt
+timeout, a fault injector, a checkpoint journal, or a resume — step 4
+runs through :func:`repro.resilience.run_resilient` instead of the
+plain executor: units are isolated (a failing cell yields a
+:class:`~repro.resilience.CellFailure` instead of aborting the
+campaign), worker crashes rebuild the pool and re-dispatch only the
+unfinished units, and every completion is journaled so a later
+``resume=`` run recomputes nothing already finished.  The run then
+returns a :class:`SweepReport` (a :class:`SweepOutcome` subclass)
+carrying the failures alongside the results; with no resilience knobs
+the legacy exact path is untouched.
 """
 
 from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass
-from typing import Any, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.errors import SweepError
+from repro.core.errors import ResilienceError, SweepError
+from repro.resilience.journal import SweepJournal
+from repro.resilience.policy import CellFailure, RetryPolicy
 from repro.session.registry import resolve_backend
 from repro.session.result import ScenarioResult
 from repro.session.scenario import Scenario
@@ -38,6 +52,7 @@ from repro.sweep.spec import SweepSpec
 
 __all__ = [
     "SweepOutcome",
+    "SweepReport",
     "SweepService",
     "cached_sweep_service",
     "direct_sweep_service",
@@ -78,6 +93,87 @@ class SweepOutcome:
         ]
 
 
+@dataclass(frozen=True)
+class SweepReport(SweepOutcome):
+    """A :class:`SweepOutcome` plus what fault tolerance observed.
+
+    Failed units leave ``None`` at their cells in ``results`` and a
+    :class:`~repro.resilience.CellFailure` here; ``n_skipped`` counts
+    units a ``resume=`` journal retired without recomputation (and
+    without a cache copy to serve — journaled units *with* a cached
+    result count as hits and fill their cells); ``n_rebuilds`` counts
+    process-pool rebuilds after worker crashes.
+    """
+
+    failures: Tuple[CellFailure, ...] = ()
+    n_skipped: int = 0
+    n_rebuilds: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def n_hits(self) -> int:
+        return self.n_unique - self.n_ran - self.n_skipped
+
+    def summary_lines(self) -> List[str]:
+        lines = super().summary_lines()
+        if self.n_skipped:
+            lines.append(
+                f"resume: {self.n_skipped} journaled "
+                f"unit{'s' if self.n_skipped != 1 else ''} skipped"
+            )
+        if self.n_rebuilds:
+            lines.append(
+                f"recovery: process pool rebuilt {self.n_rebuilds} "
+                f"time{'s' if self.n_rebuilds != 1 else ''} after worker "
+                "crashes"
+            )
+        if self.failures:
+            n = len(self.failures)
+            lines.append(
+                f"failures: {n} unit{'s' if n != 1 else ''} exhausted "
+                f"{'their' if n != 1 else 'its'} retry budget"
+            )
+            lines.extend(f"  {failure.summary()}" for failure in self.failures)
+        return lines
+
+
+def _coerce_injector(value):
+    """Normalize the fault-injector spellings the service accepts.
+
+    A string is a ``faults`` registry key; a mapping is
+    ``{"kind": <key>, **factory_opts}``; anything exposing ``action``
+    passes through as-is.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return resolve_backend("faults", value)()
+    if isinstance(value, Mapping):
+        opts = dict(value)
+        kind = opts.pop("kind", None)
+        if not isinstance(kind, str):
+            raise ResilienceError(
+                "a faults mapping needs a 'kind' registry key, "
+                f"got {value!r}"
+            )
+        try:
+            return resolve_backend("faults", kind)(**opts)
+        except TypeError as exc:
+            raise ResilienceError(
+                f"invalid faults options for {kind!r}: {exc}"
+            ) from None
+    if callable(getattr(value, "action", None)):
+        return value
+    raise ResilienceError(
+        f"cannot build a fault injector from {type(value).__name__} "
+        f"{value!r}; pass a faults registry key, a {{'kind': ...}} "
+        "mapping, or an injector object"
+    )
+
+
 class SweepService:
     """The sharded, cache-aware sweep engine.
 
@@ -95,6 +191,16 @@ class SweepService:
         Default execution engine for :meth:`run`; per-call arguments and
         swept scenarios' explicit ``executor`` knobs override it the
         same way :meth:`Session.run_many` resolves engines.
+    retry / faults / max_rebuilds:
+        Default resilience configuration for :meth:`run` (per-call
+        arguments override, then a spec's ``resilience`` section fills
+        whatever is still unset).  ``retry`` takes anything
+        :meth:`~repro.resilience.RetryPolicy.coerce` accepts; ``faults``
+        anything :func:`_coerce_injector` accepts.
+    cache_writeback:
+        ``False`` stops fresh results from being written back to the
+        result cache (reads still hit) — the escape hatch for runs whose
+        outputs should not poison a shared cache.
     """
 
     def __init__(
@@ -107,6 +213,10 @@ class SweepService:
         executor: Optional[str] = None,
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        retry: Union[RetryPolicy, Mapping[str, Any], int, None] = None,
+        faults: Any = None,
+        max_rebuilds: Optional[int] = None,
+        cache_writeback: bool = True,
     ) -> None:
         self._cache: Optional[ResultCache] = None
         if cache:
@@ -124,6 +234,10 @@ class SweepService:
         self._executor = executor
         self._max_workers = max_workers
         self._chunk_size = chunk_size
+        self._retry = retry
+        self._faults = faults
+        self._max_rebuilds = max_rebuilds
+        self._cache_writeback = bool(cache_writeback)
 
     # --- introspection ----------------------------------------------------
     @property
@@ -132,18 +246,23 @@ class SweepService:
 
     # --- input normalization ----------------------------------------------
     @staticmethod
-    def _normalize(sweep_input: SweepInput) -> List[Union[Scenario, Session]]:
+    def _normalize_full(
+        sweep_input: SweepInput,
+    ) -> Tuple[List[Union[Scenario, Session]], Optional[SweepSpec]]:
+        """Normalize to an item list, keeping the spec (if there is one)
+        so :meth:`run` can consume its ``resilience`` section."""
         if isinstance(sweep_input, SweepSpec):
-            return list(sweep_input.scenarios())
+            return list(sweep_input.scenarios()), sweep_input
         if isinstance(sweep_input, (str, pathlib.Path)):
             from repro.sweep.spec import load_spec_mapping
 
             sweep_input = load_spec_mapping(sweep_input)
         if isinstance(sweep_input, Mapping):
-            if set(sweep_input) <= {"name", "base", "axes"}:
-                return list(SweepSpec.from_mapping(sweep_input).scenarios())
+            if set(sweep_input) <= {"name", "base", "axes", "resilience"}:
+                spec = SweepSpec.from_mapping(sweep_input)
+                return list(spec.scenarios()), spec
             # A flat knob mapping: a grid of one.
-            return [Scenario.from_spec(sweep_input)]
+            return [Scenario.from_spec(sweep_input)], None
         try:
             items = list(sweep_input)
         except TypeError:
@@ -151,7 +270,13 @@ class SweepService:
                 f"cannot sweep a {type(sweep_input).__name__}; pass a "
                 "SweepSpec, a spec mapping/path, or Scenario/Session items"
             ) from None
-        return items
+        return items, None
+
+    @classmethod
+    def _normalize(
+        cls, sweep_input: SweepInput
+    ) -> List[Union[Scenario, Session]]:
+        return cls._normalize_full(sweep_input)[0]
 
     # --- planning ---------------------------------------------------------
     def plan(self, sweep_input: SweepInput) -> SweepPlan:
@@ -183,30 +308,125 @@ class SweepService:
             opts.setdefault("chunk_size", int(self._chunk_size))
         return key, opts
 
+    #: ``resilience``-section keys that configure the RetryPolicy.
+    _RETRY_KEYS = frozenset(
+        {
+            "retries", "max_attempts", "backoff_s", "backoff_factor",
+            "jitter", "unit_timeout_s", "seed",
+        }
+    )
+
     def run(
         self,
         sweep_input: SweepInput,
         *,
         executor: Optional[str] = None,
         max_workers: Optional[int] = None,
-    ) -> SweepOutcome:
-        """Evaluate the grid: cache lookups first, then one executor pass."""
-        items = self._normalize(sweep_input)
+        retry: Union[RetryPolicy, Mapping[str, Any], int, None] = None,
+        faults: Any = None,
+        journal: Optional[Union[str, pathlib.Path]] = None,
+        resume: Optional[Union[str, pathlib.Path]] = None,
+        max_rebuilds: Optional[int] = None,
+        cache_writeback: Optional[bool] = None,
+    ) -> SweepReport:
+        """Evaluate the grid: cache lookups first, then one executor pass.
+
+        ``retry`` / ``faults`` / ``max_rebuilds`` override the service
+        defaults, which override a spec's ``resilience`` section.
+        ``journal`` appends every completed unit's fingerprint to a
+        JSONL checkpoint; ``resume`` skips units already journaled
+        ``done`` (and journals new completions to the same file unless
+        ``journal`` points elsewhere).  With no resilience knob active,
+        execution takes the exact legacy path.
+        """
+        items, spec = self._normalize_full(sweep_input)
         plan = plan_sweep(items)
+
+        # --- resolve the resilience configuration -------------------------
+        section: Dict[str, Any] = (
+            dict(spec.resilience)
+            if spec is not None and spec.resilience
+            else {}
+        )
+        spec_retry: Optional[Dict[str, Any]] = {
+            k: v for k, v in section.items() if k in self._RETRY_KEYS
+        } or None
+        retry_cfg = retry if retry is not None else self._retry
+        if retry_cfg is None:
+            retry_cfg = spec_retry
+        policy = RetryPolicy.coerce(retry_cfg)
+        faults_cfg = faults if faults is not None else self._faults
+        if faults_cfg is None:
+            faults_cfg = section.get("faults")
+        injector = _coerce_injector(faults_cfg)
+        rebuild_budget = next(
+            (
+                int(value)
+                for value in (
+                    max_rebuilds,
+                    self._max_rebuilds,
+                    section.get("max_rebuilds"),
+                )
+                if value is not None
+            ),
+            None,
+        )
+        writeback = (
+            self._cache_writeback
+            if cache_writeback is None
+            else bool(cache_writeback)
+        )
+        journal_path = journal if journal is not None else resume
+        resilient = (
+            policy.active
+            or injector is not None
+            or journal_path is not None
+            or rebuild_budget is not None
+        )
+
+        journal_obj: Optional[SweepJournal] = None
+        completed: frozenset = frozenset()
+        if journal_path is not None:
+            journal_obj = SweepJournal(journal_path)
+        if resume is not None:
+            if (
+                journal_obj is not None
+                and pathlib.Path(resume) == journal_obj.path
+            ):
+                completed = frozenset(journal_obj.load_completed())
+            else:
+                completed = frozenset(
+                    SweepJournal(resume).load_completed()
+                )
+
+        # --- cache lookups + resume skips ---------------------------------
         before = self._cache.stats if self._cache is not None else CacheStats()
         results: List[Optional[ScenarioResult]] = [None] * plan.n_cells
         to_run = []
+        n_skipped = 0
         for unit in plan.units:
             if self._cache is not None and unit.fingerprint is not None:
                 hit = self._cache.get(unit.fingerprint)
                 if hit is not None:
                     for index in unit.indices:
                         results[index] = hit
+                    if journal_obj is not None:
+                        journal_obj.record_done(
+                            unit.fingerprint, name=unit.name, cached=True
+                        )
                     continue
+            if unit.fingerprint is not None and unit.fingerprint in completed:
+                # Journaled done but not in cache: retired, not re-run.
+                n_skipped += 1
+                continue
             to_run.append(unit)
 
+        # --- execute --------------------------------------------------------
         key = "none"
-        if to_run:
+        failures: List[CellFailure] = []
+        n_rebuilds = 0
+        if to_run and not resilient:
+            # The exact legacy path: one executor pass, chunked engines.
             key, opts = self._resolve_executor(items, executor, max_workers)
             engine = resolve_backend("executor", key)(**opts)
             fresh = list(engine([unit.item for unit in to_run]))
@@ -218,11 +438,70 @@ class SweepService:
             for unit, result in zip(to_run, fresh):
                 for index in unit.indices:
                     results[index] = result
-                if self._cache is not None and unit.fingerprint is not None:
+                if (
+                    self._cache is not None
+                    and writeback
+                    and unit.fingerprint is not None
+                ):
                     self._cache.put(unit.fingerprint, result)
+        elif to_run:
+            from repro.resilience import (
+                DEFAULT_MAX_REBUILDS,
+                NoFaults,
+                ResilientUnit,
+                run_resilient,
+            )
+
+            key, opts = self._resolve_executor(items, executor, max_workers)
+            units = [
+                ResilientUnit(
+                    item=unit.item,
+                    index=unit.indices[0],
+                    indices=tuple(unit.indices),
+                    name=unit.name,
+                    fingerprint=unit.fingerprint,
+                )
+                for unit in to_run
+            ]
+
+            def _on_unit_done(outcome) -> None:
+                # Fired as each unit settles, so a later crash cannot
+                # lose completions already cached and journaled.
+                if outcome.ok:
+                    for index in outcome.unit.indices:
+                        results[index] = outcome.result
+                    if (
+                        self._cache is not None
+                        and writeback
+                        and outcome.fingerprint is not None
+                    ):
+                        self._cache.put(outcome.fingerprint, outcome.result)
+                    if journal_obj is not None:
+                        journal_obj.record_done(
+                            outcome.fingerprint, name=outcome.unit.name
+                        )
+                else:
+                    failures.append(outcome.failure)
+                    if journal_obj is not None:
+                        journal_obj.record_failed(outcome.failure)
+
+            resilient_run = run_resilient(
+                units,
+                executor=key,
+                executor_opts=opts,
+                policy=policy,
+                injector=injector if injector is not None else NoFaults(),
+                max_rebuilds=(
+                    rebuild_budget
+                    if rebuild_budget is not None
+                    else DEFAULT_MAX_REBUILDS
+                ),
+                on_unit_done=_on_unit_done,
+            )
+            n_rebuilds = resilient_run.rebuilds
 
         after = self._cache.stats if self._cache is not None else CacheStats()
-        return SweepOutcome(
+        return SweepReport(
             results=tuple(results),
             stats=CacheStats(
                 hits=after.hits - before.hits,
@@ -234,6 +513,9 @@ class SweepService:
             n_unique=plan.n_unique,
             n_ran=len(to_run),
             executor=key,
+            failures=tuple(failures),
+            n_skipped=n_skipped,
+            n_rebuilds=n_rebuilds,
         )
 
 

@@ -97,6 +97,50 @@ _KNOB_TYPES: Dict[str, Tuple[Any, str]] = {
 #: Public view of every knob a spec may set.
 KNOWN_KNOBS: Tuple[str, ...] = tuple(_KNOB_TYPES)
 
+#: ``resilience`` section key -> (type predicate, human-readable hint).
+_RESILIENCE_TYPES: Dict[str, Tuple[Any, str]] = {
+    "retries": (_is_int, "an integer (extra attempts after the first)"),
+    "max_attempts": (_is_int, "an integer >= 1"),
+    "backoff_s": (_is_number, "a number of seconds"),
+    "backoff_factor": (_is_number, "a number >= 1"),
+    "jitter": (_is_number, "a fraction in [0, 1]"),
+    "unit_timeout_s": (_is_number, "a number of seconds"),
+    "seed": (_is_int, "an integer"),
+    "max_rebuilds": (_is_int, "an integer >= 0"),
+    "faults": (
+        lambda v: isinstance(v, str)
+        or (_is_mapping(v) and isinstance(v.get("kind"), str)),
+        "a faults registry key or a mapping with a 'kind' key",
+    ),
+}
+
+
+def _validate_resilience(data: Any, *, where: str) -> Dict[str, Any]:
+    if not _is_mapping(data):
+        raise SweepError(
+            f"{where}: 'resilience' must be a mapping, "
+            f"got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - set(_RESILIENCE_TYPES))
+    if unknown:
+        known = ", ".join(_RESILIENCE_TYPES)
+        raise SweepError(
+            f"{where}: unknown resilience keys {unknown}; known: {known}"
+        )
+    if "retries" in data and "max_attempts" in data:
+        raise SweepError(
+            f"{where}: set either 'retries' or 'max_attempts', not both"
+        )
+    for key, value in data.items():
+        predicate, hint = _RESILIENCE_TYPES[key]
+        if not predicate(value):
+            raise SweepError(
+                f"{where}: resilience key {key!r} expects {hint}, "
+                f"got {type(value).__name__} {value!r}"
+            )
+    return dict(data)
+
+
 #: Option knobs that only make sense next to their primary.
 _REQUIRES = {
     "workload_opts": "workload",
@@ -256,11 +300,19 @@ def load_spec_mapping(path: Union[str, pathlib.Path]) -> Mapping[str, Any]:
 # --- the grid spec ----------------------------------------------------------
 @dataclass(frozen=True)
 class SweepSpec:
-    """A validated declarative grid: base knobs × axes cross product."""
+    """A validated declarative grid: base knobs × axes cross product.
+
+    The optional ``resilience`` section declares the sweep's default
+    fault-tolerance — retry budget, backoff, per-attempt timeout, fault
+    injector, pool-rebuild budget — consumed by
+    :meth:`~repro.sweep.runner.SweepService.run` (explicit arguments
+    override it).
+    """
 
     name: Optional[str]
     base: Mapping[str, Any]
     axes: Mapping[str, Tuple[Any, ...]]
+    resilience: Optional[Mapping[str, Any]] = None
 
     @classmethod
     def from_mapping(
@@ -270,11 +322,11 @@ class SweepSpec:
             raise SweepError(
                 f"{source}: expected a mapping, got {type(data).__name__}"
             )
-        unknown = sorted(set(data) - {"name", "base", "axes"})
+        unknown = sorted(set(data) - {"name", "base", "axes", "resilience"})
         if unknown:
             raise SweepError(
-                f"{source}: unknown top-level keys {unknown}; "
-                "a sweep spec has 'name', 'base', and 'axes'"
+                f"{source}: unknown top-level keys {unknown}; a sweep spec "
+                "has 'name', 'base', 'axes', and optionally 'resilience'"
             )
         name = data.get("name")
         if name is not None and not isinstance(name, str):
@@ -309,7 +361,12 @@ class SweepSpec:
             {knob: values[0] for knob, values in axes.items()}
         )
         _validate_cell(representative, where=source)
-        return cls(name=name, base=dict(base), axes=axes)
+        resilience = data.get("resilience")
+        if resilience is not None:
+            resilience = _validate_resilience(resilience, where=source)
+        return cls(
+            name=name, base=dict(base), axes=axes, resilience=resilience
+        )
 
     @classmethod
     def from_file(cls, path: Union[str, pathlib.Path]) -> "SweepSpec":

@@ -17,16 +17,21 @@ a shared directory:
 
 Files are written atomically (tmp + ``os.replace``); builds are
 deterministic per identity, so racing workers converge on identical
-bytes and last-writer-wins is safe.  Corrupted files are rebuilt and
-overwritten — the store is a cache, never an authority.  Attach a store
-with :meth:`SharedTraceStore.attach` (or as a context manager); detach
-restores whatever providers were installed before.
+bytes and last-writer-wins is safe.  The store is a cache, never an
+authority — every degradation fails *soft*, mirroring
+:class:`~repro.sweep.cache.ResultCache`'s corrupt-entry behavior: a
+truncated or corrupt ``.npy``, a missing or malformed JSON manifest,
+and an unwritable store directory each log a warning and fall back to
+local regeneration, so an attached worker can always make progress.
+Attach a store with :meth:`SharedTraceStore.attach` (or as a context
+manager); detach restores whatever providers were installed before.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pathlib
 import tempfile
@@ -34,10 +39,11 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.errors import SweepError
 from repro.sweep.cache import default_cache_dir
 
 __all__ = ["SharedTraceStore"]
+
+logger = logging.getLogger(__name__)
 
 #: On-disk layout version (part of every filename digest).
 STORE_SCHEMA = 1
@@ -195,8 +201,19 @@ class SharedTraceStore:
                 )
                 for i, code in enumerate(codes)
             )
-        except (OSError, KeyError, TypeError, ValueError):
-            return None  # missing/corrupt: fail soft to regeneration
+        except Exception as exc:
+            # EOFError for a truncated .npy, JSON/KeyError for a bad
+            # manifest, OSError for anything filesystem-level: all fail
+            # soft to regeneration.  Only an absent entry stays silent.
+            if array_path.exists() or meta_path.exists():
+                logger.warning(
+                    "shared trace store entry %s is unreadable (%s: %s); "
+                    "regenerating locally",
+                    array_path.stem,
+                    type(exc).__name__,
+                    exc,
+                )
+            return None
 
     def _save_traces(self, key: Tuple, traces: Tuple) -> None:
         codes, n_hours, seed = key
@@ -217,9 +234,14 @@ class SharedTraceStore:
                 ),
             )
         except OSError as exc:
-            raise SweepError(
-                f"cannot write shared trace store under {self._dir}: {exc}"
-            ) from None
+            # The store is advisory: workers that cannot persist still
+            # hold the generated traces in memory and make progress.
+            logger.warning(
+                "cannot write shared trace store under %s (%s); "
+                "continuing without persistence",
+                self._dir,
+                exc,
+            )
 
     # --- window tables ----------------------------------------------------
     def provide_table(
@@ -245,13 +267,24 @@ class SharedTraceStore:
         path = self._dir / "tables" / f"{kind}-{_digest(key_parts)}.npy"
         try:
             return np.load(path, mmap_mode="r")
-        except (OSError, ValueError):
-            pass  # missing or corrupt: rebuild below
+        except Exception as exc:
+            # Missing or corrupt (EOFError: truncated): rebuild below.
+            if path.exists():
+                logger.warning(
+                    "shared table store entry %s is unreadable (%s: %s); "
+                    "rebuilding locally",
+                    path.name,
+                    type(exc).__name__,
+                    exc,
+                )
         table = build()
         try:
             _atomic_save(path, table)
         except OSError as exc:
-            raise SweepError(
-                f"cannot write shared table store under {self._dir}: {exc}"
-            ) from None
+            logger.warning(
+                "cannot write shared table store under %s (%s); "
+                "continuing without persistence",
+                self._dir,
+                exc,
+            )
         return table

@@ -29,6 +29,10 @@ _FACTORY_KWARGS = {
     ("pue", "flat"): {"value": 1.25},
     ("pue", "profile"): {"values": [1.1, 1.3, 1.2]},
     ("pue", "hourly"): {"values": [1.1, 1.3, 1.2]},
+    ("faults", "random"): {"seed": 0, "error_p": 1.0},
+    ("faults", "chaos"): {"seed": 0, "error_p": 1.0},
+    ("faults", "scripted"): {"error_at": [0]},
+    ("faults", "script"): {"error_at": [0]},
 }
 
 
@@ -215,6 +219,26 @@ def _check_sweep(key, factory, ctx):
     assert outcome.stats.hits == 0 and outcome.stats.misses == 0
 
 
+def _check_faults(key, factory, ctx):
+    import pickle
+
+    from repro.resilience.faults import FAULT_KINDS, FaultAction
+
+    injector = factory(**_factory_kwargs("faults", key))
+    action = getattr(injector, "action", None)
+    assert callable(action), f"faults {key!r} lacks action(...)"
+    decision = action(token="fp-a", index=0, attempt=1)
+    assert decision is None or (
+        isinstance(decision, FaultAction) and decision.kind in FAULT_KINDS
+    )
+    # Deterministic for equal arguments: the byte-reproducible chaos
+    # contract documented in repro.session.backends.
+    assert action(token="fp-a", index=0, attempt=1) == decision
+    # Picklable: injectors ride into process-pool workers.
+    clone = pickle.loads(pickle.dumps(injector))
+    assert clone.action(token="fp-a", index=0, attempt=1) == decision
+
+
 _CHECKERS = {
     "system": _check_system,
     "node": _check_node,
@@ -228,6 +252,7 @@ _CHECKERS = {
     "report": _check_report,
     "executor": _check_executor,
     "sweep": _check_sweep,
+    "faults": _check_faults,
 }
 
 
