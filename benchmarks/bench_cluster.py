@@ -1,20 +1,191 @@
-"""Cluster-simulator benchmarks: placement throughput and the RQ8
-usage-level characterization."""
+"""Cluster-simulator benchmarks: oracle vs columnar engine throughput,
+placement-rate floors, and the RQ8 usage-level characterization.
+
+The scalar :func:`repro.cluster.simulator.simulate_cluster` is the
+semantics oracle; :func:`repro.cluster.engine.simulate_cluster_columnar`
+is the event-driven engine on ``JobBatch`` columns.  This module pins
+the engine's reason to exist:
+
+1. *Throughput* — sim jobs/sec for both paths on the canonical 28-day /
+   16-node workload (the same one ``BENCH_placement.json`` recorded the
+   oracle at ~50k jobs/s on), outputs byte-identical, engine >= 10x.
+2. *Usage levels* — realized GPU usage tracks the paper's low/medium/
+   high offered loads (RQ8 substrate).
+
+``python benchmarks/bench_cluster.py --write`` records the numbers to
+``BENCH_cluster.json`` at the repo root; the committed file is the perf
+baseline future PRs regress against (see ROADMAP's BENCH_*.json
+convention).  The pytest entry points assert the speedup floor, that
+the *committed* baseline honors the 10x acceptance floor over the
+oracle baseline recorded in ``BENCH_placement.json``, and that the
+current build has not hard-regressed against the committed numbers.
+"""
 
 from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
 
 import pytest
 
 from repro.analysis.render import format_table
+from repro.cluster.engine import simulate_cluster_columnar
+from repro.cluster.job import JobBatch
 from repro.cluster.simulator import Cluster, simulate_cluster
-from repro.workloads.sources import WorkloadParams, generate_workload
 from repro.hardware.node import v100_node
 from repro.intensity.generator import generate_trace
+from repro.workloads.sources import WorkloadParams, generate_workload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_cluster.json"
+PLACEMENT_BASELINE_PATH = REPO_ROOT / "BENCH_placement.json"
+
+#: The canonical throughput workload: a month on a 16-node V100 cluster
+#: (matches ``bench_placement.bench_simulator``, whose committed
+#: ``sim_jobs_per_s`` is the oracle floor the engine must beat by 10x).
+WORKLOAD_DAYS = 28
+N_NODES = 16
+
+#: Acceptance floors (see ISSUE 8).
+MIN_COLUMNAR_SPEEDUP_OVER_BASELINE = 10.0
+#: Live same-machine oracle-vs-engine ratio; kept below the baseline
+#: multiple so CI jitter on the small engine timing can't flake it.
+MIN_LIVE_SPEEDUP = 5.0
+#: A "hard regression" vs the committed baseline: CI machines vary a
+#: lot, so only an order-of-magnitude collapse fails the smoke job.
+BASELINE_FRACTION = 0.15
+
+
+def _month_batch() -> JobBatch:
+    params = WorkloadParams(
+        horizon_h=24.0 * WORKLOAD_DAYS,
+        total_gpus=64,
+        home_region="ESO",
+        slack_fraction=3.0,
+    )
+    return JobBatch.from_jobs(generate_workload(params, seed=5))
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_engine_throughput() -> dict:
+    """Oracle vs columnar-engine jobs/sec on the canonical month."""
+    batch = _month_batch()
+    cluster = Cluster(v100_node(), n_nodes=N_NODES)
+    trace = generate_trace("ESO")
+    horizon = 24.0 * (WORKLOAD_DAYS + 4)
+
+    ref = simulate_cluster(batch, cluster, horizon_h=horizon, intensity=trace)
+    col = simulate_cluster_columnar(
+        batch, cluster, horizon_h=horizon, intensity=trace
+    )
+    import numpy as np
+
+    identical = (
+        col.scheduled == ref.scheduled
+        and np.array_equal(
+            col.busy_gpu_hours_per_hour, ref.busy_gpu_hours_per_hour
+        )
+        and col.ic_energy_kwh == ref.ic_energy_kwh
+        and col.carbon_g == ref.carbon_g
+        and list(col.ledger.entries()) == list(ref.ledger.entries())
+    )
+
+    oracle_s = _best_of(
+        lambda: simulate_cluster(
+            batch, cluster, horizon_h=horizon, intensity=trace
+        )
+    )
+    columnar_s = _best_of(
+        lambda: simulate_cluster_columnar(
+            batch, cluster, horizon_h=horizon, intensity=trace
+        )
+    )
+    return {
+        "n_jobs": len(batch),
+        "n_nodes": N_NODES,
+        "oracle_jobs_per_s": len(batch) / oracle_s,
+        "columnar_jobs_per_s": len(batch) / columnar_s,
+        "speedup": oracle_s / columnar_s,
+        "byte_identical": identical,
+    }
+
+
+def collect() -> dict:
+    return {
+        "schema": 1,
+        "workload_days": WORKLOAD_DAYS,
+        "engine": bench_engine_throughput(),
+        "python": sys.version.split()[0],
+    }
+
+
+def _oracle_baseline_jobs_per_s() -> float:
+    """The committed oracle rate the 10x acceptance floor is over."""
+    baseline = json.loads(PLACEMENT_BASELINE_PATH.read_text())
+    return float(baseline["simulator"]["sim_jobs_per_s"])
+
+
+# --- pytest entry points ----------------------------------------------------
+def test_columnar_engine_speedup_and_parity():
+    stats = bench_engine_throughput()
+    assert stats["byte_identical"], "columnar engine diverged from the oracle"
+    assert stats["speedup"] >= MIN_LIVE_SPEEDUP, (
+        f"columnar engine only {stats['speedup']:.1f}x over the oracle "
+        f"(live floor {MIN_LIVE_SPEEDUP:.0f}x)"
+    )
+    print(
+        f"\nengine: {stats['n_jobs']} jobs, "
+        f"{stats['oracle_jobs_per_s']:,.0f} -> "
+        f"{stats['columnar_jobs_per_s']:,.0f} jobs/s "
+        f"({stats['speedup']:.1f}x)"
+    )
+
+
+def test_committed_baseline_honors_10x_floor():
+    """The committed BENCH_cluster.json records >= 10x the committed
+    oracle rate in BENCH_placement.json (the ISSUE 8 acceptance pin,
+    machine-independent by construction)."""
+    if not BASELINE_PATH.exists():
+        pytest.skip("no committed BENCH_cluster.json baseline")
+    committed = json.loads(BASELINE_PATH.read_text())["engine"]
+    floor = (
+        _oracle_baseline_jobs_per_s() * MIN_COLUMNAR_SPEEDUP_OVER_BASELINE
+    )
+    assert committed["byte_identical"]
+    assert committed["columnar_jobs_per_s"] >= floor, (
+        f"committed engine rate {committed['columnar_jobs_per_s']:,.0f} "
+        f"jobs/s is below 10x the committed oracle baseline "
+        f"({_oracle_baseline_jobs_per_s():,.0f} jobs/s)"
+    )
+
+
+def test_no_hard_regression_vs_baseline():
+    """The committed BENCH_cluster.json is the perf floor."""
+    if not BASELINE_PATH.exists():
+        pytest.skip("no committed BENCH_cluster.json baseline")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    current = bench_engine_throughput()
+    floor = baseline["engine"]["columnar_jobs_per_s"] * BASELINE_FRACTION
+    assert current["columnar_jobs_per_s"] >= floor, (
+        f"engine throughput {current['columnar_jobs_per_s']:,.0f} jobs/s "
+        f"fell below {BASELINE_FRACTION:.0%} of the committed baseline "
+        f"({baseline['engine']['columnar_jobs_per_s']:,.0f} jobs/s)"
+    )
 
 
 @pytest.fixture(scope="module")
 def cluster():
-    return Cluster(v100_node(), n_nodes=16)
+    return Cluster(v100_node(), n_nodes=N_NODES)
 
 
 def test_simulator_throughput(benchmark, cluster):
@@ -63,3 +234,11 @@ def test_usage_levels_match_paper(benchmark, cluster):
             ],
         )
     )
+
+
+if __name__ == "__main__":
+    stats = collect()
+    print(json.dumps(stats, indent=2))
+    if "--write" in sys.argv:
+        BASELINE_PATH.write_text(json.dumps(stats, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")

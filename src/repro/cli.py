@@ -458,15 +458,25 @@ def _run_scenario_command(args) -> int:
             file=sys.stderr,
         )
         return 2
-    if not args.policies and (
+    if args.simulator is not None and args.cluster is None:
+        # Same loud-failure contract as --workload-arg without
+        # --workload: a discipline choice with no cluster section to
+        # apply it to is an operator mistake, not a no-op.
+        print(
+            "scenario error: --simulator requires --cluster (the discipline "
+            "only applies to a cluster simulation section)",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.policies and args.cluster is None and (
         args.workload or args.workload_arg or args.sweep_workloads
     ):
-        # The workload flags only take effect on a scheduling scenario;
-        # silently dropping them would hide an operator mistake.
+        # The workload flags only take effect on a scheduling or cluster
+        # scenario; silently dropping them would hide an operator mistake.
         print(
             "scenario error: --workload/--workload-arg/--sweep-workloads "
-            "require --policies (a workload is only scheduled when policies "
-            "are requested)",
+            "require --policies or --cluster (a workload is only consumed "
+            "by a scheduling or cluster section)",
             file=sys.stderr,
         )
         return 2
@@ -510,8 +520,9 @@ def _run_scenario_command(args) -> int:
             scenario.region(region)
         if candidates:
             scenario.regions(candidates)
-        if args.policies:
-            scenario.policies(args.policies.split(","))
+        if args.policies or args.cluster is not None:
+            if args.policies:
+                scenario.policies(args.policies.split(","))
             key = workload_key if workload_key is not None else args.workload
             if key is not None:
                 # A workload backend key (or trace path): factory
@@ -539,6 +550,11 @@ def _run_scenario_command(args) -> int:
                     ),
                     seed=args.seed,
                 )
+        if args.cluster is not None:
+            scenario.cluster(
+                args.cluster,
+                simulator=args.simulator if args.simulator else "fcfs",
+            )
         if args.upgrade:
             scenario.upgrade(args.upgrade[0], args.upgrade[1], suite=args.suite)
         return scenario
@@ -939,6 +955,15 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     scenario_parser.add_argument(
         "--accounting", default=None,
         help="carbon-charging backend key (vectorized/scalar-reference)",
+    )
+    scenario_parser.add_argument(
+        "--cluster", type=int, default=None, metavar="N",
+        help="simulate the workload on an N-node cluster section",
+    )
+    scenario_parser.add_argument(
+        "--simulator", default=None,
+        help="cluster simulator backend key (fcfs/fcfs-columnar/backfill); "
+             "requires --cluster",
     )
     _add_pue_flags(scenario_parser)
     scenario_parser.add_argument(

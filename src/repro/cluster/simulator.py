@@ -222,6 +222,13 @@ def _place_fcfs(jobs: Sequence[Job], cluster: Cluster) -> List[ScheduledJob]:
             start = state.earliest_start(job.submit_h, job.duration_h, job.n_gpus)
             if best_start is None or start < best_start:
                 best_start, best_node = start, idx
+                if start <= job.submit_h:
+                    # No node can admit before the submit time, so the
+                    # first timeline yielding start == submit is the
+                    # global minimum *and* the lowest-index tie-break:
+                    # scanning the remaining nodes cannot change the
+                    # choice (identical schedules by construction).
+                    break
         assert best_start is not None
         states[best_node].commit(best_start, best_start + job.duration_h, job.n_gpus)
         scheduled.append(ScheduledJob(job=job, node_index=best_node, start_h=best_start))
@@ -233,6 +240,9 @@ def _busy_gpu_hours(
 ) -> np.ndarray:
     """Accumulate busy GPU-hours into hourly bins, fractional at edges."""
     busy = np.zeros(n_hours)
+    # One bin-index buffer for the whole schedule: per-job windows slice
+    # views out of it instead of allocating a fresh ``np.arange`` each.
+    all_hours = np.arange(n_hours)
     for entry in scheduled:
         start, end = entry.start_h, entry.end_h
         gpus = entry.job.n_gpus
@@ -241,42 +251,28 @@ def _busy_gpu_hours(
         if first >= n_hours:
             continue
         last = min(last, n_hours)
-        hours = np.arange(first, last)
+        hours = all_hours[first:last]
         lo = np.maximum(hours, start)
         hi = np.minimum(hours + 1, end)
         busy[first:last] += gpus * np.maximum(hi - lo, 0.0)
     return busy
 
 
-def simulate_cluster(
-    jobs: Union[Sequence[Job], JobBatch],
+def _account_horizon(
+    busy: np.ndarray,
     cluster: Cluster,
-    *,
-    horizon_h: float,
-    intensity: Union[float, IntensityTrace] = 200.0,
-    pue: PUELike = None,
-    config: Optional[ModelConfig] = None,
-) -> SimulationResult:
-    """Run the full pipeline: place jobs, account energy and carbon.
+    n_hours: int,
+    intensity: Union[float, IntensityTrace],
+    eff_pue: float,
+    pue_profile,
+) -> Tuple[float, float, CarbonLedger]:
+    """Charge a simulated horizon's busy-GPU profile: energy + carbon.
 
-    Jobs still running at ``horizon_h`` contribute only their in-horizon
-    portion to energy/carbon (the tail is truncated, as a fixed-window
-    accounting period would).  ``pue`` takes a float (the legacy exact
-    path) or an hourly profile / :class:`~repro.power.pue.SeasonalPUE`,
-    which weights each simulated hour's charge by that hour's facility
-    overhead.  A columnar :class:`JobBatch` is accepted and materialized
-    into scalar views once (the simulator's schedule bookkeeping is
-    per-job by nature).
+    The single accounting tail shared by every ``simulator`` backend —
+    the scalar oracle and the columnar engines charge through this exact
+    code, so their energy/carbon/ledger outputs are identical whenever
+    their busy arrays are.
     """
-    if horizon_h <= 0.0:
-        raise SimulationError(f"horizon must be positive, got {horizon_h!r}")
-    if isinstance(jobs, JobBatch):
-        jobs = jobs.to_jobs()
-    eff_pue, pue_profile = resolve_pue(pue, config=config, error=SimulationError)
-
-    scheduled = _place_fcfs(jobs, cluster)
-    n_hours = int(np.ceil(horizon_h))
-    busy = _busy_gpu_hours(scheduled, n_hours)
     if float(busy.max(initial=0.0)) > cluster.total_gpus + 1e-9:
         raise SimulationError("GPU occupancy exceeded cluster capacity")
 
@@ -326,6 +322,41 @@ def simulate_cluster(
             else align_pue_profile(pue_profile, n_hours)
         ),
         region=region,
+    )
+    return ic_energy_kwh, carbon_g, ledger
+
+
+def simulate_cluster(
+    jobs: Union[Sequence[Job], JobBatch],
+    cluster: Cluster,
+    *,
+    horizon_h: float,
+    intensity: Union[float, IntensityTrace] = 200.0,
+    pue: PUELike = None,
+    config: Optional[ModelConfig] = None,
+) -> SimulationResult:
+    """Run the full pipeline: place jobs, account energy and carbon.
+
+    Jobs still running at ``horizon_h`` contribute only their in-horizon
+    portion to energy/carbon (the tail is truncated, as a fixed-window
+    accounting period would).  ``pue`` takes a float (the legacy exact
+    path) or an hourly profile / :class:`~repro.power.pue.SeasonalPUE`,
+    which weights each simulated hour's charge by that hour's facility
+    overhead.  A columnar :class:`JobBatch` is accepted and materialized
+    into scalar views once (the simulator's schedule bookkeeping is
+    per-job by nature).
+    """
+    if horizon_h <= 0.0:
+        raise SimulationError(f"horizon must be positive, got {horizon_h!r}")
+    if isinstance(jobs, JobBatch):
+        jobs = jobs.to_jobs()
+    eff_pue, pue_profile = resolve_pue(pue, config=config, error=SimulationError)
+
+    scheduled = _place_fcfs(jobs, cluster)
+    n_hours = int(np.ceil(horizon_h))
+    busy = _busy_gpu_hours(scheduled, n_hours)
+    ic_energy_kwh, carbon_g, ledger = _account_horizon(
+        busy, cluster, n_hours, intensity, eff_pue, pue_profile
     )
 
     return SimulationResult(

@@ -30,7 +30,14 @@ calling conventions, per kind:
     object satisfying :class:`~repro.scheduler.policies.SchedulingPolicy`.
 ``simulator``
     the callable itself: ``(jobs, cluster, *, horizon_h, intensity,
-    pue, config) -> SimulationResult``.
+    pue, config) -> SimulationResult`` (or a duck-typed equivalent
+    exposing the same schedule/metrics/accounting surface).  ``fcfs``
+    is the scalar FCFS-earliest-fit oracle; ``fcfs-columnar``
+    (alias ``columnar``) is the event-driven engine on ``JobBatch``
+    columns, byte-identical to the oracle and ~10x faster;
+    ``backfill`` (alias ``easy``) is EASY backfill — queued jobs may
+    start ahead of the head of the queue when doing so cannot delay
+    the head's reservation (see :mod:`repro.cluster.engine`).
 ``accounting``
     ``factory(**opts) -> engine`` — a charging engine exposing
     ``charge(jobs, placements, *, service, node, pue, config,

@@ -136,13 +136,60 @@ def _check_policy(key, factory, ctx):
 
 def _check_simulator(key, factory, ctx):
     from repro.cluster.simulator import Cluster
+    from repro.workloads.sources import WorkloadParams, generate_workload
 
     cluster = Cluster(ctx["v100_node"], 1)
-    result = factory([], cluster, horizon_h=2.0, intensity=100.0, pue=None, config=None)
-    assert result.n_jobs == 0
-    assert result.ic_energy_kwh >= 0.0
-    assert result.carbon_g >= 0.0
-    assert result.ledger is not None
+    # Empty workload: the degenerate case every discipline must handle.
+    empty = factory([], cluster, horizon_h=2.0, intensity=100.0, pue=None, config=None)
+    assert empty.n_jobs == 0
+    assert empty.ic_energy_kwh >= 0.0
+    assert empty.carbon_g >= 0.0
+    assert empty.ledger is not None
+    # Real workload: the schedule protocol every discipline must honor.
+    cluster = Cluster(ctx["v100_node"], 2)
+    jobs = generate_workload(
+        WorkloadParams(horizon_h=48.0, total_gpus=cluster.total_gpus), seed=4
+    )
+    result = factory(
+        jobs, cluster, horizon_h=72.0, intensity=100.0, pue=None, config=None
+    )
+    scheduled = result.scheduled
+    assert result.n_jobs == len(scheduled) == len(jobs), (
+        f"simulator {key!r} dropped or duplicated jobs"
+    )
+    # Every input job appears exactly once.
+    assert sorted(s.job.job_id for s in scheduled) == sorted(
+        j.job_id for j in jobs
+    )
+    # FCFS intake ordering: the schedule is sorted by (submit, job_id).
+    keys = [(s.job.submit_h, s.job.job_id) for s in scheduled]
+    assert keys == sorted(keys), f"simulator {key!r} broke intake ordering"
+    for s in scheduled:
+        assert s.start_h >= s.job.submit_h, (
+            f"simulator {key!r} started job {s.job.job_id} before submit"
+        )
+        assert 0 <= s.node_index < cluster.n_nodes
+        assert s.job.n_gpus <= cluster.gpus_per_node
+    # Capacity invariant: per-node concurrent GPU demand within bounds,
+    # checked at every schedule start event.
+    for probe in scheduled:
+        for node in range(cluster.n_nodes):
+            demand = sum(
+                s.job.n_gpus
+                for s in scheduled
+                if s.node_index == node
+                and s.start_h <= probe.start_h < s.end_h
+            )
+            assert demand <= cluster.gpus_per_node, (
+                f"simulator {key!r} oversubscribed node {node} "
+                f"at t={probe.start_h}"
+            )
+    # Accounting attachment: busy profile spans the horizon, ledger on.
+    assert result.busy_gpu_hours_per_hour.shape == (72,)
+    assert float(result.busy_gpu_hours_per_hour.min()) >= 0.0
+    assert result.mean_wait_h() >= 0.0
+    assert result.makespan_h() > 0.0
+    assert result.ledger is not None and len(result.ledger) >= 1
 
 
 def _check_accounting(key, factory, ctx):

@@ -81,6 +81,52 @@ def test_scenario_matches_golden(system, region, policy, update_golden):
     )
 
 
+def _build_cluster() -> Scenario:
+    """The cluster-section fixture scenario: the columnar engine's
+    serialized output pinned alongside the scheduling matrix."""
+    return (
+        Scenario()
+        .node("V100")
+        .region("ESO")
+        .workload(
+            WorkloadParams(horizon_h=48.0, total_gpus=8, home_region="ESO"),
+            seed=11,
+        )
+        .cluster(2, simulator="fcfs-columnar")
+        .seed(7)
+        .pue(_GOLDEN_PUE)
+    )
+
+
+def test_cluster_scenario_matches_golden(update_golden):
+    path = GOLDEN_DIR / "scenario-cluster-fcfs_columnar.json"
+    payload = _serialize(_build_cluster().run())
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(payload, encoding="utf-8")
+    assert path.exists(), (
+        f"missing golden fixture {path.name}; generate it with "
+        "pytest tests/test_golden_fixtures.py --update-golden"
+    )
+    assert payload == path.read_text(encoding="utf-8"), (
+        f"serialized ScenarioResult drifted from {path.name}; if the change "
+        "is intentional, re-bless with --update-golden"
+    )
+
+
+def test_cluster_golden_is_simulator_invariant_for_fcfs():
+    """The engine pin doubles as a parity pin: the scalar oracle must
+    produce the same cluster section, number for number."""
+    path = GOLDEN_DIR / "scenario-cluster-fcfs_columnar.json"
+    committed = json.loads(path.read_text(encoding="utf-8"))
+    oracle = _build_cluster().cluster(2, simulator="fcfs").run().to_dict()
+    committed_cluster = dict(committed["cluster"])
+    oracle_cluster = dict(oracle["cluster"])
+    assert committed_cluster.pop("simulator") == "fcfs-columnar"
+    assert oracle_cluster.pop("simulator") == "fcfs"
+    assert oracle_cluster == committed_cluster
+
+
 def test_constant_pue_backend_matches_float_golden(update_golden):
     """The acceptance pin: ``pue("constant", value=x)`` serializes to the
     *same bytes* as the float path the fixtures were blessed with."""
@@ -97,7 +143,8 @@ def test_golden_round_trip():
     from repro.session.result import ScenarioResult
 
     fixtures = sorted(GOLDEN_DIR.glob("scenario-*.json"))
-    assert len(fixtures) == len(_MATRIX)
+    # The scheduling matrix plus the cluster-section fixture.
+    assert len(fixtures) == len(_MATRIX) + 1
     for path in fixtures:
         data = json.loads(path.read_text(encoding="utf-8"))
         result = ScenarioResult.from_dict(data)
