@@ -31,7 +31,12 @@ import time
 import pytest
 
 from repro.analysis.render import format_table
-from repro.cluster.engine import simulate_cluster_columnar
+from repro.cluster.engine import (
+    simulate_cluster_backfill,
+    simulate_cluster_carbon_aware,
+    simulate_cluster_columnar,
+    simulate_cluster_power_cap,
+)
 from repro.cluster.job import JobBatch
 from repro.cluster.simulator import Cluster, simulate_cluster
 from repro.hardware.node import v100_node
@@ -120,11 +125,75 @@ def bench_engine_throughput() -> dict:
     }
 
 
+#: Live floor on the carbon-aware discipline's cost over plain FCFS:
+#: candidate scoring must stay within 5x of the fcfs-columnar rate.
+MAX_CARBON_AWARE_SLOWDOWN = 5.0
+
+#: The four registry disciplines the throughput table records.
+_DISCIPLINES = (
+    ("fcfs-columnar", simulate_cluster_columnar, {}),
+    ("backfill", simulate_cluster_backfill, {}),
+    ("carbon-aware", simulate_cluster_carbon_aware, {}),
+    ("power-cap", simulate_cluster_power_cap, {}),
+)
+
+
+def bench_discipline_throughput() -> dict:
+    """Sim jobs/sec for every registry discipline on the canonical month."""
+    batch = _month_batch()
+    cluster = Cluster(v100_node(), n_nodes=N_NODES)
+    trace = generate_trace("ESO")
+    horizon = 24.0 * (WORKLOAD_DAYS + 4)
+    rows = {}
+    for key, fn, opts in _DISCIPLINES:
+        seconds = _best_of(
+            lambda fn=fn, opts=opts: fn(
+                batch, cluster, horizon_h=horizon, intensity=trace, **opts
+            )
+        )
+        rows[key] = {"jobs_per_s": len(batch) / seconds}
+    return rows
+
+
+def bench_carbon_vs_wait() -> dict:
+    """Grams CO2 vs mean wait per discipline on the canonical diurnal
+    month (the paper's operate-on-carbon trade-off, facade numbers)."""
+    from repro.session import Scenario
+
+    def run(simulator, **opts):
+        return (
+            Scenario()
+            .node("V100")
+            .region("ESO")
+            .workload("diurnal", horizon_h=24.0 * 28, total_gpus=8)
+            .cluster(2, simulator=simulator, **opts)
+            .window(hours=24.0 * 30)
+            .seed(7)
+            .run()
+            .cluster
+        )
+
+    rows = {}
+    for label, simulator, opts in (
+        ("fcfs-columnar", "fcfs-columnar", {}),
+        ("carbon-aware", "carbon-aware", {"slack_h": 24.0}),
+        ("power-cap", "power-cap", {"cap_fraction": 0.75}),
+    ):
+        section = run(simulator, **opts)
+        rows[label] = {
+            "carbon_g": section.carbon_g,
+            "mean_wait_h": section.mean_wait_h,
+        }
+    return rows
+
+
 def collect() -> dict:
     return {
-        "schema": 1,
+        "schema": 2,
         "workload_days": WORKLOAD_DAYS,
         "engine": bench_engine_throughput(),
+        "disciplines": bench_discipline_throughput(),
+        "carbon_vs_wait": bench_carbon_vs_wait(),
         "python": sys.version.split()[0],
     }
 
@@ -167,6 +236,60 @@ def test_committed_baseline_honors_10x_floor():
         f"jobs/s is below 10x the committed oracle baseline "
         f"({_oracle_baseline_jobs_per_s():,.0f} jobs/s)"
     )
+
+
+def test_carbon_aware_within_5x_of_columnar():
+    """Candidate scoring is bounded work: the carbon-aware discipline
+    stays within 5x of plain fcfs-columnar throughput (live)."""
+    batch = _month_batch()
+    cluster = Cluster(v100_node(), n_nodes=N_NODES)
+    trace = generate_trace("ESO")
+    horizon = 24.0 * (WORKLOAD_DAYS + 4)
+    base_s = _best_of(
+        lambda: simulate_cluster_columnar(
+            batch, cluster, horizon_h=horizon, intensity=trace
+        )
+    )
+    green_s = _best_of(
+        lambda: simulate_cluster_carbon_aware(
+            batch, cluster, horizon_h=horizon, intensity=trace
+        )
+    )
+    slowdown = green_s / base_s
+    assert slowdown <= MAX_CARBON_AWARE_SLOWDOWN, (
+        f"carbon-aware admission is {slowdown:.1f}x slower than "
+        f"fcfs-columnar (floor {MAX_CARBON_AWARE_SLOWDOWN:.0f}x)"
+    )
+    print(
+        f"\ndisciplines: fcfs-columnar {len(batch) / base_s:,.0f} jobs/s, "
+        f"carbon-aware {len(batch) / green_s:,.0f} jobs/s "
+        f"({slowdown:.2f}x slower)"
+    )
+
+
+def test_committed_baseline_has_discipline_rows():
+    """The committed BENCH_cluster.json carries the per-discipline
+    throughput table and the carbon-vs-wait comparison, and the recorded
+    numbers honor the discipline contracts (machine-independent)."""
+    if not BASELINE_PATH.exists():
+        pytest.skip("no committed BENCH_cluster.json baseline")
+    committed = json.loads(BASELINE_PATH.read_text())
+    if committed.get("schema", 1) < 2:
+        pytest.skip("baseline predates the discipline rows")
+    rows = committed["disciplines"]
+    assert set(rows) == {k for k, _f, _o in _DISCIPLINES}
+    for key, row in rows.items():
+        assert row["jobs_per_s"] > 0.0, key
+    assert rows["carbon-aware"]["jobs_per_s"] >= (
+        rows["fcfs-columnar"]["jobs_per_s"] / MAX_CARBON_AWARE_SLOWDOWN
+    ), "committed carbon-aware rate violates the 5x floor"
+    trade = committed["carbon_vs_wait"]
+    assert trade["carbon-aware"]["carbon_g"] < (
+        trade["fcfs-columnar"]["carbon_g"]
+    ), "committed baseline lost the carbon win over fcfs-columnar"
+    assert trade["carbon-aware"]["mean_wait_h"] >= (
+        trade["fcfs-columnar"]["mean_wait_h"]
+    ), "carbon saving should be paid for in queueing delay"
 
 
 def test_no_hard_regression_vs_baseline():

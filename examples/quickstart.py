@@ -103,23 +103,33 @@ for key, best in by_arrivals.items():
 # --- 7. beyond one scheduling discipline ------------------------------------
 # Cluster simulators are a registry kind as well: `fcfs` is the scalar
 # plan-ahead oracle, `fcfs-columnar` the byte-identical event-driven
-# engine (~15x faster; use it for anything big), and `backfill` EASY
+# engine (~15x faster; use it for anything big), `backfill` EASY
 # backfill — queued jobs jump ahead only when they cannot delay the
-# head job's reservation.  Sweeping the discipline is one key swap.
+# head job's reservation — and two operate-on-carbon disciplines:
+# `carbon-aware` (alias `green`) delays each job within its slack
+# budget toward the greenest forward-window start, and `power-cap`
+# (alias `capped`) holds cluster-wide busy GPUs under a fraction of
+# capacity.  Sweeping the discipline is one key swap; per-discipline
+# knobs ride along as keyword arguments and land in provenance.
 by_discipline = {}
-for sim in ("fcfs-columnar", "backfill"):
+for sim, opts in (
+    ("fcfs-columnar", {}),
+    ("backfill", {}),
+    ("carbon-aware", {"slack_h": 24.0}),
+    ("power-cap", {"cap_fraction": 0.8}),
+):
     outcome = (
         Scenario()
         .node("A100")
         .region("ESO")
         .workload("bursty", horizon_h=24.0 * 7, total_gpus=8,
                   target_usage=0.6)
-        .cluster(2, simulator=sim)
+        .cluster(2, simulator=sim, **opts)
         .seed(7)
         .run()
     )
     by_discipline[sim] = outcome.cluster
-print("\nOne bursty cluster week under two disciplines:")
+print("\nOne bursty cluster week, one discipline per row:")
 for sim, section in by_discipline.items():
     print(
         f"  {sim:13s} mean wait {section.mean_wait_h:5.2f} h, "

@@ -422,8 +422,28 @@ def _inject_generator_defaults(
     return opts
 
 
+def _parse_simulator_args(items) -> dict:
+    """Parse repeatable ``--simulator-arg K=V`` into discipline options.
+
+    Values get the same best-effort typing as ``--workload-arg`` (ints,
+    floats, booleans, number lists), so ``slack=24`` reaches the
+    carbon-aware backend as a number and ``cap_fraction=0.6`` the
+    power-cap backend as a float.
+    """
+    from repro.core.errors import SessionError
+
+    opts: dict = {}
+    for item in items or ():
+        key, sep, raw = item.partition("=")
+        if not sep or not key.strip():
+            raise SessionError(f"--simulator-arg takes K=V, got {item!r}")
+        opts[key.strip()] = _coerce_workload_arg(raw)
+    return opts
+
+
 def _run_scenario_command(args) -> int:
     """The ``scenario`` subcommand: CLI surface of the session facade."""
+    from repro.core.errors import SessionError
     from repro.session import (
         BACKEND_KINDS,
         Scenario,
@@ -467,6 +487,18 @@ def _run_scenario_command(args) -> int:
             "only applies to a cluster simulation section)",
             file=sys.stderr,
         )
+        return 2
+    if args.simulator_arg and args.simulator is None:
+        print(
+            "scenario error: --simulator-arg requires --simulator (the "
+            "options belong to a discipline backend)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        simulator_opts = _parse_simulator_args(args.simulator_arg)
+    except SessionError as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
         return 2
     if not args.policies and args.cluster is None and (
         args.workload or args.workload_arg or args.sweep_workloads
@@ -554,6 +586,7 @@ def _run_scenario_command(args) -> int:
             scenario.cluster(
                 args.cluster,
                 simulator=args.simulator if args.simulator else "fcfs",
+                **simulator_opts,
             )
         if args.upgrade:
             scenario.upgrade(args.upgrade[0], args.upgrade[1], suite=args.suite)
@@ -771,8 +804,8 @@ def _run_sweep_command(args) -> int:
             )
             cache = ResultCache(directory)
             if args.clear:
-                removed = cache.clear(disk=True)
-                print(f"cleared {removed} cached result(s) under {directory}")
+                clearance = cache.clear(disk=True)
+                print(f"cleared {clearance.summary()} under {directory}")
                 return 0
             entries = list(cache.entries())
             print(f"cache {directory}: {len(entries)} result(s)")
@@ -962,8 +995,14 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     )
     scenario_parser.add_argument(
         "--simulator", default=None,
-        help="cluster simulator backend key (fcfs/fcfs-columnar/backfill); "
-             "requires --cluster",
+        help="cluster simulator backend key (fcfs/fcfs-columnar/backfill/"
+             "carbon-aware/power-cap); requires --cluster",
+    )
+    scenario_parser.add_argument(
+        "--simulator-arg", action="append", default=None, metavar="K=V",
+        help="option for the simulator backend (repeatable), e.g. "
+             "slack=24 for carbon-aware or cap_fraction=0.6 for power-cap; "
+             "requires --simulator",
     )
     _add_pue_flags(scenario_parser)
     scenario_parser.add_argument(

@@ -9,7 +9,9 @@ stay re-exported here for compatibility.)
 from repro.cluster.engine import (
     ColumnarSimulationResult,
     simulate_cluster_backfill,
+    simulate_cluster_carbon_aware,
     simulate_cluster_columnar,
+    simulate_cluster_power_cap,
 )
 from repro.cluster.job import Job, JobBatch, Placement
 from repro.cluster.simulator import (
@@ -41,6 +43,8 @@ __all__ = [
     "simulate_cluster",
     "simulate_cluster_columnar",
     "simulate_cluster_backfill",
+    "simulate_cluster_carbon_aware",
+    "simulate_cluster_power_cap",
     "SCHEMA_VERSION",
     "SWF_COLUMNS",
     "jobs_to_json",
@@ -69,11 +73,14 @@ def register_backends(registry) -> None:
 
     A simulator backend is the simulation callable itself:
     ``(jobs, cluster, *, horizon_h, intensity, pue, config)`` returning a
-    :class:`SimulationResult` (or duck-typed equivalent).  ``fcfs`` is
-    the paper-faithful scalar FCFS-with-earliest-fit oracle;
-    ``fcfs-columnar`` is the event-driven engine on ``JobBatch`` columns
-    (byte-identical schedules/energy/carbon, ~10x faster); ``backfill``
-    is EASY backfill on the same columnar substrate.
+    :class:`SimulationResult` (or duck-typed equivalent); discipline
+    options are extra optional keywords.  ``fcfs`` is the paper-faithful
+    scalar FCFS-with-earliest-fit oracle; ``fcfs-columnar`` is the
+    event-driven engine on ``JobBatch`` columns (byte-identical
+    schedules/energy/carbon, ~10x faster); ``backfill`` is EASY backfill
+    on the same columnar substrate; ``carbon-aware`` delays jobs within
+    their slack toward low-intensity hours; ``power-cap`` holds the
+    cluster's busy-GPU profile under a capacity fraction.
     """
     registry.add("simulator", "fcfs", simulate_cluster, aliases=("default",))
     registry.add(
@@ -84,6 +91,18 @@ def register_backends(registry) -> None:
     )
     registry.add(
         "simulator", "backfill", simulate_cluster_backfill, aliases=("easy",)
+    )
+    registry.add(
+        "simulator",
+        "carbon-aware",
+        simulate_cluster_carbon_aware,
+        aliases=("green",),
+    )
+    registry.add(
+        "simulator",
+        "power-cap",
+        simulate_cluster_power_cap,
+        aliases=("capped",),
     )
 
 

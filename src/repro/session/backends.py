@@ -31,13 +31,23 @@ calling conventions, per kind:
 ``simulator``
     the callable itself: ``(jobs, cluster, *, horizon_h, intensity,
     pue, config) -> SimulationResult`` (or a duck-typed equivalent
-    exposing the same schedule/metrics/accounting surface).  ``fcfs``
-    is the scalar FCFS-earliest-fit oracle; ``fcfs-columnar``
-    (alias ``columnar``) is the event-driven engine on ``JobBatch``
-    columns, byte-identical to the oracle and ~10x faster;
-    ``backfill`` (alias ``easy``) is EASY backfill — queued jobs may
-    start ahead of the head of the queue when doing so cannot delay
-    the head's reservation (see :mod:`repro.cluster.engine`).
+    exposing the same schedule/metrics/accounting surface); discipline
+    options arrive as extra optional keywords, threaded from
+    ``Scenario.cluster(n, simulator=..., **opts)`` and the CLI's
+    ``--simulator-arg K=V``.  ``fcfs`` is the scalar FCFS-earliest-fit
+    oracle; ``fcfs-columnar`` (alias ``columnar``) is the event-driven
+    engine on ``JobBatch`` columns, byte-identical to the oracle and
+    ~10x faster; ``backfill`` (alias ``easy``) is EASY backfill —
+    queued jobs may start ahead of the head of the queue when doing so
+    cannot delay the head's reservation; ``carbon-aware`` (alias
+    ``green``) delays each job within its slack budget (``slack_h=``,
+    alias ``slack=``; default: the job's own ``slack_h`` column)
+    toward the lowest forward-window-mean intensity start, holding
+    ``start <= submit + slack`` whenever the budget admits any start;
+    ``power-cap`` (alias ``capped``) runs FCFS earliest-fit under a
+    cluster-wide busy-GPU cap (``cap_fraction=``, alias ``cap=``,
+    default 0.8 of installed GPUs), so the hourly busy profile never
+    exceeds the cap (see :mod:`repro.cluster.engine`).
 ``accounting``
     ``factory(**opts) -> engine`` — a charging engine exposing
     ``charge(jobs, placements, *, service, node, pue, config,

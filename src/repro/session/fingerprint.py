@@ -40,7 +40,8 @@ __all__ = ["canonical_json", "canonical_value", "session_fingerprint"]
 
 #: Preimage layout version; bump on any canonicalization change so old
 #: cache directories invalidate wholesale instead of colliding.
-FINGERPRINT_SCHEMA = 1
+#: 2: the ``simulator_opts`` knob joined the hashed knob set.
+FINGERPRINT_SCHEMA = 2
 
 #: Every Scenario builder knob, in declaration order.  The fingerprint
 #: hashes all of them (sorted JSON keys), so a knob the provenance
@@ -64,6 +65,7 @@ _SCENARIO_KNOBS = (
     "upgrade",
     "cluster_nodes",
     "simulator",
+    "simulator_opts",
     "window_h",
     "lifetime_years",
     "usage",

@@ -86,6 +86,7 @@ class Scenario:
         self._upgrade: Optional[dict] = None
         self._cluster_nodes: Optional[int] = None
         self._simulator: str = "fcfs"
+        self._simulator_opts: dict = {}
         self._window_h: Optional[float] = None
         self._lifetime_years: float = _DEFAULT_LIFETIME_YEARS
         self._usage: float = _DEFAULT_USAGE
@@ -267,12 +268,22 @@ class Scenario:
             "upgrade", {"old": str(old), "new": str(new), "suite": str(suite)}
         )
 
-    def cluster(self, n_nodes: int, *, simulator: str = "fcfs") -> "Scenario":
+    def cluster(
+        self, n_nodes: int, *, simulator: str = "fcfs", **opts
+    ) -> "Scenario":
         """Also run the workload through a capacity-constrained cluster
-        simulator (``simulator`` registry key)."""
+        simulator (``simulator`` registry key).
+
+        Extra keyword options are handed to the simulator backend —
+        e.g. ``.cluster(4, simulator="carbon-aware", slack_h=24)`` or
+        ``.cluster(4, simulator="power-cap", cap_fraction=0.6)`` — and
+        recorded in provenance when present; a backend that does not
+        understand an option fails loudly at run time.
+        """
         if int(n_nodes) < 1:
             raise SessionError("cluster needs >= 1 node")
         self._set("cluster_nodes", int(n_nodes))
+        self._simulator_opts = dict(opts)
         return self._set("simulator", str(simulator))
 
     # --- horizons and knobs ----------------------------------------------
@@ -521,6 +532,7 @@ class Scenario:
         clone._explicit = set(self._explicit)
         clone._policies = list(self._policies)
         clone._workload_opts = dict(self._workload_opts)
+        clone._simulator_opts = dict(self._simulator_opts)
         clone._executor_opts = dict(self._executor_opts)
         clone._accounting_opts = dict(self._accounting_opts)
         clone._pue_opts = dict(self._pue_opts)

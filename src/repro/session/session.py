@@ -238,6 +238,15 @@ class Session:
         if s._cluster_nodes is not None:
             self._simulate = resolve_backend("simulator", s._simulator)
             note("simulator", s._simulator, backend=f"simulator:{s._simulator.lower()}")
+            if s._simulator_opts:
+                # Opt-in row only: default scenarios keep serializing
+                # (and fingerprinting) exactly as before the knob
+                # existed, so committed golden fixtures stay stable.
+                note(
+                    "simulator_opts",
+                    {k: s._simulator_opts[k] for k in sorted(s._simulator_opts)},
+                    backend=f"simulator:{s._simulator.lower()}",
+                )
 
         self._render = resolve_backend("renderer", s._renderer)
         note("renderer", s._renderer, backend=f"renderer:{s._renderer.lower()}")
@@ -563,14 +572,23 @@ class Session:
         if horizon is None:
             horizon = jobs.span_h() if len(jobs) else 1.0
         cluster = Cluster(self._node, s._cluster_nodes)
-        sim = self._simulate(
-            jobs,
-            cluster,
-            horizon_h=horizon,
-            intensity=self._region_intensity(),
-            pue=self._pue_resolved,
-            config=s._config,
-        )
+        try:
+            sim = self._simulate(
+                jobs,
+                cluster,
+                horizon_h=horizon,
+                intensity=self._region_intensity(),
+                pue=self._pue_resolved,
+                config=s._config,
+                **s._simulator_opts,
+            )
+        except TypeError as exc:
+            if not s._simulator_opts:
+                raise
+            raise SessionError(
+                f"simulator backend {s._simulator!r} rejected options "
+                f"{sorted(s._simulator_opts)}: {exc}"
+            ) from exc
         section = ClusterSection(
             simulator=s._simulator,
             n_nodes=s._cluster_nodes,

@@ -9,7 +9,12 @@ ties them together.  Services construct through the registry's
 ``sweep`` kind (``cached`` by default, ``direct`` for cache-free runs).
 """
 
-from repro.sweep.cache import CacheStats, ResultCache, default_cache_dir
+from repro.sweep.cache import (
+    CacheClearance,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+)
 from repro.sweep.planner import SweepPlan, WorkUnit, plan_sweep
 from repro.sweep.runner import (
     SweepOutcome,
@@ -23,6 +28,7 @@ from repro.sweep.spec import SweepSpec, load_spec_mapping
 from repro.sweep.store import SharedTraceStore
 
 __all__ = [
+    "CacheClearance",
     "CacheStats",
     "ResultCache",
     "SharedTraceStore",

@@ -33,7 +33,7 @@ from typing import Dict, Iterator, Optional, Tuple, Union
 from repro.core.errors import SweepError
 from repro.session.result import ScenarioResult
 
-__all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
+__all__ = ["CacheClearance", "CacheStats", "ResultCache", "default_cache_dir"]
 
 #: On-disk entry layout version; bump on any payload change so stale
 #: directories read as misses instead of mis-parsing.
@@ -49,6 +49,27 @@ def default_cache_dir() -> pathlib.Path:
     if override:
         return pathlib.Path(override)
     return pathlib.Path.home() / ".cache" / "repro-hpc"
+
+
+@dataclass(frozen=True)
+class CacheClearance:
+    """What one :meth:`ResultCache.clear` call removed from disk.
+
+    ``entries`` counts cached results, ``stale_tmp`` the orphaned
+    ``*.tmp`` droppings left by writers killed mid-``put``, and
+    ``pruned_dirs`` the shard directories the removals emptied.
+    """
+
+    entries: int = 0
+    stale_tmp: int = 0
+    pruned_dirs: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.entries} cached result(s), "
+            f"{self.stale_tmp} stale temp file(s), "
+            f"{self.pruned_dirs} empty shard dir(s)"
+        )
 
 
 @dataclass(frozen=True)
@@ -203,12 +224,15 @@ class ResultCache:
                     json.dump(payload, handle, sort_keys=True)
                 os.replace(tmp, path)  # atomic: readers never see torn JSON
             except BaseException:
-                os.unlink(tmp)
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass  # best-effort cleanup must not mask the failure
                 raise
         except OSError as exc:
             raise SweepError(
                 f"cannot write cache entry under {self._dir}: {exc}"
-            ) from None
+            ) from exc
 
     def _remember(self, fingerprint: str, result: ScenarioResult) -> None:
         if self._memory_slots == 0:
@@ -220,18 +244,57 @@ class ResultCache:
             self._evictions += 1
 
     # --- maintenance ------------------------------------------------------
-    def clear(self, *, disk: bool = True) -> int:
+    def clear(self, *, disk: bool = True) -> CacheClearance:
         """Drop the memory tier and (optionally) every disk entry.
 
-        Returns the number of disk entries removed.
+        Disk clearing also sweeps orphaned ``*.tmp`` droppings and
+        prunes shard directories the removals left empty (see
+        :meth:`sweep_stale`).  Returns a :class:`CacheClearance` with
+        all three removal counts.
         """
         self._memory.clear()
-        removed = 0
-        if disk:
-            for _fingerprint, path in list(self.entries()):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    self._errors += 1
-        return removed
+        entries = 0
+        if not disk:
+            return CacheClearance()
+        for _fingerprint, path in list(self.entries()):
+            try:
+                path.unlink()
+                entries += 1
+            except OSError:
+                self._errors += 1
+        stale, pruned = self.sweep_stale()
+        return CacheClearance(
+            entries=entries, stale_tmp=stale, pruned_dirs=pruned
+        )
+
+    def sweep_stale(self) -> Tuple[int, int]:
+        """Remove orphaned ``*.tmp`` files and empty shard directories.
+
+        A writer killed between ``mkstemp`` and the atomic
+        ``os.replace`` leaves a ``<fingerprint><random>.tmp`` dropping
+        that the ``*.json`` globs behind ``entries()``/``__len__`` never
+        see, so without this sweep they accumulate forever.  Returns
+        ``(stale_tmp_removed, dirs_pruned)``; failures count in
+        ``stats.errors`` and the sweep moves on (the fail-soft cache
+        contract).
+        """
+        if self._dir is None:
+            return 0, 0
+        results = self._dir / "results"
+        if not results.is_dir():
+            return 0, 0
+        stale = 0
+        for tmp in sorted(results.glob("*/*.tmp")):
+            try:
+                tmp.unlink()
+                stale += 1
+            except OSError:
+                self._errors += 1
+        pruned = 0
+        for shard in sorted(p for p in results.iterdir() if p.is_dir()):
+            try:
+                shard.rmdir()  # only succeeds when actually empty
+                pruned += 1
+            except OSError:
+                pass  # live entries remain (or a writer raced us): keep
+        return stale, pruned

@@ -74,7 +74,7 @@ _KNOB_TYPES: Dict[str, Tuple[Any, str]] = {
     "upgrade": (_is_mapping, "a mapping with old/new/suite"),
     "cluster": (
         lambda v: _is_int(v) or _is_mapping(v),
-        "a node count or a mapping with n_nodes/simulator",
+        "a node count or a mapping with n_nodes/simulator/simulator options",
     ),
     "window_h": (_is_number, "a number of hours"),
     "lifetime_years": (_is_number, "a number of years"),

@@ -190,6 +190,47 @@ def _check_simulator(key, factory, ctx):
     assert result.mean_wait_h() >= 0.0
     assert result.makespan_h() > 0.0
     assert result.ledger is not None and len(result.ledger) >= 1
+    # Discipline-specific invariants on top of the shared contract.
+    if key in ("carbon-aware", "green"):
+        from repro.intensity.trace import IntensityTrace
+
+        # A clean day/night swing so admission has a real signal; the
+        # capacity-rich cluster means every slack budget holds some
+        # feasible start, so the bound must hold for every job.
+        hours = np.arange(24 * 14)
+        trace = IntensityTrace(
+            region_code="CONF",
+            tz_offset_hours=0,
+            values=300.0 + 200.0 * np.sin(2.0 * np.pi * hours / 24.0),
+        )
+        green = factory(
+            jobs, cluster, horizon_h=200.0, intensity=trace,
+            pue=None, config=None,
+        )
+        for s in green.scheduled:
+            assert s.start_h <= s.job.submit_h + s.job.slack_h + 1e-9, (
+                f"simulator {key!r} spent more than job "
+                f"{s.job.job_id}'s slack budget"
+            )
+        # A uniform override narrows every budget the same way.
+        tight = factory(
+            jobs, cluster, horizon_h=200.0, intensity=trace,
+            pue=None, config=None, slack_h=2.0,
+        )
+        for s in tight.scheduled:
+            assert s.start_h <= s.job.submit_h + 2.0 + 1e-9
+    if key in ("power-cap", "capped"):
+        cap_fraction = 0.5
+        capped = factory(
+            jobs, cluster, horizon_h=72.0, intensity=100.0,
+            pue=None, config=None, cap_fraction=cap_fraction,
+        )
+        cap_gpus = int(cap_fraction * cluster.total_gpus)
+        assert float(capped.busy_gpu_hours_per_hour.max()) <= cap_gpus + 1e-9, (
+            f"simulator {key!r} let the hourly busy profile exceed its cap"
+        )
+        # The cap binds scheduling, never the accounting contract.
+        assert capped.n_jobs == len(jobs)
 
 
 def _check_accounting(key, factory, ctx):

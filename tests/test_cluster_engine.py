@@ -26,7 +26,9 @@ from hypothesis import strategies as st
 from repro.cluster import Cluster
 from repro.cluster.engine import (
     simulate_cluster_backfill,
+    simulate_cluster_carbon_aware,
     simulate_cluster_columnar,
+    simulate_cluster_power_cap,
 )
 from repro.cluster.job import Job, JobBatch
 from repro.cluster.simulator import SimulationError, simulate_cluster
@@ -316,12 +318,20 @@ def test_registry_keys_resolve_to_engine():
     from repro.session import available_backends
 
     keys = set(available_backends("simulator"))
-    assert {"fcfs", "fcfs-columnar", "backfill"} <= keys
+    assert {
+        "fcfs", "fcfs-columnar", "backfill", "carbon-aware", "power-cap"
+    } <= keys
     assert resolve_backend("simulator", "columnar") is resolve_backend(
         "simulator", "fcfs-columnar"
     )
     assert resolve_backend("simulator", "easy") is resolve_backend(
         "simulator", "backfill"
+    )
+    assert resolve_backend("simulator", "green") is resolve_backend(
+        "simulator", "carbon-aware"
+    )
+    assert resolve_backend("simulator", "capped") is resolve_backend(
+        "simulator", "power-cap"
     )
 
 
@@ -347,3 +357,341 @@ def test_scenario_discipline_sweep_byte_identical_fcfs():
     assert col.carbon_g == ref.carbon_g
     assert col.mean_wait_h == ref.mean_wait_h
     assert col.average_usage == ref.average_usage
+
+
+# --- carbon-aware discipline -------------------------------------------------
+def _diurnal_trace(days: int = 14):
+    """A clean sinusoidal day: min intensity at hour 18, max at hour 6."""
+    from repro.intensity.trace import IntensityTrace
+
+    hours = np.arange(24 * days, dtype=float)
+    values = 300.0 + 200.0 * np.sin(2.0 * np.pi * hours / 24.0)
+    return IntensityTrace(
+        region_code="TEST", tz_offset_hours=0, values=values
+    )
+
+
+def _slacked_jobs(seed=21):
+    from repro.workloads.sources import WorkloadParams, generate_workload
+
+    return generate_workload(
+        WorkloadParams(horizon_h=72.0, total_gpus=8), seed=seed
+    )
+
+
+def test_carbon_aware_respects_slack_budget(v100_node):
+    """No job ever starts past ``submit + slack``, per-job or overridden.
+
+    The capacity-rich cluster (16 GPUs against a workload sized for 8)
+    guarantees every budget holds a feasible start, so the bound is
+    unconditional here; saturation behavior is pinned separately below.
+    """
+    cluster = Cluster(v100_node, 4)
+    trace = _diurnal_trace()
+    own = simulate_cluster_carbon_aware(
+        _slacked_jobs(), cluster, horizon_h=200.0, intensity=trace
+    )
+    assert own.n_jobs > 0
+    for s in own.scheduled:
+        assert s.start_h <= s.job.submit_h + s.job.slack_h + 1e-9
+    uniform = simulate_cluster_carbon_aware(
+        _slacked_jobs(), cluster, horizon_h=200.0, intensity=trace,
+        slack_h=2.0,
+    )
+    for s in uniform.scheduled:
+        assert s.start_h <= s.job.submit_h + 2.0 + 1e-9
+
+
+def test_carbon_aware_constant_intensity_degenerates_to_fcfs(v100_node):
+    """No hourly signal means no reason to delay: exact FCFS placement."""
+    cluster = Cluster(v100_node, 2)
+    jobs = _slacked_jobs(seed=4)
+    green = simulate_cluster_carbon_aware(
+        jobs, cluster, horizon_h=200.0, intensity=150.0
+    )
+    fcfs = simulate_cluster_columnar(
+        jobs, cluster, horizon_h=200.0, intensity=150.0
+    )
+    assert np.array_equal(
+        np.asarray([s.start_h for s in green.scheduled]),
+        np.asarray([s.start_h for s in fcfs.scheduled]),
+    )
+    assert [s.node_index for s in green.scheduled] == [
+        s.node_index for s in fcfs.scheduled
+    ]
+
+
+def test_carbon_aware_zero_slack_is_fcfs(v100_node):
+    """A zero budget leaves only the earliest-fit start."""
+    cluster = Cluster(v100_node, 2)
+    jobs = _slacked_jobs(seed=5)
+    green = simulate_cluster_carbon_aware(
+        jobs, cluster, horizon_h=200.0, intensity=_diurnal_trace(),
+        slack_h=0.0,
+    )
+    fcfs = simulate_cluster_columnar(jobs, cluster, horizon_h=200.0)
+    assert [
+        (s.job.job_id, s.start_h, s.node_index) for s in green.scheduled
+    ] == [(s.job.job_id, s.start_h, s.node_index) for s in fcfs.scheduled]
+
+
+def test_carbon_aware_moves_job_to_cleanest_feasible_hour(v100_node):
+    """One unconstrained job lands on the lowest-scoring start in budget.
+
+    The sinusoid's one-hour-window minimum is hour 18; a job submitted
+    at 0 with 24 h of slack must start exactly there.
+    """
+    cluster = Cluster(v100_node, 1)
+    job = Job(
+        job_id=0, user="u0", model=get_model("BERT"), n_gpus=1,
+        duration_h=1.0, submit_h=0.0, slack_h=24.0,
+    )
+    result = simulate_cluster_carbon_aware(
+        [job], cluster, horizon_h=48.0, intensity=_diurnal_trace()
+    )
+    (placed,) = result.scheduled
+    assert placed.start_h == 18.0
+
+
+def test_carbon_aware_option_validation(v100_node):
+    cluster = Cluster(v100_node, 1)
+    with pytest.raises(SimulationError, match="not both"):
+        simulate_cluster_carbon_aware(
+            [], cluster, horizon_h=4.0, slack_h=1.0, slack=2.0
+        )
+    with pytest.raises(SimulationError, match="non-negative"):
+        simulate_cluster_carbon_aware(
+            [], cluster, horizon_h=4.0, slack_h=-1.0
+        )
+
+
+def _budget_clearly_feasible(placed_before, s, slack, capacity, n_nodes):
+    """Conservative witness that some in-budget candidate start existed.
+
+    Checks the engine's candidate set (submit plus whole hours within
+    the budget) against the jobs placed *before* ``s`` in FCFS order,
+    counting any overlapping job as busy for the whole window — an
+    under-approximation of the engine's exact admission check, so a
+    ``True`` here proves the engine had a feasible in-budget start and
+    an over-budget placement is a genuine violation.
+    """
+    d, g, sub = s.job.duration_h, s.job.n_gpus, s.job.submit_h
+    cands = [sub]
+    h = float(np.ceil(sub))
+    while h <= sub + slack + 1e-12:
+        if h != sub:
+            cands.append(h)
+        h += 1.0
+    for t in cands:
+        for nd in range(n_nodes):
+            used = sum(
+                p.job.n_gpus
+                for p in placed_before
+                if p.node_index == nd and p.start_h < t + d and t < p.end_h
+            )
+            if used + g <= capacity:
+                return True
+    return False
+
+
+@settings(max_examples=25, deadline=None)
+@given(jobs=job_lists(), n_nodes=st.sampled_from([1, 3]))
+def test_carbon_aware_invariants_hypothesis(jobs, n_nodes, v100_node):
+    """Capacity safety and completeness hold under slack-driven delays.
+
+    ``job_lists`` deliberately saturates small clusters, where the
+    documented earliest-fit fallback may overrun a budget that holds no
+    feasible start — so the budget bound is asserted exactly when a
+    conservative feasibility witness proves a candidate existed.
+    """
+    cluster = Cluster(v100_node, n_nodes)
+    result = simulate_cluster_carbon_aware(
+        jobs, cluster, horizon_h=HORIZON_H, intensity=_diurnal_trace(),
+        slack_h=6.0,
+    )
+    assert result.n_jobs == len(jobs)
+    scheduled = result.scheduled
+    for i, s in enumerate(scheduled):
+        assert s.start_h >= s.job.submit_h
+        if s.start_h > s.job.submit_h + 6.0 + 1e-9:
+            assert not _budget_clearly_feasible(
+                scheduled[:i], s, 6.0, cluster.gpus_per_node, n_nodes
+            ), (
+                f"job {s.job.job_id} overran its slack budget although an "
+                "in-budget start was demonstrably feasible"
+            )
+    assert _capacity_safe(result, cluster)
+    assert float(result.busy_gpu_hours_per_hour.max(initial=0.0)) <= (
+        cluster.total_gpus + 1e-9
+    )
+
+
+def test_carbon_aware_reduces_carbon_on_canonical_diurnal_month():
+    """The acceptance pin: green admission cuts operational grams CO2
+    vs ``fcfs-columnar`` on the canonical diurnal month, trading mean
+    wait for cleaner start hours."""
+    from repro import Scenario
+
+    def run(sim, **opts):
+        return (
+            Scenario()
+            .node("V100")
+            .region("ESO")
+            .workload("diurnal", horizon_h=24.0 * 28, total_gpus=8)
+            .cluster(2, simulator=sim, **opts)
+            .window(hours=24.0 * 30)
+            .seed(7)
+            .run()
+            .cluster
+        )
+
+    base = run("fcfs-columnar")
+    own_slack = run("carbon-aware")
+    wide_slack = run("carbon-aware", slack_h=24.0)
+    assert own_slack.n_jobs == base.n_jobs
+    assert own_slack.carbon_g < base.carbon_g
+    assert wide_slack.carbon_g < own_slack.carbon_g  # more slack, greener
+    # The carbon saving is bought with queueing delay, not free.
+    assert own_slack.mean_wait_h > base.mean_wait_h
+
+
+# --- power-cap discipline ----------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    jobs=job_lists(),
+    n_nodes=st.sampled_from([2, 4]),
+    fraction=st.sampled_from([0.5, 1.0]),
+)
+def test_power_cap_busy_never_exceeds_cap_hypothesis(
+    jobs, n_nodes, fraction, v100_node
+):
+    """The cap binds everywhere: hourly busy GPU-hours stay under it."""
+    cluster = Cluster(v100_node, n_nodes)
+    result = simulate_cluster_power_cap(
+        jobs, cluster, horizon_h=HORIZON_H, cap_fraction=fraction
+    )
+    cap_gpus = int(np.floor(fraction * cluster.total_gpus + 1e-9))
+    assert result.n_jobs == len(jobs)
+    assert float(result.busy_gpu_hours_per_hour.max(initial=0.0)) <= (
+        cap_gpus + 1e-9
+    )
+    assert _capacity_safe(result, cluster)
+    for s in result.scheduled:
+        assert s.start_h >= s.job.submit_h
+
+
+def test_power_cap_full_cap_matches_fcfs(v100_node):
+    """cap_fraction=1.0 never binds: placement is FCFS byte-for-byte."""
+    cluster = Cluster(v100_node, 2)
+    jobs = _slacked_jobs(seed=6)
+    capped = simulate_cluster_power_cap(
+        jobs, cluster, horizon_h=200.0, cap_fraction=1.0
+    )
+    fcfs = simulate_cluster_columnar(jobs, cluster, horizon_h=200.0)
+    assert [
+        (s.job.job_id, s.start_h, s.node_index) for s in capped.scheduled
+    ] == [(s.job.job_id, s.start_h, s.node_index) for s in fcfs.scheduled]
+    assert np.array_equal(
+        capped.busy_gpu_hours_per_hour, fcfs.busy_gpu_hours_per_hour
+    )
+
+
+def test_power_cap_binding_serializes_wide_jobs(v100_node):
+    """Two nodes could run both jobs at once; the cap forbids it.
+
+    2 x 4 GPUs installed, cap 0.5 -> 4 concurrent GPUs: the second
+    full-node job must wait for the first to finish even though its own
+    node is idle.
+    """
+    cap = v100_node.gpu_count
+    cluster = Cluster(v100_node, 2)
+    jobs = [_one_job(0, 0.0, 2.0, cap), _one_job(1, 0.0, 2.0, cap)]
+    result = simulate_cluster_power_cap(
+        jobs, cluster, horizon_h=24.0, cap_fraction=0.5
+    )
+    starts = sorted(s.start_h for s in result.scheduled)
+    assert starts == [0.0, 2.0]
+    assert float(result.busy_gpu_hours_per_hour.max(initial=0.0)) <= cap
+
+
+def test_power_cap_option_validation(v100_node):
+    cluster = Cluster(v100_node, 2)
+    with pytest.raises(SimulationError, match="not both"):
+        simulate_cluster_power_cap(
+            [], cluster, horizon_h=4.0, cap_fraction=0.5, cap=0.5
+        )
+    for bad in (0.0, 1.5, -0.25):
+        with pytest.raises(SimulationError, match="cap_fraction"):
+            simulate_cluster_power_cap(
+                [], cluster, horizon_h=4.0, cap_fraction=bad
+            )
+    wide = _one_job(9, 0.0, 1.0, v100_node.gpu_count)
+    with pytest.raises(SimulationError, match="the power cap admits"):
+        simulate_cluster_power_cap(
+            [wide], cluster, horizon_h=4.0, cap_fraction=0.25
+        )
+
+
+# --- zero-job metrics (warning hygiene) --------------------------------------
+def test_zero_job_metrics_are_warning_free(v100_node):
+    """Empty batches yield exact zeros with no numpy mean-of-empty
+    RuntimeWarning, across every discipline and the scalar oracle."""
+    import warnings
+
+    cluster = Cluster(v100_node, 2)
+    engines = [
+        simulate_cluster,
+        simulate_cluster_columnar,
+        simulate_cluster_backfill,
+        simulate_cluster_carbon_aware,
+        simulate_cluster_power_cap,
+    ]
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        for simulate in engines:
+            result = simulate([], cluster, horizon_h=8.0, intensity=100.0)
+            assert result.n_jobs == 0
+            assert result.mean_wait_h() == 0.0
+            assert result.makespan_h() == 0.0
+            assert result.average_usage() == 0.0
+
+
+# --- EASY no-delay guarantee across workload backends ------------------------
+@pytest.fixture(scope="module")
+def shared_trace_path(tmp_path_factory):
+    """A module-scoped replay trace so the hypothesis property below can
+    exercise the ``trace`` backend without a function-scoped fixture."""
+    from repro.cluster.traceio import save_jobs
+    from repro.workloads.sources import WorkloadParams, generate_workload
+
+    seed_jobs = generate_workload(
+        WorkloadParams(horizon_h=72.0, total_gpus=16), seed=9
+    )
+    target = tmp_path_factory.mktemp("easy-trace") / "trace.json"
+    return str(save_jobs(seed_jobs, target))
+
+
+@pytest.mark.parametrize("key", ["synthetic", "diurnal", "bursty", "trace"])
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=40))
+def test_backfill_never_delays_head_job(key, seed, v100_node,
+                                        shared_trace_path):
+    """EASY's no-delay guarantee: the head-of-queue job never starts
+    later under ``backfill`` than under ``fcfs-columnar``."""
+    if key == "trace":
+        source = resolve_backend("workload", key)(path=shared_trace_path)
+    else:
+        source = resolve_backend("workload", key)(
+            horizon_h=48.0, total_gpus=8, target_usage=0.9
+        )
+    batch = source.generate(seed=seed)
+    if len(batch) == 0:
+        return
+    cluster = Cluster(v100_node, 2)
+    fcfs = simulate_cluster_columnar(batch, cluster, horizon_h=HORIZON_H)
+    easy = simulate_cluster_backfill(batch, cluster, horizon_h=HORIZON_H)
+    order = np.lexsort((batch.job_ids, batch.submit_h))
+    head = int(batch.job_ids[order[0]])
+    fcfs_start = {s.job.job_id: s.start_h for s in fcfs.scheduled}[head]
+    easy_start = {s.job.job_id: s.start_h for s in easy.scheduled}[head]
+    assert easy_start <= fcfs_start + 1e-9

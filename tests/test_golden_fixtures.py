@@ -127,6 +127,42 @@ def test_cluster_golden_is_simulator_invariant_for_fcfs():
     assert oracle_cluster == committed_cluster
 
 
+def _build_cluster_carbon_aware() -> Scenario:
+    """The carbon-aware discipline fixture: slack-bounded green admission
+    on the same workload/cluster as the fcfs-columnar pin, with an
+    explicit uniform slack budget (exercising the ``simulator_opts``
+    provenance row)."""
+    return (
+        Scenario()
+        .node("V100")
+        .region("ESO")
+        .workload(
+            WorkloadParams(horizon_h=48.0, total_gpus=8, home_region="ESO"),
+            seed=11,
+        )
+        .cluster(2, simulator="carbon-aware", slack_h=24.0)
+        .seed(7)
+        .pue(_GOLDEN_PUE)
+    )
+
+
+def test_cluster_carbon_aware_matches_golden(update_golden):
+    """Byte-for-byte pin of the serialized carbon-aware cluster section."""
+    path = GOLDEN_DIR / "scenario-cluster-carbon_aware.json"
+    payload = _serialize(_build_cluster_carbon_aware().run())
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(payload, encoding="utf-8")
+    assert path.exists(), (
+        f"missing golden fixture {path.name}; generate it with "
+        "pytest tests/test_golden_fixtures.py --update-golden"
+    )
+    assert payload == path.read_text(encoding="utf-8"), (
+        f"serialized ScenarioResult drifted from {path.name}; if the change "
+        "is intentional, re-bless with --update-golden"
+    )
+
+
 def test_constant_pue_backend_matches_float_golden(update_golden):
     """The acceptance pin: ``pue("constant", value=x)`` serializes to the
     *same bytes* as the float path the fixtures were blessed with."""
@@ -143,8 +179,9 @@ def test_golden_round_trip():
     from repro.session.result import ScenarioResult
 
     fixtures = sorted(GOLDEN_DIR.glob("scenario-*.json"))
-    # The scheduling matrix plus the cluster-section fixture.
-    assert len(fixtures) == len(_MATRIX) + 1
+    # The scheduling matrix plus the two cluster-section fixtures
+    # (fcfs-columnar and carbon-aware).
+    assert len(fixtures) == len(_MATRIX) + 2
     for path in fixtures:
         data = json.loads(path.read_text(encoding="utf-8"))
         result = ScenarioResult.from_dict(data)

@@ -462,6 +462,57 @@ class TestWorkloadCli:
         assert main(argv) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_scenario_simulator_args_reach_backend(self, capsys):
+        assert main([
+            "scenario", "--node", "V100", "--region", "ESO",
+            "--workload", "diurnal", "--days", "2", "--gpus", "8",
+            "--cluster", "2", "--simulator", "carbon-aware",
+            "--simulator-arg", "slack=24", "--seed", "3",
+        ]) == 0
+        flagged = capsys.readouterr().out
+
+        from repro.session import Scenario
+
+        expected = (
+            Scenario()
+            .seed(3)
+            .node("V100")
+            .region("ESO")
+            .workload("diurnal", seed=3, horizon_h=48.0, total_gpus=8)
+            .cluster(2, simulator="carbon-aware", slack=24)
+            .build()
+        )
+        assert expected.render() == flagged.rstrip("\n")
+
+    @pytest.mark.parametrize(
+        "argv,expect",
+        [
+            (["scenario", "--node", "V100", "--region", "ESO",
+              "--workload", "diurnal", "--days", "2", "--gpus", "8",
+              "--cluster", "2", "--simulator-arg", "slack=24"],
+             "requires --simulator"),
+            (["scenario", "--node", "V100", "--region", "ESO",
+              "--workload", "diurnal", "--days", "2", "--gpus", "8",
+              "--simulator", "carbon-aware"],
+             "requires --cluster"),
+            (["scenario", "--node", "V100", "--region", "ESO",
+              "--workload", "diurnal", "--days", "2", "--gpus", "8",
+              "--cluster", "2", "--simulator", "carbon-aware",
+              "--simulator-arg", "broken"],
+             "K=V"),
+            (["scenario", "--node", "V100", "--region", "ESO",
+              "--workload", "diurnal", "--days", "2", "--gpus", "8",
+              "--cluster", "2", "--simulator", "fcfs",
+              "--simulator-arg", "slack=24"],
+             "rejected options"),
+        ],
+        ids=["arg-without-simulator", "simulator-without-cluster",
+             "malformed-arg", "option-unknown-to-discipline"],
+    )
+    def test_invalid_simulator_flags_fail_cleanly(self, capsys, argv, expect):
+        assert main(argv) == 2
+        assert expect in capsys.readouterr().err
+
     def test_sweep_axes_are_exclusive(self, capsys):
         assert main([
             "scenario", "--node", "V100",

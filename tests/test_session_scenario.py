@@ -253,6 +253,45 @@ class TestScheduling:
         assert result.cluster.carbon_g > 0.0
         assert 0.0 <= result.cluster.average_usage <= 1.0
 
+    def test_cluster_simulator_opts_reach_backend_and_provenance(self):
+        def build(**opts):
+            return (
+                Scenario()
+                .node("V100")
+                .region("ESO")
+                .workload(small_params(), seed=11)
+                .cluster(2, simulator="carbon-aware", **opts)
+            )
+
+        with_opts = build(slack_h=24.0).run()
+        rows = {p.knob: p for p in with_opts.provenance}
+        assert "simulator_opts" in rows
+        assert rows["simulator_opts"].backend == "simulator:carbon-aware"
+        assert "slack_h" in rows["simulator_opts"].value
+        # No options -> no row (keeps pre-existing fixtures byte-stable).
+        bare = build().run()
+        assert "simulator_opts" not in {p.knob for p in bare.provenance}
+        # Options key the fingerprint: a changed budget is a new cell.
+        assert (
+            build(slack_h=24.0).build().fingerprint()
+            != build(slack_h=6.0).build().fingerprint()
+        )
+        assert (
+            build(slack_h=24.0).build().fingerprint()
+            != bare.fingerprint()
+        )
+
+    def test_cluster_rejected_simulator_option_reports_cleanly(self):
+        scenario = (
+            Scenario()
+            .node("V100")
+            .region("ESO")
+            .workload(small_params(), seed=11)
+            .cluster(2, simulator="fcfs-columnar", slack_h=4.0)
+        )
+        with pytest.raises(SessionError, match="rejected options"):
+            scenario.run()
+
 
 class TestRunMany:
     def test_traces_generated_once_per_unique_seed(self):

@@ -27,6 +27,7 @@ from repro.core.errors import ReproError, SweepError
 from repro.session import Scenario
 from repro.session.session import Session
 from repro.sweep import (
+    CacheClearance,
     ResultCache,
     SharedTraceStore,
     SweepService,
@@ -313,6 +314,77 @@ class TestResultCache:
         with pytest.raises(SweepError, match="cache_dir"):
             SweepService(cache=False, cache_dir=tmp_path)
 
+    def test_clear_sweeps_stale_tmp_and_prunes_shards(self, tmp_path):
+        """Orphaned ``*.tmp`` droppings and emptied shard directories
+        go with the entries, and all three removals are counted."""
+        service = SweepService(cache_dir=tmp_path / "cache")
+        service.run(_matrix_cells())
+        results = tmp_path / "cache" / "results"
+        shards = [p for p in results.iterdir() if p.is_dir()]
+        assert shards  # entries landed in at least one shard
+        # A writer killed mid-put leaves a tmp dropping; an earlier
+        # clear may have left a shard with nothing in it.
+        (shards[0] / "deadbeefcafe.tmp").write_text("{ torn", encoding="utf-8")
+        (shards[0] / "0123abcd.tmp").write_text("", encoding="utf-8")
+        (results / "zz").mkdir()
+        clearance = service.cache.clear()
+        assert clearance.entries == 4
+        assert clearance.stale_tmp == 2
+        assert clearance.pruned_dirs == len(shards) + 1
+        assert clearance.summary() == (
+            "4 cached result(s), 2 stale temp file(s), "
+            f"{len(shards) + 1} empty shard dir(s)"
+        )
+        assert list(results.iterdir()) == []  # nothing left behind
+
+    def test_sweep_stale_is_noop_without_disk(self):
+        cache = ResultCache(None)
+        assert cache.sweep_stale() == (0, 0)
+        assert cache.clear() == CacheClearance()
+
+    def test_put_failure_chains_original_error(self, tmp_path, monkeypatch):
+        """A failed write surfaces as SweepError chained from the real
+        cause, and best-effort tmp cleanup neither masks it nor leaks."""
+        cache = ResultCache(tmp_path / "cache")
+        result = _cell(*_MATRIX[0]).run()
+        boom = OSError("disk full")
+
+        def exploding_dump(*args, **kwargs):
+            raise boom
+
+        monkeypatch.setattr(json, "dump", exploding_dump)
+        with pytest.raises(
+            SweepError, match="cannot write cache entry"
+        ) as err:
+            cache.put(result.fingerprint(), result)
+        assert err.value.__cause__ is boom
+        monkeypatch.undo()
+        assert list((tmp_path / "cache" / "results").glob("*/*.tmp")) == []
+
+    def test_put_failure_survives_unlink_failure(
+        self, tmp_path, monkeypatch
+    ):
+        """Even when the tmp cleanup itself fails, the original write
+        error is what surfaces (the cleanup must never mask it)."""
+        import os as os_module
+
+        cache = ResultCache(tmp_path / "cache")
+        result = _cell(*_MATRIX[0]).run()
+        boom = OSError("disk full")
+        monkeypatch.setattr(
+            json, "dump", lambda *a, **k: (_ for _ in ()).throw(boom)
+        )
+        monkeypatch.setattr(
+            os_module,
+            "unlink",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("unlink failed")),
+        )
+        with pytest.raises(
+            SweepError, match="cannot write cache entry"
+        ) as err:
+            cache.put(result.fingerprint(), result)
+        assert err.value.__cause__ is boom
+
 
 # --- shared trace store ------------------------------------------------------
 class TestSharedTraceStore:
@@ -507,10 +579,17 @@ class TestSweepCli:
         assert "4 served from cache" in out and "0 ran" in out
         assert main(["sweep", "cache", "--cache-dir", cache_dir]) == 0
         assert "4 result(s)" in capsys.readouterr().out
+        # A stale tmp dropping from a killed writer gets swept too,
+        # and the clearance message itemizes all three removal kinds.
+        results = pathlib.Path(cache_dir) / "results"
+        shard = next(p for p in results.iterdir() if p.is_dir())
+        (shard / "orphan.tmp").write_text("", encoding="utf-8")
         assert main(
             ["sweep", "cache", "--cache-dir", cache_dir, "--clear"]
         ) == 0
-        assert "cleared 4" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "cleared 4 cached result(s), 1 stale temp file(s)" in out
+        assert "empty shard dir(s)" in out
 
     def test_no_cache_conflicts_with_cache_dir(self, spec_path, tmp_path, capsys):
         from repro.cli import main
