@@ -1,6 +1,6 @@
-"""Sweep-service benchmarks: result cache and shared trace store.
+"""Sweep-service benchmarks: result cache, shared store, delta grids.
 
-Measures the two wins the ``repro.sweep`` subsystem exists for:
+Measures the wins the ``repro.sweep`` subsystem exists for:
 
 1. *Warm-cache re-runs* — wall-time of the canonical 2-system x
    2-policy x 2-workload grid cold (every cell computed) vs warm (every
@@ -9,6 +9,12 @@ Measures the two wins the ``repro.sweep`` subsystem exists for:
 2. *Shared-store warm-up* — time for a fresh process-pool worker to
    warm its trace memo by regenerating from scratch vs attaching the
    memory-mapped ``.npy`` files the parent wrote once.
+3. *Delta grids* (schema 2) — a grid varying only late-stage knobs
+   (``accounting``/``pue``/``renderer``) over one fixed expensive
+   cluster workload, evaluated cold (every cell a full recompute) vs
+   through the section tier (every cell misses the whole-result cache
+   but assembles from cached section payloads).  The acceptance floor:
+   delta must beat cold by at least 5x, byte-identically.
 
 ``python benchmarks/bench_sweep.py --write`` records the numbers to
 ``BENCH_sweep.json`` at the repo root; the committed file is the perf
@@ -34,6 +40,10 @@ WARM_SPEEDUP_FLOOR = 10.0
 #: A "hard regression" vs the committed baseline: CI machines vary a
 #: lot, so only an order-of-magnitude collapse fails the smoke job.
 BASELINE_FRACTION = 0.15
+
+#: Delta re-runs (section assembly only) must beat cold full recomputes
+#: by at least this factor (the PR 10 acceptance criterion).
+DELTA_SPEEDUP_FLOOR = 5.0
 
 #: The canonical grid: 2 systems x 2 policies x 2 workloads.
 _GRID_SPEC = {
@@ -79,6 +89,80 @@ def bench_cache_grid() -> dict:
     }
 
 
+#: One fixed, deliberately expensive cluster workload; the delta axes
+#: below touch nothing the simulation depends on except via sections.
+_DELTA_BASE = {
+    "node": "V100",
+    "region": "ESO",
+    "seed": 7,
+    "workload": "synthetic",
+    "workload_opts": {"horizon_h": 72.0, "total_gpus": 32},
+    "workload_seed": 11,
+    "policies": ["carbon-oblivious", "temporal+geographic"],
+    "cluster": {"n_nodes": 16, "simulator": "columnar"},
+    "window_h": 72.0,
+}
+
+
+def _delta_spec(renderers: list) -> dict:
+    return {
+        "name": "bench-delta",
+        "base": dict(_DELTA_BASE),
+        "axes": {
+            "accounting": ["scalar", "ledger"],
+            "pue": [1.1, 1.25],
+            "renderer": renderers,
+        },
+    }
+
+
+def bench_delta_grid() -> dict:
+    """Cold full recompute vs section-assembled delta over 8 cells.
+
+    The warm pass (renderer ``text``, untimed) populates the section
+    tier for every (accounting, pue) combination *and* the module-level
+    trace/workload memos, so the two timed passes compare pure compute
+    against pure assembly, not memo warm-up noise.  The delta pass's
+    cells (renderers ``json``/``markdown``) all miss the whole-result
+    cache — section assembly is the only thing saving them work.
+    """
+    from repro.sweep import SweepService
+
+    timed_spec = _delta_spec(["json", "markdown"])
+    with tempfile.TemporaryDirectory() as tmp:
+        service = SweepService(cache_dir=pathlib.Path(tmp) / "cache")
+        service.run(_delta_spec(["text"]))  # warm sections + memos
+
+        direct = SweepService(cache=False)
+        t0 = time.perf_counter()
+        cold = direct.run(timed_spec)
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        delta = service.run(timed_spec)
+        delta_s = time.perf_counter() - t0
+
+        section_hits = sum(s.hits for s in delta.section_stats.values())
+        section_misses = sum(
+            s.misses for s in delta.section_stats.values()
+        )
+    identical = [
+        json.dumps(a.to_dict(), sort_keys=True)
+        == json.dumps(b.to_dict(), sort_keys=True)
+        for a, b in zip(cold.results, delta.results)
+    ]
+    return {
+        "n_cells": cold.n_cells,
+        "cold_s": cold_s,
+        "delta_s": delta_s,
+        "speedup": cold_s / delta_s,
+        "delta_ran": delta.n_ran,
+        "section_hits": section_hits,
+        "section_misses": section_misses,
+        "identical": all(identical),
+    }
+
+
 def bench_store_warmup() -> dict:
     """Worker warm-up: regenerate the Table 3 trace set vs mmap-attach."""
     from repro.intensity.generator import (
@@ -116,9 +200,10 @@ def bench_store_warmup() -> dict:
 
 def collect() -> dict:
     return {
-        "schema": 1,
+        "schema": 2,
         "cache_grid": bench_cache_grid(),
         "store_warmup": bench_store_warmup(),
+        "delta_grid": bench_delta_grid(),
         "python": sys.version.split()[0],
     }
 
@@ -151,6 +236,29 @@ def test_store_attach_beats_regeneration():
     print(
         f"\nstore warmup: regenerate {stats['generate_s'] * 1e3:.0f}ms -> "
         f"attach {stats['attach_s'] * 1e3:.0f}ms ({stats['speedup']:.1f}x)"
+    )
+
+
+def test_delta_rerun_is_5x_faster():
+    """The PR 10 acceptance criterion, asserted in quick mode."""
+    stats = bench_delta_grid()
+    assert stats["identical"], (
+        "section-assembled results diverged from the full recompute"
+    )
+    assert stats["delta_ran"] == stats["n_cells"]
+    assert stats["section_misses"] == 0, (
+        f"{stats['section_misses']} section misses — the warm pass did "
+        "not cover the delta grid"
+    )
+    assert stats["speedup"] >= DELTA_SPEEDUP_FLOOR, (
+        f"delta grid only {stats['speedup']:.1f}x faster than cold "
+        f"(floor {DELTA_SPEEDUP_FLOOR:.0f}x): cold {stats['cold_s']:.2f}s, "
+        f"delta {stats['delta_s']:.2f}s"
+    )
+    print(
+        f"\ndelta grid: {stats['n_cells']} cells, cold {stats['cold_s']:.2f}s "
+        f"-> delta {stats['delta_s']:.3f}s ({stats['speedup']:.0f}x, "
+        f"{stats['section_hits']} section hits)"
     )
 
 

@@ -91,9 +91,28 @@ calling conventions, per kind:
     exposing ``plan(grid)`` and ``run(grid, ...) -> SweepOutcome`` over
     a SweepSpec / spec mapping / spec path / Scenario list, results in
     input order (see :mod:`repro.sweep.runner`).  ``cached`` (default)
-    takes ``cache_dir``/``disk``/``memory_slots`` plus executor
-    defaults; ``direct`` is the cache-free variant.  Running an empty
-    grid must return an empty outcome without touching disk.
+    takes ``cache_dir``/``disk``/``memory_slots``/``delta`` plus
+    executor defaults; ``direct`` is the cache-free variant.  Running
+    an empty grid must return an empty outcome without touching disk.
+
+**Which registry kinds feed which result sections.**  Section-level
+delta evaluation (:data:`repro.session.fingerprint.KNOB_SECTIONS`)
+reuses a cached section whenever none of its inputs changed, so a
+backend author must know which sections their kind invalidates:
+``system`` feeds ``embodied`` + ``audit``; ``node`` feeds ``embodied``,
+``training``, ``scheduling``, ``cluster``; ``intensity`` and
+``accounting`` feed every charged section (``audit``/``training``/
+``scheduling``/``cluster``/``upgrade``); ``pue`` likewise (embodied
+carbon has no facility overhead); ``workload`` feeds ``scheduling`` +
+``cluster``; ``policy`` feeds ``scheduling``; ``simulator`` feeds
+``cluster``; the ``carbon`` rollup depends on all six.  ``renderer``,
+``report``, ``executor``, ``sweep``, and ``faults`` feed *no* section
+— they shape presentation or execution, never results — which is
+exactly what makes delta re-runs of renderer/executor flips free.  A
+new backend whose options change a section's output MUST surface those
+options through scenario knobs (so they land in the section's
+fingerprint preimage); options invisible to the fingerprint would
+poison the section cache.
 """
 
 from __future__ import annotations

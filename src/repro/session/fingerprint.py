@@ -29,19 +29,35 @@ import enum
 import hashlib
 import json
 import pathlib
-from typing import TYPE_CHECKING, Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Mapping, Tuple
 
 from repro.core.errors import SweepError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.session.session import Session
 
-__all__ = ["canonical_json", "canonical_value", "session_fingerprint"]
+__all__ = [
+    "canonical_json",
+    "canonical_value",
+    "session_fingerprint",
+    "section_fingerprint",
+    "section_fingerprints",
+    "KNOB_SECTIONS",
+    "SECTION_KNOBS",
+    "RESULT_SECTIONS",
+]
 
 #: Preimage layout version; bump on any canonicalization change so old
 #: cache directories invalidate wholesale instead of colliding.
 #: 2: the ``simulator_opts`` knob joined the hashed knob set.
 FINGERPRINT_SCHEMA = 2
+
+#: Section-preimage layout version (hashed alongside
+#: ``FINGERPRINT_SCHEMA``); bump whenever :data:`KNOB_SECTIONS` or the
+#: per-section preimage shape changes, so section tiers written under
+#: the old dependency map read as misses instead of serving stale
+#: payloads.
+SECTION_SCHEMA = 1
 
 #: Every Scenario builder knob, in declaration order.  The fingerprint
 #: hashes all of them (sorted JSON keys), so a knob the provenance
@@ -185,3 +201,151 @@ def session_fingerprint(session: "Session") -> str:
         ],
     }
     return hashlib.sha256(canonical_json(preimage).encode("ascii")).hexdigest()
+
+
+# --- per-section fingerprints ------------------------------------------------
+#: The six pipeline sections, then the rollup, in ``ScenarioResult``
+#: field order (the order ``Session.run`` computes them in).
+RESULT_SECTIONS: Tuple[str, ...] = (
+    "embodied",
+    "audit",
+    "training",
+    "scheduling",
+    "cluster",
+    "upgrade",
+    "carbon",
+)
+
+_SIX = frozenset(RESULT_SECTIONS[:-1])
+#: Every section that charges operational carbon reads the intensity
+#: trace (region/source/seed) and the facility overhead (pue).
+_CHARGED = frozenset({"audit", "training", "scheduling", "cluster", "upgrade"})
+
+#: The declarative dependency map: knob -> the sections whose serialized
+#: payload that knob's value can reach.  Sound and minimal by reading of
+#: ``Session._run_*``: a knob must appear for every section whose
+#: ``to_dict`` payload it can change, and should appear for no other
+#: (extra entries only cost cache hits, missing ones serve stale data —
+#: the soundness property tests in tests/test_delta.py guard this).
+#:
+#: Notes on the non-obvious rows:
+#: * ``name``/``renderer``/``executor``/``executor_opts`` shape no
+#:   section payload (name lands on the result envelope, the renderer
+#:   only formats, executors only schedule).
+#: * ``regions`` feeds only scheduling: geographic policies draw their
+#:   candidate set from it; audit/training/cluster/upgrade read the
+#:   single home-region trace.
+#: * ``forecast_error`` feeds only scheduling: simulators and auditors
+#:   consume the raw trace, never forecasts.
+#: * ``accounting``/``accounting_opts`` feed scheduling (the evaluation
+#:   engine) and the carbon rollup (its ``backend`` label); the other
+#:   charged sections meter through their own fixed engines.
+#: * ``lifetime_years`` feeds audit (service-years) and upgrade
+#:   (breakeven); the rollup's amortization reads it via the union.
+KNOB_SECTIONS: Mapping[str, FrozenSet[str]] = {
+    "name": frozenset(),
+    "system": frozenset({"embodied", "audit"}),
+    "node": frozenset({"embodied", "training", "scheduling", "cluster"}),
+    "region": _CHARGED,
+    "regions": frozenset({"scheduling"}),
+    "intensity_source": _CHARGED,
+    "constant_intensity": _CHARGED,
+    "seed": _CHARGED,
+    "forecast_error": frozenset({"scheduling"}),
+    "policies": frozenset({"scheduling"}),
+    "workload": frozenset({"scheduling", "cluster"}),
+    "workload_opts": frozenset({"scheduling", "cluster"}),
+    "workload_seed": frozenset({"scheduling", "cluster"}),
+    "hourly_training_pue": frozenset({"training"}),
+    "training": frozenset({"training"}),
+    "upgrade": frozenset({"upgrade"}),
+    "cluster_nodes": frozenset({"cluster"}),
+    "simulator": frozenset({"cluster"}),
+    "simulator_opts": frozenset({"cluster"}),
+    "window_h": frozenset({"cluster"}),
+    "lifetime_years": frozenset({"audit", "upgrade"}),
+    "usage": frozenset({"audit", "upgrade"}),
+    "pue": _CHARGED,
+    "pue_opts": _CHARGED,
+    "config": _SIX,
+    "lifecycle": frozenset({"audit"}),
+    "n_nodes": frozenset({"audit"}),
+    "nics_per_node": frozenset({"audit"}),
+    "renderer": frozenset(),
+    "executor": frozenset(),
+    "executor_opts": frozenset(),
+    "accounting": frozenset({"scheduling"}),
+    "accounting_opts": frozenset({"scheduling"}),
+}
+
+if set(KNOB_SECTIONS) != set(_SCENARIO_KNOBS):  # pragma: no cover - import guard
+    raise AssertionError(
+        "KNOB_SECTIONS must cover every Scenario knob exactly: "
+        f"missing {set(_SCENARIO_KNOBS) - set(KNOB_SECTIONS)}, "
+        f"extra {set(KNOB_SECTIONS) - set(_SCENARIO_KNOBS)}"
+    )
+
+
+def _invert_knob_map() -> Dict[str, Tuple[str, ...]]:
+    by_section: Dict[str, set] = {name: set() for name in RESULT_SECTIONS}
+    for knob, sections in KNOB_SECTIONS.items():
+        for section in sections:
+            by_section[section].add(knob)
+        # The rollup re-reads every contributing section (plus
+        # lifetime_years/accounting directly), so its preimage is the
+        # union of all six.
+        if sections:
+            by_section["carbon"].add(knob)
+    return {
+        name: tuple(knob for knob in _SCENARIO_KNOBS if knob in knobs)
+        for name, knobs in by_section.items()
+    }
+
+
+#: Derived view: section -> the knobs its fingerprint hashes, in
+#: ``_SCENARIO_KNOBS`` declaration order.  ``carbon`` is the union of
+#: the six sections' sets.
+SECTION_KNOBS: Mapping[str, Tuple[str, ...]] = _invert_knob_map()
+
+
+def section_fingerprints(session: "Session") -> Dict[str, str]:
+    """One stable fingerprint per result section (plus ``carbon``).
+
+    Each section's hash covers *only* the knobs that section actually
+    reads (per :data:`KNOB_SECTIONS`), so a sweep cell that differs from
+    a cached neighbour in a late-stage knob — renderer, accounting
+    engine, upgrade horizon — shares most section fingerprints with it
+    and can be assembled instead of recomputed.  Knob *values* are
+    hashed unconditionally (not presence-gated): whether a section is
+    present at all is itself a function of its knob set, so "section is
+    absent" payloads cache under the same key discipline.
+
+    Raises :class:`SweepError` for sessions whose knobs carry no stable
+    identity, exactly like :func:`session_fingerprint`.
+    """
+    s = session._scenario
+    canon = {
+        knob: canonical_value(getattr(s, f"_{knob}"), knob=knob)
+        for knob in _SCENARIO_KNOBS
+    }
+    out: Dict[str, str] = {}
+    for name in RESULT_SECTIONS:
+        preimage = {
+            "schema": [FINGERPRINT_SCHEMA, SECTION_SCHEMA],
+            "section": name,
+            "knobs": {knob: canon[knob] for knob in SECTION_KNOBS[name]},
+        }
+        out[name] = hashlib.sha256(
+            canonical_json(preimage).encode("ascii")
+        ).hexdigest()
+    return out
+
+
+def section_fingerprint(session: "Session", section: str) -> str:
+    """The fingerprint of one named section (see :func:`section_fingerprints`)."""
+    if section not in SECTION_KNOBS:
+        known = ", ".join(RESULT_SECTIONS)
+        raise SweepError(
+            f"unknown result section {section!r}; known sections: {known}"
+        )
+    return section_fingerprints(session)[section]

@@ -36,6 +36,8 @@ __all__ = [
     "UpgradeSection",
     "CarbonSection",
     "ScenarioResult",
+    "SECTION_TYPES",
+    "load_section",
 ]
 
 
@@ -182,6 +184,40 @@ class CarbonSection:
         return self.operational_g + self.embodied_g
 
 
+#: Result-section name -> the dataclass that deserializes its payload
+#: (the section tier of the sweep cache stores these payloads).
+SECTION_TYPES: Dict[str, Any] = {
+    "embodied": EmbodiedSection,
+    "audit": CenterAudit,
+    "training": TrainingSection,
+    "scheduling": SchedulingSection,
+    "cluster": ClusterSection,
+    "upgrade": UpgradeSection,
+    "carbon": CarbonSection,
+}
+
+
+def load_section(name: str, payload: Optional[Mapping[str, Any]]):
+    """Rebuild one typed section from its ``to_dict`` payload.
+
+    ``None`` payloads mean "the scenario did not request this section"
+    and round-trip to ``None``.  The rebuilt section omits the live
+    non-compared fields (``evaluations``, ``result``, ``ledger``) —
+    exactly what :meth:`ScenarioResult.from_dict` produces, so a
+    section assembled from the cache serializes to the same bytes a
+    recompute would.
+    """
+    if payload is None:
+        return None
+    section_cls = SECTION_TYPES[name]
+    payload = dict(payload)
+    if section_cls is SchedulingSection:
+        payload["outcomes"] = tuple(
+            PolicyOutcome(**o) for o in payload.get("outcomes", ())
+        )
+    return section_cls(**payload)
+
+
 @dataclass(frozen=True)
 class ScenarioResult:
     """Everything one scenario produced, plus how it was configured."""
@@ -201,6 +237,14 @@ class ScenarioResult:
     #: serialized (to_dict/from_dict bytes are unchanged) and not
     #: compared, so cached and recomputed results stay equal.
     provenance_hash: Optional[str] = field(default=None, compare=False, repr=False)
+    #: Sections this run computed live under delta evaluation:
+    #: ``{section_name: (section_fingerprint, payload_or_None)}``.
+    #: Stamped by ``Session.run(reuse=...)`` so sweep workers can ship
+    #: fresh section payloads back for the parent to cache; not
+    #: serialized and not compared (plain full runs leave it ``None``).
+    fresh_sections: Optional[Dict[str, Tuple[str, Optional[Dict[str, Any]]]]] = field(
+        default=None, compare=False, repr=False
+    )
 
     # --- identity ---------------------------------------------------------
     def fingerprint(self) -> Optional[str]:
@@ -323,29 +367,15 @@ class ScenarioResult:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
         """Rebuild a result from :meth:`to_dict` output (JSON round-trip)."""
-
-        def load(section_cls, payload, **post):
-            if payload is None:
-                return None
-            payload = dict(payload, **post)
-            if section_cls is SchedulingSection:
-                payload["outcomes"] = tuple(
-                    PolicyOutcome(**o) for o in payload.get("outcomes", ())
-                )
-            return section_cls(**payload)
-
         return cls(
             name=str(data["name"]),
             region=data.get("region"),
             seed=int(data["seed"]),
-            embodied=load(EmbodiedSection, data.get("embodied")),
-            audit=load(CenterAudit, data.get("audit")),
-            training=load(TrainingSection, data.get("training")),
-            scheduling=load(SchedulingSection, data.get("scheduling")),
-            cluster=load(ClusterSection, data.get("cluster")),
-            upgrade=load(UpgradeSection, data.get("upgrade")),
-            carbon=load(CarbonSection, data.get("carbon")),
             provenance=tuple(
                 Provenance(**p) for p in data.get("provenance", ())
             ),
+            **{
+                name: load_section(name, data.get(name))
+                for name in SECTION_TYPES
+            },
         )

@@ -406,6 +406,23 @@ class Session:
             object.__setattr__(self, "_fingerprint", cached)
         return cached
 
+    def section_fingerprints(self) -> Dict[str, str]:
+        """Per-section cache identities (see :func:`section_fingerprints`).
+
+        One hash per result section plus the ``carbon`` rollup, each
+        covering only the knobs that section reads — the keys of the
+        sweep cache's section tier.  Raises
+        :class:`~repro.core.errors.SweepError` for uncacheable knobs,
+        exactly like :meth:`fingerprint`.
+        """
+        cached = getattr(self, "_section_fingerprints", None)
+        if cached is None:
+            from repro.session.fingerprint import section_fingerprints
+
+            cached = section_fingerprints(self)
+            object.__setattr__(self, "_section_fingerprints", cached)
+        return dict(cached)
+
     # --- execution --------------------------------------------------------
     def _region_intensity(self):
         """The home grid as the estimation layers expect it."""
@@ -635,6 +652,7 @@ class Session:
         audit,
         training: Optional[TrainingSection],
         scheduling: Optional[SchedulingSection],
+        cluster: Optional[ClusterSection],
         cluster_sim,
         upgrade_decision,
     ) -> Optional[CarbonSection]:
@@ -688,9 +706,14 @@ class Session:
             embodied_g = primary.embodied_g
             source = f"scheduling:{best.policy}"
 
-        if cluster_sim is not None:
-            by_source["cluster"] = cluster_sim.carbon_g
+        if cluster is not None:
+            # The realized grams come off the (possibly cache-assembled)
+            # section; the ledger merge below needs a live simulation,
+            # which the delta path forces whenever the rollup could land
+            # on the cluster as its primary account.
+            by_source["cluster"] = cluster.carbon_g
             if primary is None:
+                assert cluster_sim is not None
                 primary = CarbonLedger()
                 if cluster_sim.ledger is not None:
                     primary.merge(cluster_sim.ledger)
@@ -699,7 +722,7 @@ class Session:
                     f"cluster:{s._cluster_nodes}x{self._node.name}",
                     self._node.embodied(config=s._config).total_g
                     * s._cluster_nodes,
-                    duration_h=cluster_sim.horizon_h,
+                    duration_h=cluster.horizon_h,
                     lifetime_years=s._lifetime_years,
                     region=s._region,
                 )
@@ -775,7 +798,7 @@ class Session:
             ledger=primary,
         )
 
-    def run(self) -> ScenarioResult:
+    def run(self, *, reuse=None) -> ScenarioResult:
         """Execute every requested section and assemble the result.
 
         Idempotent: the first call computes and caches the result and
@@ -783,9 +806,24 @@ class Session:
         inside the resolved intensity service is consumed by a run, so
         re-executing would yield different noisy-forecast numbers —
         caching is what keeps a frozen Session trustworthy.)
+
+        ``reuse`` takes a section cache (anything exposing
+        ``get_section(name, fingerprint) -> (hit, payload)``, i.e. a
+        :class:`~repro.sweep.cache.ResultCache`): sections whose
+        fingerprints hit are assembled from their cached payloads and
+        only the stale ones execute — the *delta evaluation* path.  The
+        assembled result serializes byte-identically to a full
+        recompute; sections this run computed live ride back on
+        ``result.fresh_sections`` for the caller to write through
+        (``run(reuse=...)`` itself never writes to the cache).
         """
         if self._result is not None:
             return self._result
+        if reuse is not None:
+            result = self._run_delta(reuse)
+            if result is not None:
+                object.__setattr__(self, "_result", result)
+                return result
         from repro.core.errors import SweepError
 
         try:
@@ -811,14 +849,128 @@ class Session:
             cluster=cluster,
             upgrade=upgrade,
             carbon=self._run_carbon(
-                jobs, embodied, audit, training, scheduling, cluster_sim,
-                upgrade_decision,
+                jobs, embodied, audit, training, scheduling, cluster,
+                cluster_sim, upgrade_decision,
             ),
             provenance=self.provenance,
             provenance_hash=fingerprint,
         )
         object.__setattr__(self, "_result", result)
         return result
+
+    def _run_delta(self, reuse) -> Optional[ScenarioResult]:
+        """Assemble the result from cached sections, running only stale ones.
+
+        Returns ``None`` for uncacheable scenarios (the caller falls
+        back to the full path).  Sections the rollup needs *live* —
+        their non-serialized ledgers feed ``_run_carbon`` — are forced
+        to run whenever the rollup itself is stale: scheduling (the
+        primary account's evaluations and per-job embodied proration)
+        and upgrade (its by-policy ledger rows).  Everything else
+        rebuilds from its ``to_dict`` payload, which is all the rollup
+        reads from it.
+        """
+        from repro.core.errors import SweepError
+        from repro.session.fingerprint import RESULT_SECTIONS
+        from repro.session.result import load_section
+
+        try:
+            fps = self.section_fingerprints()
+            fingerprint = self.fingerprint()
+        except SweepError:
+            return None
+        s = self._scenario
+        cached: Dict[str, Any] = {}
+        for name in RESULT_SECTIONS:
+            hit, payload = reuse.get_section(name, fps[name])
+            if hit:
+                cached[name] = payload
+        live = {name for name in RESULT_SECTIONS if name not in cached}
+        if "carbon" in live:
+            if s._workload is not None:
+                live.add("scheduling")
+            if s._upgrade is not None:
+                live.add("upgrade")
+            if s._cluster_nodes is not None and s._workload is None:
+                # Defensive: validation makes a cluster imply a workload
+                # (and thus a scheduling primary), but a cluster-primary
+                # rollup would need the live simulation's ledger.
+                live.add("cluster")
+        needs_jobs = s._workload is not None and bool(
+            {"scheduling", "cluster"} & live
+        )
+        jobs = self._jobs() if needs_jobs else []
+        embodied = (
+            self._run_embodied()
+            if "embodied" in live
+            else load_section("embodied", cached["embodied"])
+        )
+        audit = (
+            self._run_audit()
+            if "audit" in live
+            else load_section("audit", cached["audit"])
+        )
+        training = (
+            self._run_training()
+            if "training" in live
+            else load_section("training", cached["training"])
+        )
+        scheduling = (
+            self._run_scheduling(jobs)
+            if "scheduling" in live
+            else load_section("scheduling", cached["scheduling"])
+        )
+        if "cluster" in live:
+            cluster, cluster_sim = self._run_cluster(jobs)
+        else:
+            cluster = load_section("cluster", cached["cluster"])
+            cluster_sim = None
+        if "upgrade" in live:
+            upgrade, upgrade_decision = self._run_upgrade()
+        else:
+            upgrade = load_section("upgrade", cached["upgrade"])
+            upgrade_decision = None
+        if "carbon" in live:
+            carbon = self._run_carbon(
+                jobs, embodied, audit, training, scheduling, cluster,
+                cluster_sim, upgrade_decision,
+            )
+        else:
+            carbon = load_section("carbon", cached["carbon"])
+        sections = {
+            "embodied": embodied,
+            "audit": audit,
+            "training": training,
+            "scheduling": scheduling,
+            "cluster": cluster,
+            "upgrade": upgrade,
+            "carbon": carbon,
+        }
+        fresh = {
+            name: (
+                fps[name],
+                None
+                if sections[name] is None
+                else ScenarioResult._plain(sections[name]),
+            )
+            for name in live
+            if name not in cached  # force-recomputed hits need no write
+        }
+        return ScenarioResult(
+            name=self._name,
+            region=s._region,
+            seed=s._seed,
+            embodied=embodied,
+            audit=audit,
+            training=training,
+            scheduling=scheduling,
+            cluster=cluster,
+            upgrade=upgrade,
+            carbon=carbon,
+            provenance=self.provenance,
+            provenance_hash=fingerprint,
+            fresh_sections=fresh,
+        )
 
     def render(self, result: Optional[ScenarioResult] = None) -> str:
         """Run (if needed) and render through the scenario's renderer."""

@@ -18,6 +18,14 @@ Two tiers, both optional:
 Corrupted, truncated, or schema-mismatched disk entries *fail soft*:
 they count in ``stats.errors`` and read as a miss, so a damaged cache
 directory degrades to recomputation, never to a wrong result.
+
+Since PR 10 the cache carries a third axis: a **section tier** keyed by
+``(section_name, section_fingerprint)`` holding each section's
+``to_dict`` payload (``sections/<name>/<shard>/<fingerprint>.json`` on
+disk, the same LRU discipline in memory, per-section hit/miss/evict
+stats).  ``Session.run(reuse=cache)`` assembles results from it,
+recomputing only sections whose inputs changed — the sweep service's
+delta-evaluation path.
 """
 
 from __future__ import annotations
@@ -28,18 +36,29 @@ import pathlib
 import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 from repro.core.errors import SweepError
+from repro.session.fingerprint import RESULT_SECTIONS
 from repro.session.result import ScenarioResult
 
-__all__ = ["CacheClearance", "CacheStats", "ResultCache", "default_cache_dir"]
+__all__ = [
+    "CacheClearance",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "default_memory_slots",
+]
 
 #: On-disk entry layout version; bump on any payload change so stale
 #: directories read as misses instead of mis-parsing.
 CACHE_SCHEMA = 1
 
-#: Default in-memory LRU capacity.
+#: On-disk section-entry layout version (independent of the whole-result
+#: schema: the two tiers evolve separately).
+SECTION_CACHE_SCHEMA = 1
+
+#: Fallback in-memory LRU capacity (see :func:`default_memory_slots`).
 DEFAULT_MEMORY_SLOTS = 256
 
 
@@ -49,6 +68,29 @@ def default_cache_dir() -> pathlib.Path:
     if override:
         return pathlib.Path(override)
     return pathlib.Path.home() / ".cache" / "repro-hpc"
+
+
+def default_memory_slots() -> int:
+    """``$REPRO_HPC_CACHE_MEM`` or :data:`DEFAULT_MEMORY_SLOTS`.
+
+    The env var tunes the memory-tier LRU capacity fleet-wide (small
+    boxes shrink it, sweep servers grow it) without touching call
+    sites; a malformed value is a configuration error and raises.
+    """
+    override = os.environ.get("REPRO_HPC_CACHE_MEM")
+    if not override:
+        return DEFAULT_MEMORY_SLOTS
+    try:
+        slots = int(override)
+    except ValueError:
+        raise SweepError(
+            f"REPRO_HPC_CACHE_MEM must be an integer, got {override!r}"
+        ) from None
+    if slots < 0:
+        raise SweepError(
+            f"REPRO_HPC_CACHE_MEM must be >= 0, got {override!r}"
+        )
+    return slots
 
 
 @dataclass(frozen=True)
@@ -63,13 +105,17 @@ class CacheClearance:
     entries: int = 0
     stale_tmp: int = 0
     pruned_dirs: int = 0
+    sections: int = 0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.entries} cached result(s), "
             f"{self.stale_tmp} stale temp file(s), "
             f"{self.pruned_dirs} empty shard dir(s)"
         )
+        if self.sections:
+            text += f", {self.sections} cached section payload(s)"
+        return text
 
 
 @dataclass(frozen=True)
@@ -95,28 +141,60 @@ class ResultCache:
     ``cache_dir=None`` keeps the cache memory-only.  The directory is
     created lazily on the first write, so constructing a cache (e.g.
     for conformance checks or ``plan``-only calls) touches no disk.
+
+    ``memory_slots``/``mem_entries`` (aliases; pick one) bound the
+    memory-tier LRU, defaulting to ``$REPRO_HPC_CACHE_MEM`` (else
+    :data:`DEFAULT_MEMORY_SLOTS`).  ``readonly=True`` makes writes stop
+    at the memory tier — the mode sweep *workers* open the cache in, so
+    only the parent process ever writes the shared directory.
     """
 
     def __init__(
         self,
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         *,
-        memory_slots: int = DEFAULT_MEMORY_SLOTS,
+        memory_slots: Optional[int] = None,
+        mem_entries: Optional[int] = None,
+        readonly: bool = False,
     ) -> None:
-        if memory_slots < 0:
-            raise SweepError(f"memory_slots must be >= 0, got {memory_slots!r}")
+        if memory_slots is not None and mem_entries is not None:
+            raise SweepError(
+                "memory_slots and mem_entries are aliases; set only one"
+            )
+        slots = memory_slots if memory_slots is not None else mem_entries
+        if slots is None:
+            slots = default_memory_slots()
+        if slots < 0:
+            raise SweepError(f"memory_slots must be >= 0, got {slots!r}")
         self._dir = pathlib.Path(cache_dir) if cache_dir is not None else None
-        self._memory_slots = int(memory_slots)
+        self._memory_slots = int(slots)
+        self._readonly = bool(readonly)
         self._memory: "OrderedDict[str, ScenarioResult]" = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._errors = 0
+        # Section tier: (section, fingerprint) -> to_dict payload (None
+        # for "the scenario did not request this section"), plus one
+        # counter block per section name.
+        self._section_memory: "OrderedDict[Tuple[str, str], Any]" = OrderedDict()
+        self._section_counts: Dict[str, Dict[str, int]] = {
+            name: {"hits": 0, "misses": 0, "evictions": 0, "errors": 0}
+            for name in RESULT_SECTIONS
+        }
 
     # --- introspection ----------------------------------------------------
     @property
     def cache_dir(self) -> Optional[pathlib.Path]:
         return self._dir
+
+    @property
+    def memory_slots(self) -> int:
+        return self._memory_slots
+
+    @property
+    def readonly(self) -> bool:
+        return self._readonly
 
     @property
     def stats(self) -> CacheStats:
@@ -126,6 +204,14 @@ class ResultCache:
             evictions=self._evictions,
             errors=self._errors,
         )
+
+    @property
+    def section_stats(self) -> Dict[str, CacheStats]:
+        """Per-section hit/miss/evict/error counters (section tier)."""
+        return {
+            name: CacheStats(**counts)
+            for name, counts in self._section_counts.items()
+        }
 
     def __len__(self) -> int:
         """Number of on-disk entries (memory-only caches count memory)."""
@@ -206,14 +292,16 @@ class ResultCache:
                 f"cache stores ScenarioResult, got {type(result).__name__}"
             )
         self._remember(fingerprint, result)
-        if self._dir is None:
+        if self._dir is None or self._readonly:
             return
         payload: Dict[str, object] = {
             "schema": CACHE_SCHEMA,
             "fingerprint": fingerprint,
             "result": result.to_dict(),
         }
-        path = self._path_for(fingerprint)
+        self._write_atomic(self._path_for(fingerprint), payload)
+
+    def _write_atomic(self, path: pathlib.Path, payload: Dict[str, object]) -> None:
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -234,6 +322,141 @@ class ResultCache:
                 f"cannot write cache entry under {self._dir}: {exc}"
             ) from exc
 
+    # --- the section tier -------------------------------------------------
+    @staticmethod
+    def _check_section(section: str) -> str:
+        if section not in RESULT_SECTIONS:
+            known = ", ".join(RESULT_SECTIONS)
+            raise SweepError(
+                f"unknown result section {section!r}; known sections: {known}"
+            )
+        return section
+
+    def _section_path(self, section: str, fingerprint: str) -> pathlib.Path:
+        assert self._dir is not None
+        return (
+            self._dir / "sections" / section / fingerprint[:2]
+            / f"{fingerprint}.json"
+        )
+
+    def get_section(
+        self, section: str, fingerprint: str
+    ) -> Tuple[bool, Optional[Dict[str, Any]]]:
+        """``(hit, payload)`` for one section fingerprint.
+
+        ``(True, None)`` is a *hit* recording "this section was absent"
+        — distinct from ``(False, None)``, a miss.  Disk entries fail
+        soft exactly like whole-result entries.
+        """
+        section = self._check_section(section)
+        fingerprint = self._check_fingerprint(fingerprint)
+        counts = self._section_counts[section]
+        key = (section, fingerprint)
+        if key in self._section_memory:
+            self._section_memory.move_to_end(key)
+            counts["hits"] += 1
+            return True, self._section_memory[key]
+        if self._dir is not None:
+            found, payload = self._load_section_entry(section, fingerprint)
+            if found:
+                self._remember_section(key, payload)
+                counts["hits"] += 1
+                return True, payload
+        counts["misses"] += 1
+        return False, None
+
+    def _load_section_entry(
+        self, section: str, fingerprint: str
+    ) -> Tuple[bool, Optional[Dict[str, Any]]]:
+        path = self._section_path(section, fingerprint)
+        counts = self._section_counts[section]
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return False, None
+        except (OSError, UnicodeDecodeError, ValueError):
+            counts["errors"] += 1  # torn/corrupted entry: fail soft
+            return False, None
+        try:
+            if payload.get("schema") != SECTION_CACHE_SCHEMA:
+                raise ValueError(f"schema {payload.get('schema')!r}")
+            if payload.get("section") != section:
+                raise ValueError("entry section mismatch")
+            if payload.get("fingerprint") != fingerprint:
+                raise ValueError("entry fingerprint mismatch")
+            body = payload["payload"]
+            if body is not None and not isinstance(body, dict):
+                raise ValueError("section payload must be a mapping or null")
+        except (AttributeError, KeyError, TypeError, ValueError):
+            counts["errors"] += 1  # partial/mismatched entry: fail soft
+            return False, None
+        return True, body
+
+    def has_section(self, section: str, fingerprint: str) -> bool:
+        """A stat-free peek: would :meth:`get_section` hit?
+
+        Used by ``SweepService.plan`` to *predict* per-cell section
+        reuse without skewing the hit/miss counters.  Disk presence is
+        judged by file existence alone (a corrupt entry predicts a hit
+        but reads as a miss — predictions are advisory).
+        """
+        section = self._check_section(section)
+        fingerprint = self._check_fingerprint(fingerprint)
+        if (section, fingerprint) in self._section_memory:
+            return True
+        return (
+            self._dir is not None
+            and self._section_path(section, fingerprint).is_file()
+        )
+
+    def put_section(
+        self, section: str, fingerprint: str, payload: Optional[Dict[str, Any]]
+    ) -> None:
+        """Store one section's ``to_dict`` payload (``None`` = absent)."""
+        section = self._check_section(section)
+        fingerprint = self._check_fingerprint(fingerprint)
+        if payload is not None and not isinstance(payload, dict):
+            raise SweepError(
+                "section payloads are to_dict mappings (or None), got "
+                f"{type(payload).__name__}"
+            )
+        self._remember_section((section, fingerprint), payload)
+        if self._dir is None or self._readonly:
+            return
+        self._write_atomic(
+            self._section_path(section, fingerprint),
+            {
+                "schema": SECTION_CACHE_SCHEMA,
+                "section": section,
+                "fingerprint": fingerprint,
+                "payload": payload,
+            },
+        )
+
+    def _remember_section(
+        self, key: Tuple[str, str], payload: Optional[Dict[str, Any]]
+    ) -> None:
+        if self._memory_slots == 0:
+            return
+        self._section_memory[key] = payload
+        self._section_memory.move_to_end(key)
+        while len(self._section_memory) > self._memory_slots:
+            evicted, _ = self._section_memory.popitem(last=False)
+            self._section_counts[evicted[0]]["evictions"] += 1
+
+    def section_entries(self) -> Iterator[Tuple[str, str, pathlib.Path]]:
+        """(section, fingerprint, path) for every on-disk section entry."""
+        if self._dir is None:
+            return
+        root = self._dir / "sections"
+        if not root.is_dir():
+            return
+        for section in RESULT_SECTIONS:
+            yield from (
+                (section, path.stem, path)
+                for path in sorted((root / section).glob("*/*.json"))
+            )
+
     def _remember(self, fingerprint: str, result: ScenarioResult) -> None:
         if self._memory_slots == 0:
             return
@@ -253,7 +476,9 @@ class ResultCache:
         all three removal counts.
         """
         self._memory.clear()
+        self._section_memory.clear()
         entries = 0
+        sections = 0
         if not disk:
             return CacheClearance()
         for _fingerprint, path in list(self.entries()):
@@ -262,9 +487,16 @@ class ResultCache:
                 entries += 1
             except OSError:
                 self._errors += 1
+        for section, _fingerprint, path in list(self.section_entries()):
+            try:
+                path.unlink()
+                sections += 1
+            except OSError:
+                self._section_counts[section]["errors"] += 1
         stale, pruned = self.sweep_stale()
         return CacheClearance(
-            entries=entries, stale_tmp=stale, pruned_dirs=pruned
+            entries=entries, stale_tmp=stale, pruned_dirs=pruned,
+            sections=sections,
         )
 
     def sweep_stale(self) -> Tuple[int, int]:
@@ -280,21 +512,32 @@ class ResultCache:
         """
         if self._dir is None:
             return 0, 0
-        results = self._dir / "results"
-        if not results.is_dir():
-            return 0, 0
         stale = 0
-        for tmp in sorted(results.glob("*/*.tmp")):
-            try:
-                tmp.unlink()
-                stale += 1
-            except OSError:
-                self._errors += 1
         pruned = 0
-        for shard in sorted(p for p in results.iterdir() if p.is_dir()):
+        results = self._dir / "results"
+        roots = [results] if results.is_dir() else []
+        sections_root = self._dir / "sections"
+        if sections_root.is_dir():
+            roots.extend(
+                sorted(p for p in sections_root.iterdir() if p.is_dir())
+            )
+        for root in roots:
+            for tmp in sorted(root.glob("*/*.tmp")):
+                try:
+                    tmp.unlink()
+                    stale += 1
+                except OSError:
+                    self._errors += 1
+            for shard in sorted(p for p in root.iterdir() if p.is_dir()):
+                try:
+                    shard.rmdir()  # only succeeds when actually empty
+                    pruned += 1
+                except OSError:
+                    pass  # live entries remain (or a writer raced us): keep
+        for root in roots[1:]:
             try:
-                shard.rmdir()  # only succeeds when actually empty
+                root.rmdir()  # drop emptied per-section dirs too
                 pruned += 1
             except OSError:
-                pass  # live entries remain (or a writer raced us): keep
+                pass
         return stale, pruned

@@ -18,7 +18,7 @@ workload-source batch memo — the planner does not need to model either.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import SweepError
@@ -38,6 +38,14 @@ class WorkUnit:
     #: The representative item handed to the executor (the first cell's
     #: original Scenario/Session, so process executors pickle builders).
     item: Union[Scenario, Session]
+    #: The built session for the representative cell — the delta path's
+    #: handle on section fingerprints.  Excluded from equality: two plans
+    #: over the same grid compare equal even though sessions are fresh
+    #: objects each time.
+    session: Optional[Session] = field(default=None, compare=False, repr=False)
+    #: ``((section, cached?), ...)`` predictions stamped by
+    #: ``SweepService.plan`` when a cache is attached; ``None`` until then.
+    section_hits: Optional[Tuple[Tuple[str, bool], ...]] = None
 
     @property
     def cacheable(self) -> bool:
@@ -73,7 +81,17 @@ class SweepPlan:
         for unit in self.units:
             key = unit.fingerprint[:12] if unit.fingerprint else "uncacheable"
             cells = ",".join(str(i) for i in unit.indices)
-            lines.append(f"  {key:>12s}  {unit.name}  [cell {cells}]")
+            line = f"  {key:>12s}  {unit.name}  [cell {cells}]"
+            if unit.section_hits is not None:
+                cached = sum(1 for _, hit in unit.section_hits if hit)
+                total = len(unit.section_hits)
+                stale = ", ".join(
+                    name for name, hit in unit.section_hits if not hit
+                )
+                line += f"  sections: {cached}/{total} cached"
+                if stale:
+                    line += f" (stale: {stale})"
+            lines.append(line)
         return lines
 
 
@@ -104,6 +122,7 @@ def plan_sweep(items: Sequence[Union[Scenario, Session]]) -> SweepPlan:
             "fingerprint": fingerprint,
             "indices": [index],
             "item": item,
+            "session": session,
         }
         units.append(unit)
         if fingerprint is not None:
@@ -115,6 +134,7 @@ def plan_sweep(items: Sequence[Union[Scenario, Session]]) -> SweepPlan:
                 fingerprint=u["fingerprint"],
                 indices=tuple(u["indices"]),
                 item=u["item"],
+                session=u["session"],
             )
             for u in units
         ),

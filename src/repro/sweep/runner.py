@@ -37,11 +37,13 @@ from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass
+from dataclasses import replace as dataclass_replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import ResilienceError, SweepError
 from repro.resilience.journal import SweepJournal
 from repro.resilience.policy import CellFailure, RetryPolicy
+from repro.session.fingerprint import RESULT_SECTIONS
 from repro.session.registry import resolve_backend
 from repro.session.result import ScenarioResult
 from repro.session.scenario import Scenario
@@ -79,18 +81,31 @@ class SweepOutcome:
     n_unique: int
     n_ran: int
     executor: str
+    #: Per-section hit/miss deltas this run generated in the section
+    #: tier; ``None`` when the run did not use delta evaluation.  Pooled
+    #: workers read the section tier in their own processes, so these
+    #: counters reflect the parent process (inline runs + write-backs).
+    section_stats: Optional[Dict[str, CacheStats]] = None
 
     @property
     def n_hits(self) -> int:
         return self.n_unique - self.n_ran
 
     def summary_lines(self) -> List[str]:
-        return [
+        lines = [
             f"sweep: {self.n_cells} cell{'s' if self.n_cells != 1 else ''} "
             f"-> {self.n_unique} unique, {self.n_hits} served from cache, "
             f"{self.n_ran} ran (executor {self.executor})",
             f"cache: {self.stats.summary()}",
         ]
+        if self.section_stats is not None:
+            hits = sum(s.hits for s in self.section_stats.values())
+            misses = sum(s.misses for s in self.section_stats.values())
+            lines.append(
+                f"sections: {hits} payload{'s' if hits != 1 else ''} "
+                f"reused, {misses} recomputed"
+            )
+        return lines
 
 
 @dataclass(frozen=True)
@@ -174,6 +189,77 @@ def _coerce_injector(value):
     )
 
 
+#: Per-process readonly caches pooled delta workers open, memoized by
+#: directory so a chunked worker reuses one memory tier across units.
+_WORKER_CACHES: Dict[str, ResultCache] = {}
+
+
+def _worker_cache(cache_dir: pathlib.Path) -> ResultCache:
+    key = str(cache_dir)
+    cache = _WORKER_CACHES.get(key)
+    if cache is None:
+        cache = ResultCache(cache_dir, readonly=True)
+        _WORKER_CACHES[key] = cache
+    return cache
+
+
+class _DeltaItem:
+    """A work-unit wrapper that routes execution through the delta path.
+
+    Executors treat it like a Session (it exposes ``run()`` and a
+    ``_scenario`` for seed warming).  Inline (serial) items hold the
+    service's live cache and write fresh sections back immediately, so
+    later cells in the same pass reuse them; pooled items drop the live
+    cache on pickling, reopen the directory readonly in the worker, and
+    ship fresh sections home on ``result.fresh_sections`` for the
+    parent to absorb.
+    """
+
+    def __init__(
+        self,
+        item: Union[Scenario, Session],
+        *,
+        cache: Optional[ResultCache],
+        cache_dir: Optional[pathlib.Path],
+        writeback: bool,
+    ) -> None:
+        self._item = item
+        self._cache = cache
+        self._cache_dir = cache_dir
+        self._writeback = bool(writeback)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_cache"] = None  # live caches never cross process bounds
+        return state
+
+    @property
+    def _scenario(self) -> Scenario:
+        item = self._item
+        return item if isinstance(item, Scenario) else item._scenario
+
+    def run(self) -> ScenarioResult:
+        session = (
+            self._item.build()
+            if isinstance(self._item, Scenario)
+            else self._item
+        )
+        reuse = self._cache
+        if reuse is None and self._cache_dir is not None:
+            reuse = _worker_cache(self._cache_dir)
+        if reuse is None:
+            return session.run()
+        result = session.run(reuse=reuse)
+        if (
+            self._cache is not None
+            and self._writeback
+            and result.fresh_sections
+        ):
+            for name, (fp, payload) in result.fresh_sections.items():
+                self._cache.put_section(name, fp, payload)
+        return result
+
+
 class SweepService:
     """The sharded, cache-aware sweep engine.
 
@@ -201,6 +287,11 @@ class SweepService:
         ``False`` stops fresh results from being written back to the
         result cache (reads still hit) — the escape hatch for runs whose
         outputs should not poison a shared cache.
+    delta:
+        Section-level delta evaluation: units missing the whole-result
+        cache assemble from cached section payloads and recompute only
+        stale sections.  Defaults to on whenever the cache is on;
+        ``delta=True`` with ``cache=False`` is a configuration error.
     """
 
     def __init__(
@@ -217,6 +308,7 @@ class SweepService:
         faults: Any = None,
         max_rebuilds: Optional[int] = None,
         cache_writeback: bool = True,
+        delta: Optional[bool] = None,
     ) -> None:
         self._cache: Optional[ResultCache] = None
         if cache:
@@ -231,6 +323,11 @@ class SweepService:
             self._cache = ResultCache(directory, **kwargs)
         elif cache_dir is not None:
             raise SweepError("cache_dir is meaningless with cache=False")
+        if delta and self._cache is None:
+            raise SweepError(
+                "delta evaluation needs the result cache; use cache=True"
+            )
+        self._delta = (self._cache is not None) if delta is None else bool(delta)
         self._executor = executor
         self._max_workers = max_workers
         self._chunk_size = chunk_size
@@ -243,6 +340,18 @@ class SweepService:
     @property
     def cache(self) -> Optional[ResultCache]:
         return self._cache
+
+    @property
+    def delta(self) -> bool:
+        return self._delta
+
+    def _resolve_delta(self, delta: Optional[bool]) -> bool:
+        use_delta = self._delta if delta is None else bool(delta)
+        if use_delta and self._cache is None:
+            raise SweepError(
+                "delta evaluation needs the result cache; use cache=True"
+            )
+        return use_delta
 
     # --- input normalization ----------------------------------------------
     @staticmethod
@@ -279,9 +388,35 @@ class SweepService:
         return cls._normalize_full(sweep_input)[0]
 
     # --- planning ---------------------------------------------------------
-    def plan(self, sweep_input: SweepInput) -> SweepPlan:
-        """Expand + fingerprint + deduplicate, without running anything."""
-        return plan_sweep(self._normalize(sweep_input))
+    def plan(
+        self, sweep_input: SweepInput, *, delta: Optional[bool] = None
+    ) -> SweepPlan:
+        """Expand + fingerprint + deduplicate, without running anything.
+
+        With delta evaluation active, every cacheable unit is annotated
+        with predicted per-section reuse (``unit.section_hits``) by
+        peeking at the section tier — stat-free, so planning never skews
+        the hit/miss counters a later :meth:`run` reports.
+        """
+        plan = plan_sweep(self._normalize(sweep_input))
+        if not self._resolve_delta(delta) or self._cache is None:
+            return plan
+        units = []
+        for unit in plan.units:
+            if unit.session is None or unit.fingerprint is None:
+                units.append(unit)
+                continue
+            try:
+                fps = unit.session.section_fingerprints()
+            except SweepError:
+                units.append(unit)
+                continue
+            hits = tuple(
+                (name, self._cache.has_section(name, fps[name]))
+                for name in RESULT_SECTIONS
+            )
+            units.append(dataclass_replace(unit, section_hits=hits))
+        return SweepPlan(units=tuple(units), n_cells=plan.n_cells)
 
     # --- execution --------------------------------------------------------
     def _resolve_executor(
@@ -328,6 +463,7 @@ class SweepService:
         resume: Optional[Union[str, pathlib.Path]] = None,
         max_rebuilds: Optional[int] = None,
         cache_writeback: Optional[bool] = None,
+        delta: Optional[bool] = None,
     ) -> SweepReport:
         """Evaluate the grid: cache lookups first, then one executor pass.
 
@@ -338,9 +474,15 @@ class SweepService:
         ``done`` (and journals new completions to the same file unless
         ``journal`` points elsewhere).  With no resilience knob active,
         execution takes the exact legacy path.
+
+        ``delta`` overrides the service default: units that miss the
+        whole-result cache assemble from cached section payloads and
+        recompute only stale sections (results stay byte-identical to a
+        full recompute — the delta contract).
         """
         items, spec = self._normalize_full(sweep_input)
         plan = plan_sweep(items)
+        use_delta = self._resolve_delta(delta)
 
         # --- resolve the resilience configuration -------------------------
         section: Dict[str, Any] = (
@@ -401,6 +543,9 @@ class SweepService:
 
         # --- cache lookups + resume skips ---------------------------------
         before = self._cache.stats if self._cache is not None else CacheStats()
+        before_sections = (
+            self._cache.section_stats if self._cache is not None else {}
+        )
         results: List[Optional[ScenarioResult]] = [None] * plan.n_cells
         to_run = []
         n_skipped = 0
@@ -428,8 +573,11 @@ class SweepService:
         if to_run and not resilient:
             # The exact legacy path: one executor pass, chunked engines.
             key, opts = self._resolve_executor(items, executor, max_workers)
+            run_items, delta_inline = self._wrap_items(
+                [unit.item for unit in to_run], use_delta, key, writeback
+            )
             engine = resolve_backend("executor", key)(**opts)
-            fresh = list(engine([unit.item for unit in to_run]))
+            fresh = list(engine(run_items))
             if len(fresh) != len(to_run):
                 raise SweepError(
                     f"executor {key!r} returned {len(fresh)} results for "
@@ -444,6 +592,8 @@ class SweepService:
                     and unit.fingerprint is not None
                 ):
                     self._cache.put(unit.fingerprint, result)
+                if use_delta and not delta_inline:
+                    self._absorb_sections(result, writeback)
         elif to_run:
             from repro.resilience import (
                 DEFAULT_MAX_REBUILDS,
@@ -453,15 +603,18 @@ class SweepService:
             )
 
             key, opts = self._resolve_executor(items, executor, max_workers)
+            run_items, delta_inline = self._wrap_items(
+                [unit.item for unit in to_run], use_delta, key, writeback
+            )
             units = [
                 ResilientUnit(
-                    item=unit.item,
+                    item=run_item,
                     index=unit.indices[0],
                     indices=tuple(unit.indices),
                     name=unit.name,
                     fingerprint=unit.fingerprint,
                 )
-                for unit in to_run
+                for unit, run_item in zip(to_run, run_items)
             ]
 
             def _on_unit_done(outcome) -> None:
@@ -476,6 +629,8 @@ class SweepService:
                         and outcome.fingerprint is not None
                     ):
                         self._cache.put(outcome.fingerprint, outcome.result)
+                    if use_delta and not delta_inline:
+                        self._absorb_sections(outcome.result, writeback)
                     if journal_obj is not None:
                         journal_obj.record_done(
                             outcome.fingerprint, name=outcome.unit.name
@@ -501,6 +656,19 @@ class SweepService:
             n_rebuilds = resilient_run.rebuilds
 
         after = self._cache.stats if self._cache is not None else CacheStats()
+        section_stats: Optional[Dict[str, CacheStats]] = None
+        if use_delta and self._cache is not None:
+            section_stats = {
+                name: CacheStats(
+                    hits=counts.hits - before_sections[name].hits,
+                    misses=counts.misses - before_sections[name].misses,
+                    evictions=(
+                        counts.evictions - before_sections[name].evictions
+                    ),
+                    errors=counts.errors - before_sections[name].errors,
+                )
+                for name, counts in self._cache.section_stats.items()
+            }
         return SweepReport(
             results=tuple(results),
             stats=CacheStats(
@@ -513,10 +681,46 @@ class SweepService:
             n_unique=plan.n_unique,
             n_ran=len(to_run),
             executor=key,
+            section_stats=section_stats,
             failures=tuple(failures),
             n_skipped=n_skipped,
             n_rebuilds=n_rebuilds,
         )
+
+    def _wrap_items(
+        self,
+        raw_items: List[Union[Scenario, Session]],
+        use_delta: bool,
+        key: str,
+        writeback: bool,
+    ) -> Tuple[List[Any], bool]:
+        """Wrap work items for delta execution.
+
+        Returns ``(items, inline)`` — ``inline`` means the wrappers hold
+        the live cache and write sections back themselves (the serial
+        engine runs in-process), so the parent must not absorb again.
+        """
+        if not use_delta or self._cache is None:
+            return list(raw_items), False
+        inline = key == "serial"
+        live = self._cache if inline else None
+        return [
+            _DeltaItem(
+                item,
+                cache=live,
+                cache_dir=self._cache.cache_dir,
+                writeback=writeback,
+            )
+            for item in raw_items
+        ], inline
+
+    def _absorb_sections(self, result: Any, writeback: bool) -> None:
+        """Write a pooled worker's fresh section payloads to the cache."""
+        fresh = getattr(result, "fresh_sections", None)
+        if self._cache is None or not writeback or not fresh:
+            return
+        for name, (fingerprint, payload) in fresh.items():
+            self._cache.put_section(name, fingerprint, payload)
 
 
 def cached_sweep_service(**opts) -> SweepService:

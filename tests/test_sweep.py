@@ -330,12 +330,19 @@ class TestResultCache:
         clearance = service.cache.clear()
         assert clearance.entries == 4
         assert clearance.stale_tmp == 2
-        assert clearance.pruned_dirs == len(shards) + 1
+        # Delta evaluation populated the section tier alongside the
+        # whole results, so the clear also removed section payloads and
+        # pruned their shard + per-section directories.
+        assert clearance.sections > 0
+        assert clearance.pruned_dirs > len(shards) + 1
         assert clearance.summary() == (
             "4 cached result(s), 2 stale temp file(s), "
-            f"{len(shards) + 1} empty shard dir(s)"
+            f"{clearance.pruned_dirs} empty shard dir(s), "
+            f"{clearance.sections} cached section payload(s)"
         )
         assert list(results.iterdir()) == []  # nothing left behind
+        sections_root = tmp_path / "cache" / "sections"
+        assert list(sections_root.iterdir()) == []
 
     def test_sweep_stale_is_noop_without_disk(self):
         cache = ResultCache(None)
